@@ -1,0 +1,59 @@
+// Ablation: the paper assumes independent (spot) defects. This bench keeps
+// the *expected* number of failed cells fixed and compares yield under iid
+// Bernoulli faults versus spatially clustered defects — clustering is
+// harsher for interstitial redundancy because one cluster can wipe out a
+// primary together with all of its spares.
+#include <iostream>
+
+#include "biochip/dtmb.hpp"
+#include "fault/injector.hpp"
+#include "io/table.hpp"
+#include "yield/monte_carlo.hpp"
+
+int main() {
+  using namespace dmfb;
+
+  io::Table table({"design", "E[failures]/chip", "yield (iid)",
+                   "yield (clustered r=1)", "yield (clustered r=2)"});
+  for (const auto kind :
+       {biochip::DtmbKind::kDtmb2_6, biochip::DtmbKind::kDtmb3_6,
+        biochip::DtmbKind::kDtmb4_4}) {
+    auto array = biochip::make_dtmb_array_with_primaries(kind, 150);
+    const double cells = array.cell_count();
+    for (const double expected_failures : {4.0, 8.0, 12.0}) {
+      yield::McOptions options;
+      options.runs = 10000;
+
+      const double p = 1.0 - expected_failures / cells;
+      const auto iid = yield::mc_yield_bernoulli(array, p, options);
+
+      const auto clustered_yield = [&](std::int32_t radius) {
+        const fault::ClusteredInjector prototype(1.0, radius, 0.9, 0.4);
+        const double per_spot = prototype.expected_failures_per_spot();
+        const fault::ClusteredInjector injector(
+            expected_failures / per_spot, radius, 0.9, 0.4);
+        return yield::mc_yield(
+                   array,
+                   [&injector](biochip::HexArray& a, Rng& rng) {
+                     injector.inject(a, rng);
+                   },
+                   options)
+            .value;
+      };
+
+      table.row(4)
+          .cell(std::string(biochip::dtmb_info(kind).name))
+          .cell(expected_failures)
+          .cell(iid.value)
+          .cell(clustered_yield(1))
+          .cell(clustered_yield(2));
+    }
+  }
+  table.print(std::cout,
+              "Ablation - iid vs clustered defects (equal expected failure "
+              "counts, 10000 runs)");
+  std::cout << "Clustering violates the paper's independence assumption and "
+               "lowers yield at equal defect density; wider clusters hurt "
+               "more.\n";
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Ablation: how much yield does optimal (matching-based) spare assignment
+// buy over greedy first-fit? Greedy can strand a repairable chip by taking
+// the wrong spare; the gap quantifies the value of the paper's bipartite
+// matching formulation.
+#include <iostream>
+
+#include "biochip/dtmb.hpp"
+#include "fault/injector.hpp"
+#include "io/table.hpp"
+#include "reconfig/local_reconfig.hpp"
+#include "yield/monte_carlo.hpp"
+
+int main() {
+  using namespace dmfb;
+
+  io::Table table({"design", "p", "yield (matching)", "yield (greedy)",
+                   "greedy losses / 10000"});
+  for (const auto kind :
+       {biochip::DtmbKind::kDtmb2_6, biochip::DtmbKind::kDtmb3_6}) {
+    auto array = biochip::make_dtmb_array_with_primaries(kind, 120);
+    for (const double p : {0.88, 0.92, 0.96}) {
+      const fault::BernoulliInjector injector(p);
+      const reconfig::LocalReconfigurer matching;
+      const reconfig::GreedyReconfigurer greedy;
+      Rng rng(0x6EEE);
+      std::int32_t matching_ok = 0;
+      std::int32_t greedy_ok = 0;
+      std::int32_t greedy_losses = 0;  // matching repairs, greedy fails
+      const std::int32_t kRuns = 10000;
+      for (std::int32_t run = 0; run < kRuns; ++run) {
+        injector.inject(array, rng);
+        const bool m = matching.feasible(array);
+        const bool g = greedy.feasible(array);
+        matching_ok += m;
+        greedy_ok += g;
+        greedy_losses += (m && !g);
+        array.reset_health();
+      }
+      table.row(4)
+          .cell(std::string(biochip::dtmb_info(kind).name))
+          .cell(p)
+          .cell(static_cast<double>(matching_ok) / kRuns)
+          .cell(static_cast<double>(greedy_ok) / kRuns)
+          .cell(greedy_losses);
+    }
+  }
+  table.print(std::cout,
+              "Ablation - optimal matching vs greedy first-fit assignment");
+  std::cout << "Greedy never repairs a chip matching cannot (verified by "
+               "construction); the last column is pure loss.\n";
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Regenerates paper Figures 1(b) and 3-6: the hexagonal-electrode array and
+// the DTMB(1,6), DTMB(2,6) (both variants), DTMB(3,6) and DTMB(4,4)
+// layouts, as ASCII renderings, together with the graph-model statistics of
+// Fig. 3(b) (nodes = cells, edges = physical adjacencies).
+#include <iostream>
+
+#include "biochip/dtmb.hpp"
+#include "graph/graph.hpp"
+#include "io/ascii_render.hpp"
+#include "io/table.hpp"
+
+int main() {
+  using namespace dmfb;
+
+  io::Table summary({"design", "cells", "primaries", "spares", "graph edges",
+                     "connected"});
+  for (const biochip::DtmbKind kind : biochip::kAllDtmbKinds) {
+    const auto info = biochip::dtmb_info(kind);
+    const auto array = biochip::make_dtmb_array(kind, 12, 10);
+    std::cout << "--- " << info.name << " (12x10 patch; o = spare, . = primary)"
+              << " ---\n"
+              << io::render_hex(array) << '\n';
+    const auto graph = array.adjacency_graph();
+    summary.row(0)
+        .cell(std::string(info.name))
+        .cell(array.cell_count())
+        .cell(array.primary_count())
+        .cell(array.spare_count())
+        .cell(graph.edge_count())
+        .cell(graph::is_connected(graph) ? "yes" : "no");
+  }
+  summary.print(std::cout,
+                "Figures 3-6 - layout and Fig. 3(b) graph-model statistics");
+  return 0;
+}

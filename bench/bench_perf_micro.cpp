@@ -1,0 +1,91 @@
+// google-benchmark micro-benchmarks for the performance-critical kernels:
+// maximum matching (all three engines), one Monte-Carlo yield run, droplet
+// routing, and the covering-walk test planner.
+#include <benchmark/benchmark.h>
+
+#include "biochip/dtmb.hpp"
+#include "common/rng.hpp"
+#include "fault/injector.hpp"
+#include "fluidics/router.hpp"
+#include "graph/matching.hpp"
+#include "reconfig/local_reconfig.hpp"
+#include "testplan/stimulus_test.hpp"
+#include "yield/monte_carlo.hpp"
+
+namespace {
+
+using namespace dmfb;
+
+graph::BipartiteGraph random_bipartite(std::int32_t left, std::int32_t right,
+                                       double edge_prob, std::uint64_t seed) {
+  Rng rng(seed);
+  graph::BipartiteGraph g(left, right);
+  for (std::int32_t a = 0; a < left; ++a) {
+    for (std::int32_t b = 0; b < right; ++b) {
+      if (rng.bernoulli(edge_prob)) g.add_edge(a, b);
+    }
+  }
+  return g;
+}
+
+void BM_Matching(benchmark::State& state, graph::MatchingEngine engine) {
+  const auto n = static_cast<std::int32_t>(state.range(0));
+  const auto g = random_bipartite(n, n, 8.0 / n, 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::maximum_matching(g, engine).size);
+  }
+  state.SetComplexityN(n);
+}
+
+void BM_McYieldRun(benchmark::State& state) {
+  auto array = biochip::make_dtmb_array_with_primaries(
+      biochip::DtmbKind::kDtmb2_6,
+      static_cast<std::int32_t>(state.range(0)));
+  const fault::BernoulliInjector injector(0.93);
+  const reconfig::LocalReconfigurer reconfigurer;
+  Rng rng(7);
+  for (auto _ : state) {
+    injector.inject(array, rng);
+    benchmark::DoNotOptimize(reconfigurer.feasible(array));
+    array.reset_health();
+  }
+}
+
+void BM_SingleDropletRoute(benchmark::State& state) {
+  const auto side = static_cast<std::int32_t>(state.range(0));
+  const biochip::HexArray array(
+      hex::Region::parallelogram(side, side),
+      [](hex::HexCoord) { return biochip::CellRole::kPrimary; });
+  const fluidics::UsableCells usable(array);
+  const fluidics::Router router(usable);
+  const auto from = array.region().index_of({0, 0});
+  const auto to = array.region().index_of({side - 1, side - 1});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(router.shortest_route(from, to).size());
+  }
+}
+
+void BM_CoveringWalk(benchmark::State& state) {
+  const auto side = static_cast<std::int32_t>(state.range(0));
+  const auto array =
+      biochip::make_dtmb_array(biochip::DtmbKind::kDtmb2_6, side, side);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(testplan::plan_covering_walk(array, 0).size());
+  }
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_Matching, hopcroft_karp,
+                  dmfb::graph::MatchingEngine::kHopcroftKarp)
+    ->Range(64, 1024)
+    ->Complexity();
+BENCHMARK_CAPTURE(BM_Matching, kuhn, dmfb::graph::MatchingEngine::kKuhn)
+    ->Range(64, 1024)
+    ->Complexity();
+BENCHMARK_CAPTURE(BM_Matching, dinic, dmfb::graph::MatchingEngine::kDinic)
+    ->Range(64, 1024)
+    ->Complexity();
+BENCHMARK(BM_McYieldRun)->Arg(100)->Arg(250)->Arg(500);
+BENCHMARK(BM_SingleDropletRoute)->Arg(16)->Arg(32)->Arg(64);
+BENCHMARK(BM_CoveringWalk)->Arg(16)->Arg(32);

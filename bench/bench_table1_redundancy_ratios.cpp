@@ -1,0 +1,41 @@
+// Regenerates paper Table 1: redundancy ratios of the defect-tolerant
+// architectures, plus finite-array convergence and the measured (s, p)
+// structure of every design.
+//
+//   Paper row:  DTMB(1,6) 0.1667 | DTMB(2,6) 0.3333 | DTMB(3,6) 0.5000 |
+//               DTMB(4,4) 1.0000
+#include <iostream>
+
+#include "biochip/dtmb.hpp"
+#include "biochip/redundancy.hpp"
+#include "io/table.hpp"
+
+int main() {
+  using namespace dmfb;
+  using biochip::DtmbKind;
+
+  io::Table table({"design", "s", "p", "RR (asymptotic)", "RR @ 12x12",
+                   "RR @ 24x24", "RR @ 60x60", "interior s", "interior p"});
+  for (const DtmbKind kind : biochip::kAllDtmbKinds) {
+    const auto info = biochip::dtmb_info(kind);
+    const auto small = biochip::make_dtmb_array(kind, 12, 12);
+    const auto medium = biochip::make_dtmb_array(kind, 24, 24);
+    const auto large = biochip::make_dtmb_array(kind, 60, 60);
+    const auto prop = biochip::measure_interstitial_property(medium);
+    table.row(4)
+        .cell(std::string(info.name))
+        .cell(info.s)
+        .cell(info.p)
+        .cell(info.redundancy_ratio)
+        .cell(biochip::measured_redundancy_ratio(small))
+        .cell(biochip::measured_redundancy_ratio(medium))
+        .cell(biochip::measured_redundancy_ratio(large))
+        .cell(std::to_string(prop.s_min) + ".." + std::to_string(prop.s_max))
+        .cell(std::to_string(prop.p_min) + ".." + std::to_string(prop.p_max));
+  }
+  table.print(std::cout,
+              "Table 1 - redundancy ratios of the defect-tolerant designs");
+  std::cout << "Paper values: 0.1667 / 0.3333 / 0.5000 / 1.0000 "
+               "(variant B shares DTMB(2,6)'s ratio)\n";
+  return 0;
+}

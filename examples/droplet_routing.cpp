@@ -1,0 +1,85 @@
+// Droplet routing on a faulty, reconfigured array — microfluidic locality
+// made visible.
+//
+// Two droplets cross a DTMB(2,6) array that has faulty cells. The router
+// must (a) detour around faults, (b) keep the droplets from ever coming
+// within one cell of each other (static + dynamic fluidic constraints),
+// and (c) exploit a reconfiguration-activated spare cell as part of the
+// transport surface. Every step is replayed on the cycle-accurate
+// simulator, which re-checks all constraints.
+//
+// Build & run:  ./build/examples/droplet_routing
+#include <iostream>
+
+#include "biochip/dtmb.hpp"
+#include "fluidics/router.hpp"
+#include "fluidics/simulator.hpp"
+#include "io/ascii_render.hpp"
+#include "reconfig/local_reconfig.hpp"
+
+int main() {
+  using namespace dmfb;
+
+  auto array = biochip::make_dtmb_array(biochip::DtmbKind::kDtmb2_6, 11, 9);
+
+  // A diagonal scar of faults across the middle of the array.
+  for (const hex::HexCoord at :
+       {hex::HexCoord{5, 2}, {5, 3}, {5, 4}, {4, 5}, {3, 6}}) {
+    array.set_health(array.region().index_of(at),
+                     biochip::CellHealth::kFaulty);
+  }
+  const auto plan = reconfig::LocalReconfigurer().plan(array);
+  std::cout << "Reconfiguration " << (plan.success ? "succeeded" : "failed")
+            << " (" << plan.replacements.size() << " spares activated)\n"
+            << io::render_hex(array, &plan, {.legend = true}) << '\n';
+
+  fluidics::UsableCells usable(array);
+  usable.activate_plan(plan);
+  fluidics::DropletSimulator sim(usable);
+
+  const auto a_from = array.region().index_of({1, 1});
+  const auto a_to = array.region().index_of({9, 7});
+  const auto b_from = array.region().index_of({9, 1});
+  const auto b_to = array.region().index_of({1, 7});
+  const auto a = sim.dispense(a_from, 1.5, fluidics::Mixture::of("sample", 1));
+  const auto b = sim.dispense(b_from, 1.5, fluidics::Mixture::of("buffer", 1));
+
+  const fluidics::MultiDropletRouter router(usable);
+  const auto routes = router.route({{a, a_from, a_to, {}},
+                                    {b, b_from, b_to, {}}});
+  if (!routes) {
+    std::cerr << "routing failed\n";
+    return 1;
+  }
+  std::cout << "Routed two crossing droplets; arrivals at t = "
+            << (*routes)[0].arrival_time() << " and "
+            << (*routes)[1].arrival_time() << " cycles.\n";
+
+  for (const auto& route : *routes) {
+    std::cout << "droplet " << route.droplet << ": ";
+    for (const auto cell : route.cells) {
+      std::cout << array.region().coord_at(cell) << ' ';
+    }
+    std::cout << '\n';
+  }
+
+  // Replay on the simulator: every fluidic constraint re-checked per cycle.
+  sim.run_routes(*routes);
+  std::cout << "\nSimulator replay clean: droplet " << a << " at "
+            << array.region().coord_at(sim.droplet(a).cell) << ", droplet "
+            << b << " at " << array.region().coord_at(sim.droplet(b).cell)
+            << " after " << sim.now() << " cycles.\n";
+
+  // Show the paper's key operational payoff: the droplets never used a
+  // faulty cell, and any activated spare they used is listed here.
+  for (const auto& route : *routes) {
+    for (const auto cell : route.cells) {
+      if (array.role(cell) == biochip::CellRole::kSpare) {
+        std::cout << "droplet " << route.droplet
+                  << " travelled over activated spare "
+                  << array.region().coord_at(cell) << '\n';
+      }
+    }
+  }
+  return 0;
+}

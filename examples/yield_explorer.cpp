@@ -1,0 +1,66 @@
+// Yield explorer: the design-space tool a biochip architect would use.
+//
+// Given a required number of working (primary) cells and an expected
+// per-cell survival probability p, it evaluates every DTMB redundancy
+// level — raw yield, effective yield (yield per unit area), area overhead —
+// and recommends (a) the yield-optimal design, (b) the effective-yield
+// optimal design, and (c) the cheapest design meeting a target yield.
+//
+// Usage:  yield_explorer [primaries] [p] [target_yield]
+// e.g.:   ./build/examples/yield_explorer 108 0.99 0.90
+#include <cstdlib>
+#include <iostream>
+
+#include "core/design_advisor.hpp"
+#include "io/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dmfb;
+
+  const std::int32_t primaries = argc > 1 ? std::atoi(argv[1]) : 108;
+  const double p = argc > 2 ? std::atof(argv[2]) : 0.99;
+  const double target = argc > 3 ? std::atof(argv[3]) : 0.90;
+  if (primaries <= 0 || p < 0.0 || p > 1.0) {
+    std::cerr << "usage: yield_explorer [primaries>0] [p in 0..1] [target]\n";
+    return 2;
+  }
+
+  yield::McOptions options;
+  options.runs = 10000;
+  const core::DesignAdvisor advisor(primaries, options);
+  const auto advice = advisor.assess(p);
+
+  io::Table table({"design", "RR", "primaries", "total cells", "yield",
+                   "effective yield"});
+  for (const auto& assessment : advice.assessments) {
+    table.row(4)
+        .cell(assessment.name)
+        .cell(assessment.redundancy_ratio)
+        .cell(assessment.primaries)
+        .cell(assessment.total_cells)
+        .cell(assessment.yield)
+        .cell(assessment.effective_yield);
+  }
+  table.print(std::cout, "Design space at p = " + io::format_double(p, 3) +
+                             " for >= " + std::to_string(primaries) +
+                             " working cells");
+
+  std::cout << "Best raw yield      : " << advice.best_yield().name << " ("
+            << io::format_double(advice.best_yield().yield, 4) << ")\n";
+  std::cout << "Best effective yield: " << advice.best_effective_yield().name
+            << " ("
+            << io::format_double(advice.best_effective_yield().effective_yield,
+                                 4)
+            << ")\n";
+  if (const auto* pick = advice.cheapest_meeting(target)) {
+    std::cout << "Cheapest design with yield >= " << target << ": "
+              << pick->name << " (RR = "
+              << io::format_double(pick->redundancy_ratio, 4) << ", yield "
+              << io::format_double(pick->yield, 4) << ")\n";
+  } else {
+    std::cout << "No design reaches yield >= " << target
+              << " at p = " << p << "; improve the process or shrink the "
+              << "array.\n";
+  }
+  return 0;
+}

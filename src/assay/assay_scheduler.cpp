@@ -1,0 +1,145 @@
+#include "assay/assay_scheduler.hpp"
+
+#include <stdexcept>
+
+#include "common/contracts.hpp"
+
+namespace dmfb::assay {
+
+using fluidics::DropletId;
+using fluidics::DropletSimulator;
+using fluidics::Mixture;
+using fluidics::MultiDropletRouter;
+using fluidics::RouteRequest;
+using fluidics::Router;
+using fluidics::TimedRoute;
+using fluidics::UsableCells;
+
+AssayScheduler::AssayScheduler(const MultiplexedChip& chip,
+                               SchedulerOptions options)
+    : chip_(chip), options_(options) {
+  DMFB_EXPECTS(options.droplet_volume_nl > 0.0);
+  DMFB_EXPECTS(options.mix_cycles > 0);
+  DMFB_EXPECTS(options.detect_cycles > 0);
+}
+
+std::vector<AssayRun> AssayScheduler::run_all(
+    const std::map<std::string, std::map<std::string, double>>&
+        sample_concentrations_mm,
+    const reconfig::ReconfigPlan* plan) {
+  UsableCells usable(chip_.array);
+  if (plan != nullptr) usable.activate_plan(*plan);
+  DropletSimulator sim(usable);
+
+  std::vector<AssayRun> runs;
+  for (const AssayChain& chain : chip_.chains) {
+    const auto sample_it = sample_concentrations_mm.find(chain.sample_port);
+    DMFB_EXPECTS(sample_it != sample_concentrations_mm.end());
+    const auto conc_it = sample_it->second.find(chain.assay_name);
+    DMFB_EXPECTS(conc_it != sample_it->second.end());
+    runs.push_back(run_chain(chain, conc_it->second, usable, sim));
+  }
+  return runs;
+}
+
+AssayRun AssayScheduler::run_chain(const AssayChain& chain,
+                                   double concentration_mm,
+                                   UsableCells& usable,
+                                   DropletSimulator& sim) {
+  AssayRun run;
+  run.chain_id = chain.id;
+  run.assay_name = chain.assay_name;
+  run.sample_port = chain.sample_port;
+  run.true_concentration_mm = concentration_mm;
+
+  const AssaySpec spec = assay_by_name(chain.assay_name);
+  const double volume = options_.droplet_volume_nl;
+
+  // 1. Dispense sample and reagent.
+  const DropletId sample = sim.dispense(
+      chain.sample_source, volume,
+      Mixture::from_concentration(spec.substrate, concentration_mm, volume));
+  const DropletId reagent =
+      sim.dispense(chain.reagent_source, volume,
+                   Mixture::of(kSpeciesReagent, 1.0));
+
+  // 2. Route both to opposite ends of the mixer concurrently. The sample
+  //    parks first (higher priority); the reagent stops two cells away so
+  //    no constraint is violated yet.
+  const hex::CellIndex sample_goal = chain.mixer_cells.front();
+  const hex::CellIndex reagent_goal = chain.mixer_cells[2];
+  // The pair is destined to merge, so it is exempt from the fluidic
+  // constraints both in the router and in the simulator replay.
+  sim.allow_merge(sample, reagent);
+  MultiDropletRouter router(usable, options_.route_horizon);
+  const auto routes = router.route({
+      {sample, chain.sample_source, sample_goal, {}},
+      {reagent, chain.reagent_source, reagent_goal, {sample}},
+  });
+  // On any abort the chain's droplets are shipped to waste (removed) so
+  // they do not block later chains.
+  const auto abort_chain = [&] {
+    for (const DropletId id : {sample, reagent}) {
+      if (sim.droplet(id).active) sim.remove(id);
+    }
+    return run;
+  };
+  if (!routes) return abort_chain();  // blocked by faults
+  sim.run_routes(*routes);
+
+  // 3. Merge: the reagent hops onto the sample through the middle mixer
+  //    cell.
+  sim.step({{reagent, chain.mixer_cells[1]}});
+  sim.step({{reagent, sample_goal}});
+  const DropletId merged = sample;  // merge keeps the lower id
+  DMFB_ASSERT(sim.droplet(merged).active);
+  DMFB_ASSERT(!sim.droplet(reagent).active);
+
+  // 4. Mix: circulate around the 3-cell loop. First hop onto the loop.
+  sim.step({{merged, chain.mix_loop.front()}});
+  for (std::int32_t cycle = 0; cycle < options_.mix_cycles; ++cycle) {
+    for (std::size_t i = 1; i <= chain.mix_loop.size(); ++i) {
+      const hex::CellIndex next =
+          chain.mix_loop[i % chain.mix_loop.size()];
+      sim.step({{merged, next}});
+    }
+  }
+
+  // 5. Route the merged droplet to the detector and park it there.
+  Router single(usable);
+  const auto to_detector = single.shortest_route(sim.droplet(merged).cell,
+                                                 chain.detector_cell);
+  if (to_detector.empty()) {
+    sim.remove(merged);  // ship to waste; do not block later chains
+    return run;
+  }
+  TimedRoute timed;
+  timed.droplet = merged;
+  timed.cells = to_detector;
+  sim.run_routes({timed});
+  sim.idle(options_.detect_cycles);
+
+  // 6. Read out: reaction time runs from the merge to the end of detection.
+  const double seconds_per_hop =
+      actuation_.seconds_per_hop(options_.actuation_voltage);
+  const auto& droplet = sim.droplet(merged);
+  run.reaction_seconds =
+      static_cast<double>(sim.now() - droplet.formed_at) * seconds_per_hop;
+  const double substrate_mm =
+      droplet.mixture.concentration_mm(spec.substrate, droplet.volume_nl);
+  const TrinderKinetics kinetics(spec, /*path_length_cm=*/0.03);
+  run.absorbance = kinetics.absorbance(substrate_mm, run.reaction_seconds);
+  const double merged_substrate_mm =
+      kinetics.substrate_from_absorbance(run.absorbance, run.reaction_seconds);
+  // The merge diluted the sample 1:1 with reagent, so scale back.
+  run.measured_concentration_mm =
+      merged_substrate_mm * (droplet.volume_nl / volume);
+  run.finished_at_cycle = sim.now();
+  run.completed = true;
+
+  // 7. Ship the droplet to waste (remove from the array).
+  sim.remove(merged);
+  return run;
+}
+
+}  // namespace dmfb::assay

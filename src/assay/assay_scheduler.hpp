@@ -1,0 +1,73 @@
+// Executes the multiplexed assays at droplet level.
+//
+// For each assay chain: dispense the sample and reagent droplets, route them
+// to opposite ends of the chain's mixer (concurrently, via the space-time
+// router), merge, circulate the merged droplet around the mixer loop for the
+// configured number of cycles, route it to the detector, park it for the
+// detection window, then read the absorbance through the Trinder kinetics
+// and invert it back to the sample concentration.
+//
+// When the chip carries faults, pass the local-reconfiguration plan: its
+// replacement spares are activated as usable cells and the router detours
+// through them — the reconfigured chip runs the same assays unmodified.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "assay/chemistry.hpp"
+#include "assay/multiplexed_chip.hpp"
+#include "fluidics/electrowetting.hpp"
+#include "fluidics/router.hpp"
+#include "fluidics/simulator.hpp"
+#include "reconfig/local_reconfig.hpp"
+
+namespace dmfb::assay {
+
+struct SchedulerOptions {
+  double droplet_volume_nl = 1.5;     ///< dispensed droplet volume
+  double actuation_voltage = 60.0;    ///< control voltage during transport
+  std::int32_t mix_cycles = 24;       ///< circulations of the mixer loop
+  std::int32_t detect_cycles = 600;   ///< parked cycles at the detector
+  std::int32_t route_horizon = 512;   ///< space-time router horizon
+};
+
+/// Result of one executed assay chain.
+struct AssayRun {
+  std::int32_t chain_id = 0;
+  std::string assay_name;
+  std::string sample_port;
+  bool completed = false;
+  double true_concentration_mm = 0.0;      ///< ground truth in the sample
+  double measured_concentration_mm = 0.0;  ///< read back from absorbance
+  double absorbance = 0.0;
+  double reaction_seconds = 0.0;
+  std::int64_t finished_at_cycle = 0;
+};
+
+class AssayScheduler {
+ public:
+  AssayScheduler(const MultiplexedChip& chip, SchedulerOptions options = {});
+
+  /// Runs every chain in sequence. `sample_concentrations_mm` maps sample
+  /// port ("S1"/"S2") to the metabolite concentration of that physiological
+  /// fluid, keyed by assay name (e.g. {"S1", {{"glucose", 5.5}}}).
+  /// If `plan` is given, its replacement spares are activated first.
+  std::vector<AssayRun> run_all(
+      const std::map<std::string, std::map<std::string, double>>&
+          sample_concentrations_mm,
+      const reconfig::ReconfigPlan* plan = nullptr);
+
+ private:
+  AssayRun run_chain(const AssayChain& chain, double concentration_mm,
+                     fluidics::UsableCells& usable,
+                     fluidics::DropletSimulator& sim);
+
+  const MultiplexedChip& chip_;
+  SchedulerOptions options_;
+  fluidics::ElectrowettingModel actuation_;
+};
+
+}  // namespace dmfb::assay

@@ -1,0 +1,68 @@
+#include "assay/chemistry.hpp"
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace dmfb::assay {
+
+AssaySpec glucose_assay() {
+  // k tuned so a ~30 s on-chip incubation converts most of the substrate
+  // (the LoC'04 kinetic assay reads within a minute); eps for quinoneimine
+  // derivatives at 545 nm is in the low tens of 1/(mM*cm).
+  return {"glucose", "glucose", 0.12, 18.0};
+}
+
+AssaySpec lactate_assay() { return {"lactate", "lactate", 0.09, 16.5}; }
+
+AssaySpec glutamate_assay() { return {"glutamate", "glutamate", 0.05, 15.0}; }
+
+AssaySpec pyruvate_assay() { return {"pyruvate", "pyruvate", 0.07, 17.2}; }
+
+const std::array<AssaySpec, 4>& all_assays() {
+  static const std::array<AssaySpec, 4> assays = {
+      glucose_assay(), lactate_assay(), glutamate_assay(), pyruvate_assay()};
+  return assays;
+}
+
+AssaySpec assay_by_name(const std::string& name) {
+  for (const AssaySpec& spec : all_assays()) {
+    if (spec.name == name) return spec;
+  }
+  DMFB_EXPECTS(!"unknown assay name");
+  return {};
+}
+
+TrinderKinetics::TrinderKinetics(AssaySpec spec, double path_length_cm)
+    : spec_(std::move(spec)), path_length_cm_(path_length_cm) {
+  DMFB_EXPECTS(spec_.rate_constant_per_s > 0.0);
+  DMFB_EXPECTS(spec_.extinction_per_mm_cm > 0.0);
+  DMFB_EXPECTS(path_length_cm > 0.0);
+}
+
+double TrinderKinetics::conversion(double seconds) const {
+  DMFB_EXPECTS(seconds >= 0.0);
+  return 1.0 - std::exp(-spec_.rate_constant_per_s * seconds);
+}
+
+double TrinderKinetics::product_concentration_mm(double substrate_mm,
+                                                 double seconds) const {
+  DMFB_EXPECTS(substrate_mm >= 0.0);
+  return substrate_mm * conversion(seconds);
+}
+
+double TrinderKinetics::absorbance(double substrate_mm, double seconds) const {
+  return spec_.extinction_per_mm_cm *
+         product_concentration_mm(substrate_mm, seconds) * path_length_cm_;
+}
+
+double TrinderKinetics::substrate_from_absorbance(double absorbance_545,
+                                                  double seconds) const {
+  DMFB_EXPECTS(absorbance_545 >= 0.0);
+  const double converted = conversion(seconds);
+  DMFB_EXPECTS(converted > 0.0);
+  return absorbance_545 /
+         (spec_.extinction_per_mm_cm * path_length_cm_ * converted);
+}
+
+}  // namespace dmfb::assay

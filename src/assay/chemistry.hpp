@@ -1,0 +1,67 @@
+// Colorimetric enzyme-kinetic assay chemistry (paper Section 7).
+//
+// The glucose assay follows Trinder's reaction: glucose oxidase converts
+// glucose to gluconic acid + H2O2; peroxidase couples the H2O2 with 4-AAP
+// and TOPS to form violet quinoneimine, whose absorbance peaks at 545 nm.
+// With the enzyme reagent in excess the substrate decays pseudo-first-order
+// with rate k, so the chromophore concentration is
+//     c_P(t) = c_S0 * (1 - exp(-k t)),
+// and Beer-Lambert gives the measured absorbance A(t) = eps * c_P(t) * l
+// (l = plate gap, the optical path of the sandwiched droplet).
+// Lactate, glutamate and pyruvate assays use the same coupled-peroxidase
+// scheme with their own oxidases, rates and effective extinctions.
+#pragma once
+
+#include <array>
+#include <string>
+
+namespace dmfb::assay {
+
+/// Species names used in droplet mixtures.
+inline constexpr const char* kSpeciesReagent = "trinder-reagent";
+inline constexpr const char* kSpeciesQuinoneimine = "quinoneimine";
+
+/// Parameters of one metabolite assay.
+struct AssaySpec {
+  std::string name;            ///< "glucose", "lactate", ...
+  std::string substrate;       ///< mixture species consumed
+  double rate_constant_per_s;  ///< pseudo-first-order k (reagent in excess)
+  double extinction_per_mm_cm; ///< effective eps at 545 nm [1/(mM*cm)]
+};
+
+/// Reference assays for the four metabolites named in the paper.
+AssaySpec glucose_assay();
+AssaySpec lactate_assay();
+AssaySpec glutamate_assay();
+AssaySpec pyruvate_assay();
+const std::array<AssaySpec, 4>& all_assays();
+/// Lookup by name; throws ContractViolation on unknown assay.
+AssaySpec assay_by_name(const std::string& name);
+
+/// Forward and inverse kinetics + Beer-Lambert readout for one assay.
+class TrinderKinetics {
+ public:
+  /// `path_length_cm`: optical path through the droplet (the plate gap).
+  TrinderKinetics(AssaySpec spec, double path_length_cm);
+
+  const AssaySpec& spec() const noexcept { return spec_; }
+
+  /// Fraction of substrate converted after `seconds`.
+  double conversion(double seconds) const;
+
+  /// Chromophore concentration (mM) from an initial substrate concentration.
+  double product_concentration_mm(double substrate_mm, double seconds) const;
+
+  /// Absorbance at 545 nm after `seconds`.
+  double absorbance(double substrate_mm, double seconds) const;
+
+  /// Inverts absorbance() for the initial substrate concentration; requires
+  /// a strictly positive conversion at `seconds`.
+  double substrate_from_absorbance(double absorbance_545, double seconds) const;
+
+ private:
+  AssaySpec spec_;
+  double path_length_cm_;
+};
+
+}  // namespace dmfb::assay

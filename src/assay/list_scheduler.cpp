@@ -1,0 +1,179 @@
+#include "assay/list_scheduler.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/contracts.hpp"
+
+namespace dmfb::assay {
+
+namespace {
+
+/// Resource class used by an op kind; store runs resource-free.
+enum class ResourceClass : std::uint8_t { kPort, kMixer, kDetector, kNone };
+
+ResourceClass resource_class(OpKind kind) {
+  switch (kind) {
+    case OpKind::kDispense: return ResourceClass::kPort;
+    case OpKind::kMix:
+    case OpKind::kSplit: return ResourceClass::kMixer;  // splits use a mixer
+    case OpKind::kDetect: return ResourceClass::kDetector;
+    case OpKind::kStore: return ResourceClass::kNone;
+  }
+  return ResourceClass::kNone;
+}
+
+std::int32_t capacity_of(const ResourcePool& pool, ResourceClass rc) {
+  switch (rc) {
+    case ResourceClass::kPort: return pool.dispense_ports;
+    case ResourceClass::kMixer: return pool.mixers;
+    case ResourceClass::kDetector: return pool.detectors;
+    case ResourceClass::kNone:
+      return std::numeric_limits<std::int32_t>::max();
+  }
+  return 0;
+}
+
+}  // namespace
+
+double Schedule::makespan() const {
+  double end = 0.0;
+  for (const ScheduledOp& scheduled : ops) {
+    end = std::max(end, scheduled.end_s);
+  }
+  return end;
+}
+
+const ScheduledOp& Schedule::of(std::int32_t op_id) const {
+  DMFB_EXPECTS(op_id >= 0 && op_id < static_cast<std::int32_t>(ops.size()));
+  return ops[static_cast<std::size_t>(op_id)];
+}
+
+bool Schedule::respects_dependencies(const SequencingGraph& graph) const {
+  for (const AssayOp& operation : graph.ops()) {
+    for (const std::int32_t input : operation.inputs) {
+      if (of(operation.id).start_s < of(input).end_s - 1e-9) return false;
+    }
+  }
+  return true;
+}
+
+bool Schedule::respects_resources(const SequencingGraph& graph,
+                                  const ResourcePool& pool) const {
+  // Pairwise overlap check per resource class + instance (n is small).
+  for (const AssayOp& a : graph.ops()) {
+    const ResourceClass rc_a = resource_class(a.kind);
+    if (rc_a == ResourceClass::kNone) continue;
+    const ScheduledOp& sa = of(a.id);
+    if (sa.resource_index < 0 ||
+        sa.resource_index >= capacity_of(pool, rc_a)) {
+      return false;
+    }
+    for (const AssayOp& b : graph.ops()) {
+      if (b.id <= a.id) continue;
+      if (resource_class(b.kind) != rc_a) continue;
+      const ScheduledOp& sb = of(b.id);
+      if (sb.resource_index != sa.resource_index) continue;
+      const bool overlap =
+          sa.start_s < sb.end_s - 1e-9 && sb.start_s < sa.end_s - 1e-9;
+      if (overlap) return false;
+    }
+  }
+  return true;
+}
+
+ListScheduler::ListScheduler(ResourcePool pool) : pool_(pool) {
+  DMFB_EXPECTS(pool.dispense_ports >= 0);
+  DMFB_EXPECTS(pool.mixers >= 0);
+  DMFB_EXPECTS(pool.detectors >= 0);
+}
+
+Schedule ListScheduler::schedule(const SequencingGraph& graph) const {
+  const std::int32_t n = graph.op_count();
+  // Every used resource class needs at least one instance.
+  for (const AssayOp& operation : graph.ops()) {
+    DMFB_EXPECTS(capacity_of(pool_, resource_class(operation.kind)) >= 1);
+  }
+
+  // Priorities: critical-path-to-sink, precomputed.
+  std::vector<double> priority(static_cast<std::size_t>(n), 0.0);
+  for (std::int32_t id = n - 1; id >= 0; --id) {
+    priority[static_cast<std::size_t>(id)] = graph.critical_path_from(id);
+  }
+
+  Schedule result;
+  result.ops.resize(static_cast<std::size_t>(n));
+  std::vector<char> done(static_cast<std::size_t>(n), 0);
+  std::vector<char> started(static_cast<std::size_t>(n), 0);
+  // Per-class per-instance busy-until times.
+  std::vector<double> port_free(
+      static_cast<std::size_t>(pool_.dispense_ports), 0.0);
+  std::vector<double> mixer_free(static_cast<std::size_t>(pool_.mixers), 0.0);
+  std::vector<double> detector_free(
+      static_cast<std::size_t>(pool_.detectors), 0.0);
+
+  const auto free_times = [&](ResourceClass rc) -> std::vector<double>* {
+    switch (rc) {
+      case ResourceClass::kPort: return &port_free;
+      case ResourceClass::kMixer: return &mixer_free;
+      case ResourceClass::kDetector: return &detector_free;
+      case ResourceClass::kNone: return nullptr;
+    }
+    return nullptr;
+  };
+
+  std::int32_t remaining = n;
+  while (remaining > 0) {
+    // Ready ops: all inputs done (their end time known).
+    std::vector<std::int32_t> ready;
+    for (const AssayOp& operation : graph.ops()) {
+      if (started[static_cast<std::size_t>(operation.id)]) continue;
+      const bool inputs_done = std::all_of(
+          operation.inputs.begin(), operation.inputs.end(),
+          [&](std::int32_t input) {
+            return done[static_cast<std::size_t>(input)];
+          });
+      if (inputs_done) ready.push_back(operation.id);
+    }
+    DMFB_ASSERT(!ready.empty());  // acyclic graph always has a ready op
+    // Highest critical-path priority first (ties: lower id).
+    std::sort(ready.begin(), ready.end(),
+              [&](std::int32_t a, std::int32_t b) {
+                const double pa = priority[static_cast<std::size_t>(a)];
+                const double pb = priority[static_cast<std::size_t>(b)];
+                return pa != pb ? pa > pb : a < b;
+              });
+
+    for (const std::int32_t id : ready) {
+      const AssayOp& operation = graph.op(id);
+      double earliest = 0.0;
+      for (const std::int32_t input : operation.inputs) {
+        earliest = std::max(earliest, result.of(input).end_s);
+      }
+      ScheduledOp scheduled;
+      scheduled.op = id;
+      const ResourceClass rc = resource_class(operation.kind);
+      if (auto* frees = free_times(rc)) {
+        // Earliest-available instance.
+        const auto it = std::min_element(frees->begin(), frees->end());
+        scheduled.resource_index =
+            static_cast<std::int32_t>(it - frees->begin());
+        scheduled.start_s = std::max(earliest, *it);
+        scheduled.end_s = scheduled.start_s + operation.duration_s;
+        *it = scheduled.end_s;
+      } else {
+        scheduled.start_s = earliest;
+        scheduled.end_s = earliest + operation.duration_s;
+      }
+      result.ops[static_cast<std::size_t>(id)] = scheduled;
+      started[static_cast<std::size_t>(id)] = 1;
+      done[static_cast<std::size_t>(id)] = 1;
+      --remaining;
+    }
+  }
+  DMFB_ENSURES(result.respects_dependencies(graph));
+  DMFB_ENSURES(result.respects_resources(graph, pool_));
+  return result;
+}
+
+}  // namespace dmfb::assay

@@ -1,0 +1,195 @@
+#include "assay/multiplexed_chip.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/contracts.hpp"
+
+namespace dmfb::assay {
+
+namespace {
+
+using hex::HexCoord;
+
+constexpr std::int32_t kWidth = 14;   // q in [0, 14)
+constexpr std::int32_t kHeight = 24;  // r in [0, 24)
+
+/// Vertical segment (q fixed), rows [r0, r1] inclusive.
+std::vector<HexCoord> vertical(std::int32_t q, std::int32_t r0,
+                               std::int32_t r1) {
+  std::vector<HexCoord> cells;
+  for (std::int32_t r = r0; r <= r1; ++r) cells.push_back({q, r});
+  return cells;
+}
+
+/// Horizontal segment (r fixed), columns [q0, q1] inclusive (either order).
+std::vector<HexCoord> horizontal(std::int32_t r, std::int32_t q0,
+                                 std::int32_t q1) {
+  std::vector<HexCoord> cells;
+  const std::int32_t step = q0 <= q1 ? 1 : -1;
+  for (std::int32_t q = q0;; q += step) {
+    cells.push_back({q, r});
+    if (q == q1) break;
+  }
+  return cells;
+}
+
+}  // namespace
+
+MultiplexedChip make_multiplexed_chip() {
+  // Region: the 14x24 parallelogram plus seven boundary spares on row 24.
+  hex::Region region = hex::Region::parallelogram(kWidth, kHeight);
+  for (std::int32_t q = 0; q <= 12; q += 2) region.add({q, 24});
+
+  // Roles follow the DTMB(2,6) variant-A pattern (spare iff q, r both
+  // even); the seven added cells land on spare sites of the same pattern.
+  biochip::HexArray array(std::move(region), [](HexCoord at) {
+    return biochip::is_spare_site(biochip::DtmbKind::kDtmb2_6, at)
+               ? biochip::CellRole::kSpare
+               : biochip::CellRole::kPrimary;
+  });
+  DMFB_ASSERT(array.primary_count() == MultiplexedChip::kExpectedPrimaries);
+  DMFB_ASSERT(array.spare_count() == MultiplexedChip::kExpectedSpares);
+
+  const auto idx = [&array](HexCoord at) {
+    const hex::CellIndex cell = array.region().index_of(at);
+    DMFB_ASSERT(cell != hex::kInvalidCell);
+    DMFB_ASSERT(array.role(cell) == biochip::CellRole::kPrimary);
+    return cell;
+  };
+  const auto idx_all = [&idx](const std::vector<HexCoord>& coords) {
+    std::vector<hex::CellIndex> cells;
+    cells.reserve(coords.size());
+    for (const HexCoord at : coords) cells.push_back(idx(at));
+    return cells;
+  };
+
+  // Ports on row 1 (odd row: every cell is primary). All chain cells stay
+  // in the array interior (1 <= q <= 12, 1 <= r <= 22) so every used cell
+  // keeps the full DTMB(2,6) complement of two adjacent spares — boundary
+  // cells would have only one and would dominate the failure probability.
+  const HexCoord s1{1, 1}, s2{5, 1}, r1{9, 1}, r2{11, 1};
+
+  // Mixers (4 cells + 3-cell mixing loop).
+  struct MixerSpec {
+    std::vector<HexCoord> cells;
+    std::vector<HexCoord> loop;
+  };
+  const auto mixer_at = [](std::int32_t c, std::int32_t row) {  // c even
+    MixerSpec m;
+    m.cells = {{c, row}, {c + 1, row}, {c + 2, row}, {c + 1, row + 1}};
+    m.loop = {{c + 1, row}, {c + 2, row}, {c + 1, row + 1}};
+    return m;
+  };
+  const MixerSpec m0 = mixer_at(0, 11);
+  const MixerSpec m1 = mixer_at(4, 11);
+  const MixerSpec m2 = mixer_at(8, 11);
+  const MixerSpec m3 = mixer_at(10, 15);  // below M2, east side
+
+  // Detectors on row 21 (odd row, interior columns).
+  const HexCoord d0{1, 21}, d1{5, 21}, d2{9, 21}, d3{11, 21};
+
+  std::vector<AssayChain> chains;
+  std::vector<hex::CellIndex> storage_cells;
+
+  const auto build_chain = [&](std::int32_t id, const std::string& assay,
+                               const std::string& sample_port,
+                               const std::string& reagent_port,
+                               HexCoord sample, HexCoord reagent,
+                               const MixerSpec& mixer, HexCoord detector,
+                               const std::vector<std::vector<HexCoord>>&
+                                   route_segments) {
+    AssayChain chain;
+    chain.id = id;
+    chain.assay_name = assay;
+    chain.sample_port = sample_port;
+    chain.reagent_port = reagent_port;
+    chain.sample_source = idx(sample);
+    chain.reagent_source = idx(reagent);
+    chain.mixer_cells = idx_all(mixer.cells);
+    chain.mix_loop = idx_all(mixer.loop);
+    chain.detector_cell = idx(detector);
+    std::unordered_set<hex::CellIndex> endpoints(chain.mixer_cells.begin(),
+                                                 chain.mixer_cells.end());
+    endpoints.insert(chain.sample_source);
+    endpoints.insert(chain.reagent_source);
+    endpoints.insert(chain.detector_cell);
+    std::unordered_set<hex::CellIndex> seen;
+    for (const auto& segment : route_segments) {
+      for (const HexCoord at : segment) {
+        const hex::CellIndex cell = idx(at);
+        if (!endpoints.contains(cell) && seen.insert(cell).second) {
+          chain.route_cells.push_back(cell);
+        }
+      }
+    }
+    chains.push_back(std::move(chain));
+  };
+
+  // Chain 0: S1 + R1 -> M0 -> D0 (glucose on sample 1).
+  build_chain(0, "glucose", "S1", "R1", s1, r1, m0, d0,
+              {vertical(1, 1, 11),            // sample down column 1
+               vertical(9, 1, 5),             // reagent down column 9 ...
+               horizontal(5, 9, 1),           // ... west along row 5 ...
+               vertical(1, 5, 11),            // ... down column 1 to M0
+               vertical(1, 12, 21)});         // merged droplet to D0
+
+  // Chain 1: S2 + R1 -> M1 -> D1 (glucose on sample 2).
+  build_chain(1, "glucose", "S2", "R1", s2, r1, m1, d1,
+              {vertical(5, 1, 11),            // sample down column 5
+               vertical(9, 1, 5),             // reagent shares the R1 trunk
+               horizontal(5, 9, 5),           // west along row 5
+               vertical(5, 5, 11),            // down column 5 to M1
+               vertical(5, 12, 21)});         // merged droplet to D1
+
+  // Chain 2: S1 + R2 -> M2 -> D2 (lactate on sample 1).
+  build_chain(2, "lactate", "S1", "R2", s1, r2, m2, d2,
+              {vertical(1, 1, 5),             // sample down column 1
+               horizontal(5, 1, 9),           // east along row 5
+               vertical(9, 5, 11),            // down column 9 to M2
+               vertical(11, 1, 5),            // reagent down column 11
+               horizontal(5, 11, 9),          // west along row 5
+               vertical(9, 12, 21)});         // merged droplet to D2
+
+  // Chain 3: S2 + R2 -> M3 -> D3 (lactate on sample 2).
+  build_chain(3, "lactate", "S2", "R2", s2, r2, m3, d3,
+              {vertical(5, 1, 5),             // sample down column 5
+               horizontal(5, 5, 11),          // east along row 5
+               vertical(11, 5, 14),           // down column 11 toward M3
+               vertical(11, 1, 14),           // reagent down column 11
+               vertical(11, 17, 21)});        // merged droplet to D3
+
+  // Mark the chain cells used.
+  std::unordered_set<hex::CellIndex> used;
+  for (const AssayChain& chain : chains) {
+    used.insert(chain.sample_source);
+    used.insert(chain.reagent_source);
+    used.insert(chain.detector_cell);
+    used.insert(chain.mixer_cells.begin(), chain.mixer_cells.end());
+    used.insert(chain.route_cells.begin(), chain.route_cells.end());
+  }
+  // Pad with the storage reservoir (documented, deterministic) up to the
+  // paper's 108 used cells.
+  const std::vector<HexCoord> storage_sites = {
+      {3, 17}, {7, 17}, {3, 19}, {7, 19}, {3, 15}, {7, 15},
+      {3, 13}, {7, 13}, {3, 9},  {7, 9},  {3, 7},  {7, 7}};
+  for (const HexCoord at : storage_sites) {
+    if (static_cast<std::int32_t>(used.size()) >=
+        MultiplexedChip::kExpectedUsed) {
+      break;
+    }
+    const hex::CellIndex cell = idx(at);
+    if (used.insert(cell).second) storage_cells.push_back(cell);
+  }
+  DMFB_ASSERT(static_cast<std::int32_t>(used.size()) ==
+              MultiplexedChip::kExpectedUsed);
+
+  for (const hex::CellIndex cell : used) {
+    array.set_usage(cell, biochip::CellUsage::kAssayUsed);
+  }
+  DMFB_ENSURES(array.used_count() == MultiplexedChip::kExpectedUsed);
+  return MultiplexedChip{std::move(array), std::move(chains),
+                         std::move(storage_cells)};
+}
+
+}  // namespace dmfb::assay

@@ -1,0 +1,169 @@
+#include "assay/sequencing_graph.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+
+namespace dmfb::assay {
+
+const char* to_string(OpKind kind) noexcept {
+  switch (kind) {
+    case OpKind::kDispense: return "dispense";
+    case OpKind::kMix: return "mix";
+    case OpKind::kSplit: return "split";
+    case OpKind::kDetect: return "detect";
+    case OpKind::kStore: return "store";
+  }
+  return "?";
+}
+
+namespace {
+
+std::size_t arity_of(OpKind kind) {
+  switch (kind) {
+    case OpKind::kDispense: return 0;
+    case OpKind::kMix: return 2;
+    case OpKind::kSplit:
+    case OpKind::kDetect:
+    case OpKind::kStore: return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::int32_t SequencingGraph::add(OpKind kind, const std::string& label,
+                                  double duration_s,
+                                  const std::vector<std::int32_t>& inputs) {
+  DMFB_EXPECTS(duration_s >= 0.0);
+  DMFB_EXPECTS(inputs.size() == arity_of(kind));
+  for (const std::int32_t input : inputs) {
+    DMFB_EXPECTS(input >= 0 && input < op_count());  // acyclic by order
+    // Only splits fan out; every other droplet has a single consumer.
+    if (op(input).kind != OpKind::kSplit) {
+      DMFB_EXPECTS(consumers_of(input).empty());
+    } else {
+      DMFB_EXPECTS(consumers_of(input).size() < 2);
+    }
+  }
+  AssayOp operation;
+  operation.id = op_count();
+  operation.kind = kind;
+  operation.label = label;
+  operation.duration_s = duration_s;
+  operation.inputs = inputs;
+  ops_.push_back(std::move(operation));
+  return ops_.back().id;
+}
+
+const AssayOp& SequencingGraph::op(std::int32_t id) const {
+  DMFB_EXPECTS(id >= 0 && id < op_count());
+  return ops_[static_cast<std::size_t>(id)];
+}
+
+std::vector<std::int32_t> SequencingGraph::consumers_of(
+    std::int32_t id) const {
+  DMFB_EXPECTS(id >= 0 && id < op_count());
+  std::vector<std::int32_t> result;
+  for (const AssayOp& candidate : ops_) {
+    if (std::find(candidate.inputs.begin(), candidate.inputs.end(), id) !=
+        candidate.inputs.end()) {
+      result.push_back(candidate.id);
+    }
+  }
+  return result;
+}
+
+bool SequencingGraph::is_terminal(std::int32_t id) const {
+  return consumers_of(id).empty();
+}
+
+double SequencingGraph::critical_path_from(std::int32_t id) const {
+  const AssayOp& operation = op(id);
+  double best_tail = 0.0;
+  for (const std::int32_t consumer : consumers_of(id)) {
+    best_tail = std::max(best_tail, critical_path_from(consumer));
+  }
+  return operation.duration_s + best_tail;
+}
+
+double SequencingGraph::critical_path() const {
+  double best = 0.0;
+  for (const AssayOp& operation : ops_) {
+    if (operation.inputs.empty()) {
+      best = std::max(best, critical_path_from(operation.id));
+    }
+  }
+  return best;
+}
+
+double SequencingGraph::total_work() const {
+  double total = 0.0;
+  for (const AssayOp& operation : ops_) total += operation.duration_s;
+  return total;
+}
+
+SequencingGraph SequencingGraph::single_assay(const std::string& metabolite,
+                                              double mix_s, double detect_s) {
+  SequencingGraph graph;
+  const auto sample = graph.add(OpKind::kDispense, metabolite + "-sample", 2.0);
+  const auto reagent =
+      graph.add(OpKind::kDispense, metabolite + "-reagent", 2.0);
+  const auto mixed =
+      graph.add(OpKind::kMix, metabolite + "-mix", mix_s, {sample, reagent});
+  graph.add(OpKind::kDetect, metabolite + "-detect", detect_s, {mixed});
+  return graph;
+}
+
+SequencingGraph SequencingGraph::multiplexed_ivd() {
+  SequencingGraph graph;
+  // Four chains: {S1,S2} x {glucose reagent R1, lactate reagent R2}. Each
+  // chain has its own dispenses (a port produces one droplet per use).
+  const struct {
+    const char* sample;
+    const char* reagent;
+    double mix_s;
+    double detect_s;
+  } chains[] = {
+      {"S1", "R1-glucose", 6.0, 10.0},
+      {"S2", "R1-glucose", 6.0, 10.0},
+      {"S1", "R2-lactate", 8.0, 12.0},
+      {"S2", "R2-lactate", 8.0, 12.0},
+  };
+  for (const auto& chain : chains) {
+    const auto sample = graph.add(
+        OpKind::kDispense, std::string(chain.sample) + "-dispense", 2.0);
+    const auto reagent = graph.add(
+        OpKind::kDispense, std::string(chain.reagent) + "-dispense", 2.0);
+    const auto mixed =
+        graph.add(OpKind::kMix,
+                  std::string(chain.sample) + "+" + chain.reagent,
+                  chain.mix_s, {sample, reagent});
+    graph.add(OpKind::kDetect,
+              std::string(chain.sample) + "/" + chain.reagent + "-detect",
+              chain.detect_s, {mixed});
+  }
+  return graph;
+}
+
+SequencingGraph SequencingGraph::dilution_ladder(std::int32_t stages) {
+  DMFB_EXPECTS(stages >= 1);
+  SequencingGraph graph;
+  auto current = graph.add(OpKind::kDispense, "stock", 2.0);
+  for (std::int32_t stage = 1; stage <= stages; ++stage) {
+    const auto buffer = graph.add(
+        OpKind::kDispense, "buffer-" + std::to_string(stage), 2.0);
+    const auto mixed = graph.add(OpKind::kMix,
+                                 "dilute-" + std::to_string(stage), 4.0,
+                                 {current, buffer});
+    const auto split = graph.add(OpKind::kSplit,
+                                 "split-" + std::to_string(stage), 1.0,
+                                 {mixed});
+    graph.add(OpKind::kDetect, "read-" + std::to_string(stage), 5.0, {split});
+    current = split;  // the second half feeds the next stage
+  }
+  graph.add(OpKind::kStore, "archive", 0.5, {current});
+  return graph;
+}
+
+}  // namespace dmfb::assay

@@ -1,0 +1,82 @@
+// Assay sequencing graphs — the architectural-level view of a bioassay.
+//
+// The paper situates defect tolerance inside a synthesis flow where several
+// bioassays run concurrently on one array (Section 1: "several bioassays
+// will then be concurrently executed in a single microfluidic array").
+// The standard representation (Su & Chakrabarty's synthesis line) is a
+// *sequencing graph*: nodes are fluidic operations (dispense, mix, detect,
+// split, store) with nominal durations; edges are droplet dependencies.
+// This module provides the graph, its validation rules, critical-path
+// analysis, and factory graphs including the paper's multiplexed in-vitro
+// diagnostics workload.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dmfb::assay {
+
+enum class OpKind : std::uint8_t {
+  kDispense,  ///< create a droplet at a port (0 inputs)
+  kMix,       ///< merge + mix two droplets (2 inputs)
+  kSplit,     ///< split one droplet into two (1 input, feeds <= 2 consumers)
+  kDetect,    ///< optical detection (1 input, terminal or pass-through)
+  kStore,     ///< park a droplet (1 input)
+};
+
+const char* to_string(OpKind kind) noexcept;
+
+/// One fluidic operation.
+struct AssayOp {
+  std::int32_t id = 0;
+  OpKind kind = OpKind::kDispense;
+  std::string label;
+  double duration_s = 0.0;
+  std::vector<std::int32_t> inputs;  ///< producer op ids (all < id)
+};
+
+/// A validated, acyclic sequencing graph.
+class SequencingGraph {
+ public:
+  /// Adds an operation; inputs must be existing op ids and match the
+  /// kind's arity (dispense 0, mix 2, split/detect/store 1).
+  std::int32_t add(OpKind kind, const std::string& label, double duration_s,
+                   const std::vector<std::int32_t>& inputs = {});
+
+  std::int32_t op_count() const noexcept {
+    return static_cast<std::int32_t>(ops_.size());
+  }
+  const AssayOp& op(std::int32_t id) const;
+  const std::vector<AssayOp>& ops() const noexcept { return ops_; }
+
+  /// Ops that consume `id`'s output.
+  std::vector<std::int32_t> consumers_of(std::int32_t id) const;
+  /// True iff nothing consumes `id` (an assay output).
+  bool is_terminal(std::int32_t id) const;
+
+  /// Longest-path length (sum of durations, inclusive) from `id` to any
+  /// terminal — the list scheduler's priority function.
+  double critical_path_from(std::int32_t id) const;
+  /// Length of the global critical path (a lower bound on any makespan).
+  double critical_path() const;
+
+  /// Sum of all op durations (an upper bound: fully serial execution).
+  double total_work() const;
+
+  // -- factory graphs -------------------------------------------------------
+  /// One Trinder assay: sample + reagent -> mix -> detect.
+  static SequencingGraph single_assay(const std::string& metabolite,
+                                      double mix_s, double detect_s);
+  /// The paper's Section-7 workload: 2 samples x 2 reagents, four
+  /// mix+detect chains sharing the dispense ports.
+  static SequencingGraph multiplexed_ivd();
+  /// A split-based 1:1 serial dilution ladder with `stages` stages, each
+  /// stage detected.
+  static SequencingGraph dilution_ladder(std::int32_t stages);
+
+ private:
+  std::vector<AssayOp> ops_;
+};
+
+}  // namespace dmfb::assay

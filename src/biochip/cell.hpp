@@ -1,0 +1,36 @@
+// Cell attributes for digital microfluidic arrays.
+//
+// Every electrode cell in a DMFB array has a fixed *role* (assigned by the
+// defect-tolerant design), a mutable *health* (set by testing / fault
+// injection) and a mutable *usage* (whether the running bioassays occupy
+// it). The yield question of the paper is: can every faulty, assay-relevant
+// primary cell be replaced by an adjacent healthy spare?
+#pragma once
+
+#include <cstdint>
+
+namespace dmfb::biochip {
+
+/// Design-time role of a cell.
+enum class CellRole : std::uint8_t {
+  kPrimary,  ///< ordinary working cell
+  kSpare,    ///< interstitial redundancy cell, reserved until reconfiguration
+};
+
+/// Post-test health of a cell.
+enum class CellHealth : std::uint8_t {
+  kHealthy,
+  kFaulty,
+};
+
+/// Whether the concurrently executing bioassays use the cell.
+enum class CellUsage : std::uint8_t {
+  kUnused,
+  kAssayUsed,
+};
+
+const char* to_string(CellRole role) noexcept;
+const char* to_string(CellHealth health) noexcept;
+const char* to_string(CellUsage usage) noexcept;
+
+}  // namespace dmfb::biochip

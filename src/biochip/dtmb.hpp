@@ -1,0 +1,87 @@
+// DTMB(s, p) interstitial-redundancy designs (paper Definition 1, Figs 3-6).
+//
+// A DTMB(s, p) array places spare cells at interstitial sites so that every
+// non-boundary primary cell is adjacent to exactly `s` spares and every
+// spare is adjacent to exactly `p` primaries. On the triangular lattice the
+// four designs of the paper are realised as sublattice patterns in axial
+// coordinates (q, r):
+//
+//   DTMB(1,6):  spare iff (q + 3r) mod 7 == 0          (index-7 perfect code)
+//   DTMB(2,6)A: spare iff q mod 2 == 0 and r mod 2 == 0 (index-4 sublattice)
+//   DTMB(2,6)B: spare iff r mod 2 == 0 and (q + r/2) mod 2 == 0
+//               (the alternative layout of Fig. 4(b); same index-4 density)
+//   DTMB(3,6):  spare iff (q - r) mod 3 == 0            (index-3 sublattice)
+//   DTMB(4,4):  spare iff r mod 2 == 1                  (alternating rows)
+//
+// Each pattern provably satisfies its (s, p) promise on interior cells; the
+// test-suite verifies this exhaustively for many array sizes. Redundancy
+// ratios RR = s/p match Table 1: 1/6, 1/3, 1/2, 1.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "biochip/hex_array.hpp"
+
+namespace dmfb::biochip {
+
+/// The defect-tolerant designs evaluated in the paper.
+enum class DtmbKind : std::uint8_t {
+  kDtmb1_6,
+  kDtmb2_6,   ///< Fig. 4(a) layout
+  kDtmb2_6B,  ///< Fig. 4(b) alternative layout
+  kDtmb3_6,
+  kDtmb4_4,
+};
+
+/// All kinds, in paper order (variant B after its sibling).
+inline constexpr DtmbKind kAllDtmbKinds[] = {
+    DtmbKind::kDtmb1_6, DtmbKind::kDtmb2_6, DtmbKind::kDtmb2_6B,
+    DtmbKind::kDtmb3_6, DtmbKind::kDtmb4_4};
+
+/// Static design parameters.
+struct DtmbInfo {
+  DtmbKind kind;
+  std::string_view name;    ///< e.g. "DTMB(2,6)"
+  std::int32_t s;           ///< spares adjacent to each interior primary
+  std::int32_t p;           ///< primaries adjacent to each interior spare
+  double redundancy_ratio;  ///< asymptotic RR = s/p (Table 1)
+};
+
+DtmbInfo dtmb_info(DtmbKind kind) noexcept;
+
+/// True iff lattice site `at` is a spare site under design `kind`.
+bool is_spare_site(DtmbKind kind, hex::HexCoord at) noexcept;
+
+/// Builds a width x height parallelogram array with the `kind` pattern.
+HexArray make_dtmb_array(DtmbKind kind, std::int32_t width,
+                         std::int32_t height);
+
+/// Builds a `kind`-patterned array whose *primary* count is at least
+/// `min_primaries`, using a near-square parallelogram. The exact primary
+/// count is reported by the returned array.
+HexArray make_dtmb_array_with_primaries(DtmbKind kind,
+                                        std::int32_t min_primaries);
+
+/// Builds a DTMB(1,6) array made of exactly `n_clusters` complete clusters
+/// (one spare plus its six primaries each). On such an array the analytic
+/// cluster yield model of Section 6 is exact — every primary has its spare
+/// and clusters fail independently — so Monte-Carlo and the closed form must
+/// agree within sampling error (verified in tests, used by bench_fig7).
+HexArray make_dtmb16_cluster_array(std::int32_t n_clusters);
+
+/// Measured structural properties of an array's interstitial pattern.
+struct InterstitialProperty {
+  std::int32_t interior_primary_count = 0;
+  std::int32_t interior_spare_count = 0;
+  std::int32_t s_min = 0;  ///< min spare-neighbours over interior primaries
+  std::int32_t s_max = 0;
+  std::int32_t p_min = 0;  ///< min primary-neighbours over interior spares
+  std::int32_t p_max = 0;
+  bool spares_mutually_nonadjacent = true;  ///< over all spare pairs
+};
+
+/// Measures (s, p) uniformity on the interior of `array`.
+InterstitialProperty measure_interstitial_property(const HexArray& array);
+
+}  // namespace dmfb::biochip

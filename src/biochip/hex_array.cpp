@@ -1,0 +1,173 @@
+#include "biochip/hex_array.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+
+namespace dmfb::biochip {
+
+namespace {
+
+const char* role_names[] = {"primary", "spare"};
+const char* health_names[] = {"healthy", "faulty"};
+const char* usage_names[] = {"unused", "assay-used"};
+
+}  // namespace
+
+const char* to_string(CellRole role) noexcept {
+  return role_names[static_cast<std::size_t>(role)];
+}
+const char* to_string(CellHealth health) noexcept {
+  return health_names[static_cast<std::size_t>(health)];
+}
+const char* to_string(CellUsage usage) noexcept {
+  return usage_names[static_cast<std::size_t>(usage)];
+}
+
+HexArray::HexArray(hex::Region region, const RoleFn& role_of)
+    : region_(std::move(region)) {
+  DMFB_EXPECTS(static_cast<bool>(role_of));
+  roles_.reserve(static_cast<std::size_t>(region_.size()));
+  for (const hex::HexCoord at : region_.cells()) {
+    roles_.push_back(role_of(at));
+  }
+  build_topology();
+}
+
+HexArray::HexArray(hex::Region region, std::vector<CellRole> roles)
+    : region_(std::move(region)), roles_(std::move(roles)) {
+  DMFB_EXPECTS(static_cast<std::int32_t>(roles_.size()) == region_.size());
+  build_topology();
+}
+
+void HexArray::build_topology() {
+  const auto n = static_cast<std::size_t>(region_.size());
+  health_.assign(n, CellHealth::kHealthy);
+  usage_.assign(n, CellUsage::kUnused);
+
+  nbr_offset_.assign(n + 1, 0);
+  spare_nbr_offset_.assign(n + 1, 0);
+  primary_nbr_offset_.assign(n + 1, 0);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto cell = static_cast<CellIndex>(i);
+    if (roles_[i] == CellRole::kPrimary) {
+      ++primary_count_;
+      primaries_.push_back(cell);
+    } else {
+      spares_.push_back(cell);
+    }
+    for (const CellIndex nb : region_.neighbors_of(cell)) {
+      nbr_flat_.push_back(nb);
+      if (roles_[static_cast<std::size_t>(nb)] == CellRole::kSpare) {
+        spare_nbr_flat_.push_back(nb);
+      } else {
+        primary_nbr_flat_.push_back(nb);
+      }
+    }
+    nbr_offset_[i + 1] = static_cast<std::int32_t>(nbr_flat_.size());
+    spare_nbr_offset_[i + 1] = static_cast<std::int32_t>(spare_nbr_flat_.size());
+    primary_nbr_offset_[i + 1] =
+        static_cast<std::int32_t>(primary_nbr_flat_.size());
+  }
+}
+
+std::span<const CellIndex> HexArray::neighbors_of(CellIndex cell) const {
+  DMFB_EXPECTS(cell >= 0 && cell < cell_count());
+  const auto i = static_cast<std::size_t>(cell);
+  return {nbr_flat_.data() + nbr_offset_[i],
+          static_cast<std::size_t>(nbr_offset_[i + 1] - nbr_offset_[i])};
+}
+
+std::span<const CellIndex> HexArray::spare_neighbors_of(CellIndex cell) const {
+  DMFB_EXPECTS(cell >= 0 && cell < cell_count());
+  const auto i = static_cast<std::size_t>(cell);
+  return {spare_nbr_flat_.data() + spare_nbr_offset_[i],
+          static_cast<std::size_t>(spare_nbr_offset_[i + 1] -
+                                   spare_nbr_offset_[i])};
+}
+
+std::span<const CellIndex> HexArray::primary_neighbors_of(
+    CellIndex cell) const {
+  DMFB_EXPECTS(cell >= 0 && cell < cell_count());
+  const auto i = static_cast<std::size_t>(cell);
+  return {primary_nbr_flat_.data() + primary_nbr_offset_[i],
+          static_cast<std::size_t>(primary_nbr_offset_[i + 1] -
+                                   primary_nbr_offset_[i])};
+}
+
+bool HexArray::is_interior(CellIndex cell) const {
+  return neighbors_of(cell).size() == 6;
+}
+
+CellRole HexArray::role(CellIndex cell) const {
+  DMFB_EXPECTS(cell >= 0 && cell < cell_count());
+  return roles_[static_cast<std::size_t>(cell)];
+}
+
+CellHealth HexArray::health(CellIndex cell) const {
+  DMFB_EXPECTS(cell >= 0 && cell < cell_count());
+  return health_[static_cast<std::size_t>(cell)];
+}
+
+CellUsage HexArray::usage(CellIndex cell) const {
+  DMFB_EXPECTS(cell >= 0 && cell < cell_count());
+  return usage_[static_cast<std::size_t>(cell)];
+}
+
+void HexArray::set_health(CellIndex cell, CellHealth health) {
+  DMFB_EXPECTS(cell >= 0 && cell < cell_count());
+  auto& slot = health_[static_cast<std::size_t>(cell)];
+  if (slot != health) {
+    faulty_count_ += (health == CellHealth::kFaulty) ? 1 : -1;
+    slot = health;
+  }
+}
+
+void HexArray::set_usage(CellIndex cell, CellUsage usage) {
+  DMFB_EXPECTS(cell >= 0 && cell < cell_count());
+  auto& slot = usage_[static_cast<std::size_t>(cell)];
+  if (slot != usage) {
+    used_count_ += (usage == CellUsage::kAssayUsed) ? 1 : -1;
+    slot = usage;
+  }
+}
+
+void HexArray::reset_health() {
+  std::fill(health_.begin(), health_.end(), CellHealth::kHealthy);
+  faulty_count_ = 0;
+}
+
+std::vector<CellIndex> HexArray::faulty_cells(CellRole role) const {
+  std::vector<CellIndex> result;
+  for (std::int32_t i = 0; i < cell_count(); ++i) {
+    if (roles_[static_cast<std::size_t>(i)] == role &&
+        health_[static_cast<std::size_t>(i)] == CellHealth::kFaulty) {
+      result.push_back(i);
+    }
+  }
+  return result;
+}
+
+std::vector<CellIndex> HexArray::used_cells() const {
+  std::vector<CellIndex> result;
+  result.reserve(static_cast<std::size_t>(used_count_));
+  for (std::int32_t i = 0; i < cell_count(); ++i) {
+    if (usage_[static_cast<std::size_t>(i)] == CellUsage::kAssayUsed) {
+      result.push_back(i);
+    }
+  }
+  return result;
+}
+
+graph::Graph HexArray::adjacency_graph() const {
+  graph::Graph g(cell_count());
+  for (std::int32_t i = 0; i < cell_count(); ++i) {
+    for (const CellIndex nb : neighbors_of(i)) {
+      if (nb > i) g.add_edge(i, nb);  // each undirected edge once
+    }
+  }
+  return g;
+}
+
+}  // namespace dmfb::biochip

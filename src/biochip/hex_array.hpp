@@ -1,0 +1,100 @@
+// Hexagonal-electrode microfluidic array (paper Fig. 1(b), Fig. 3-6).
+//
+// A HexArray is a finite hex Region plus per-cell role/health/usage state.
+// Adjacency is precomputed at construction (arrays are immutable in shape),
+// so the Monte-Carlo yield loop — build fault set, collect faulty-primary x
+// healthy-spare edges, match — touches only flat vectors.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "biochip/cell.hpp"
+#include "graph/graph.hpp"
+#include "hexgrid/region.hpp"
+
+namespace dmfb::biochip {
+
+using hex::CellIndex;
+using hex::kInvalidCell;
+
+class HexArray {
+ public:
+  /// Role assignment callback: coordinate -> role.
+  using RoleFn = std::function<CellRole(hex::HexCoord)>;
+
+  /// Builds an array over `region` with roles assigned by `role_of`.
+  HexArray(hex::Region region, const RoleFn& role_of);
+
+  /// Builds an array with an explicit per-cell role vector
+  /// (roles[i] belongs to region.coord_at(i)).
+  HexArray(hex::Region region, std::vector<CellRole> roles);
+
+  // -- shape ---------------------------------------------------------------
+  const hex::Region& region() const noexcept { return region_; }
+  std::int32_t cell_count() const noexcept { return region_.size(); }
+  std::int32_t primary_count() const noexcept { return primary_count_; }
+  std::int32_t spare_count() const noexcept {
+    return cell_count() - primary_count_;
+  }
+
+  std::span<const CellIndex> neighbors_of(CellIndex cell) const;
+  /// Spare-role neighbours of `cell` (usually called with a primary cell).
+  std::span<const CellIndex> spare_neighbors_of(CellIndex cell) const;
+  /// Primary-role neighbours of `cell` (usually called with a spare cell).
+  std::span<const CellIndex> primary_neighbors_of(CellIndex cell) const;
+
+  /// True iff the cell has all six lattice neighbours inside the array.
+  bool is_interior(CellIndex cell) const;
+
+  std::span<const CellIndex> primaries() const noexcept { return primaries_; }
+  std::span<const CellIndex> spares() const noexcept { return spares_; }
+
+  // -- per-cell state ------------------------------------------------------
+  CellRole role(CellIndex cell) const;
+  CellHealth health(CellIndex cell) const;
+  CellUsage usage(CellIndex cell) const;
+
+  void set_health(CellIndex cell, CellHealth health);
+  void set_usage(CellIndex cell, CellUsage usage);
+
+  /// Marks every cell healthy (between Monte-Carlo runs).
+  void reset_health();
+
+  std::int32_t faulty_count() const noexcept { return faulty_count_; }
+  /// Faulty cells of the given role, in index order.
+  std::vector<CellIndex> faulty_cells(CellRole role) const;
+  std::vector<CellIndex> used_cells() const;
+  std::int32_t used_count() const noexcept { return used_count_; }
+
+  // -- derived views ---------------------------------------------------------
+  /// The paper's graph model (Fig. 3(b)): one node per cell, one edge per
+  /// physical adjacency.
+  graph::Graph adjacency_graph() const;
+
+ private:
+  void build_topology();
+
+  hex::Region region_;
+  std::vector<CellRole> roles_;
+  std::vector<CellHealth> health_;
+  std::vector<CellUsage> usage_;
+  std::int32_t primary_count_ = 0;
+  std::int32_t faulty_count_ = 0;
+  std::int32_t used_count_ = 0;
+
+  std::vector<CellIndex> primaries_;
+  std::vector<CellIndex> spares_;
+
+  // CSR adjacency: all / spare-only / primary-only neighbour lists.
+  std::vector<CellIndex> nbr_flat_;
+  std::vector<std::int32_t> nbr_offset_;
+  std::vector<CellIndex> spare_nbr_flat_;
+  std::vector<std::int32_t> spare_nbr_offset_;
+  std::vector<CellIndex> primary_nbr_flat_;
+  std::vector<std::int32_t> primary_nbr_offset_;
+};
+
+}  // namespace dmfb::biochip

@@ -1,0 +1,19 @@
+#include "biochip/redundancy.hpp"
+
+#include "common/contracts.hpp"
+
+namespace dmfb::biochip {
+
+double measured_redundancy_ratio(const HexArray& array) {
+  DMFB_EXPECTS(array.primary_count() > 0);
+  return static_cast<double>(array.spare_count()) /
+         static_cast<double>(array.primary_count());
+}
+
+double area_overhead(const HexArray& array) {
+  DMFB_EXPECTS(array.primary_count() > 0);
+  return static_cast<double>(array.cell_count()) /
+         static_cast<double>(array.primary_count());
+}
+
+}  // namespace dmfb::biochip

@@ -1,0 +1,16 @@
+// Redundancy-ratio measurement (paper Definition 2, Table 1).
+#pragma once
+
+#include "biochip/hex_array.hpp"
+
+namespace dmfb::biochip {
+
+/// Measured redundancy ratio RR = #spares / #primaries of a finite array.
+/// Converges to the asymptotic s/p of the design as the array grows.
+double measured_redundancy_ratio(const HexArray& array);
+
+/// Area overhead relative to a redundancy-free array with the same number of
+/// primaries: N/n = 1 + RR.
+double area_overhead(const HexArray& array);
+
+}  // namespace dmfb::biochip

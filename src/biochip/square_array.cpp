@@ -1,0 +1,94 @@
+#include "biochip/square_array.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+
+namespace dmfb::biochip {
+
+SquareArray::SquareArray(std::int32_t width, std::int32_t height)
+    : width_(width), height_(height) {
+  DMFB_EXPECTS(width > 0 && height > 0);
+  const auto n = static_cast<std::size_t>(cell_count());
+  roles_.assign(n, CellRole::kPrimary);
+  health_.assign(n, CellHealth::kHealthy);
+  usage_.assign(n, CellUsage::kUnused);
+  primary_count_ = cell_count();
+}
+
+bool SquareArray::in_bounds(sq::SquareCoord at) const noexcept {
+  return at.x >= 0 && at.x < width_ && at.y >= 0 && at.y < height_;
+}
+
+SquareArray::CellIndex SquareArray::index_of(sq::SquareCoord at) const {
+  DMFB_EXPECTS(in_bounds(at));
+  return at.y * width_ + at.x;
+}
+
+sq::SquareCoord SquareArray::coord_at(CellIndex cell) const {
+  DMFB_EXPECTS(cell >= 0 && cell < cell_count());
+  return {cell % width_, cell / width_};
+}
+
+std::vector<SquareArray::CellIndex> SquareArray::neighbors_of(
+    CellIndex cell) const {
+  const sq::SquareCoord at = coord_at(cell);
+  std::vector<CellIndex> result;
+  result.reserve(4);
+  for (const sq::SquareCoord nb : sq::neighbors(at)) {
+    if (in_bounds(nb)) result.push_back(index_of(nb));
+  }
+  return result;
+}
+
+CellRole SquareArray::role(CellIndex cell) const {
+  DMFB_EXPECTS(cell >= 0 && cell < cell_count());
+  return roles_[static_cast<std::size_t>(cell)];
+}
+
+CellHealth SquareArray::health(CellIndex cell) const {
+  DMFB_EXPECTS(cell >= 0 && cell < cell_count());
+  return health_[static_cast<std::size_t>(cell)];
+}
+
+CellUsage SquareArray::usage(CellIndex cell) const {
+  DMFB_EXPECTS(cell >= 0 && cell < cell_count());
+  return usage_[static_cast<std::size_t>(cell)];
+}
+
+void SquareArray::set_role(CellIndex cell, CellRole role) {
+  DMFB_EXPECTS(cell >= 0 && cell < cell_count());
+  auto& slot = roles_[static_cast<std::size_t>(cell)];
+  if (slot != role) {
+    primary_count_ += (role == CellRole::kPrimary) ? 1 : -1;
+    slot = role;
+  }
+}
+
+void SquareArray::set_health(CellIndex cell, CellHealth health) {
+  DMFB_EXPECTS(cell >= 0 && cell < cell_count());
+  auto& slot = health_[static_cast<std::size_t>(cell)];
+  if (slot != health) {
+    faulty_count_ += (health == CellHealth::kFaulty) ? 1 : -1;
+    slot = health;
+  }
+}
+
+void SquareArray::set_usage(CellIndex cell, CellUsage usage) {
+  DMFB_EXPECTS(cell >= 0 && cell < cell_count());
+  usage_[static_cast<std::size_t>(cell)] = usage;
+}
+
+void SquareArray::reset_health() {
+  std::fill(health_.begin(), health_.end(), CellHealth::kHealthy);
+  faulty_count_ = 0;
+}
+
+void SquareArray::mark_spare_row(std::int32_t y) {
+  DMFB_EXPECTS(y >= 0 && y < height_);
+  for (std::int32_t x = 0; x < width_; ++x) {
+    set_role(index_of({x, y}), CellRole::kSpare);
+  }
+}
+
+}  // namespace dmfb::biochip

@@ -1,0 +1,63 @@
+// Square-electrode microfluidic array (paper Fig. 2 baseline, Fig. 11 chip).
+//
+// Same state model as HexArray but on the 4-neighbour square lattice. Used
+// for the boundary spare-row baseline (shifted replacement) and for the
+// first-generation fabricated chip that had no redundancy at all.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "biochip/cell.hpp"
+#include "hexgrid/square_coord.hpp"
+
+namespace dmfb::biochip {
+
+class SquareArray {
+ public:
+  /// Dense cell index; row-major: index = y * width + x.
+  using CellIndex = std::int32_t;
+
+  /// Builds a width x height array, all cells primary and healthy.
+  SquareArray(std::int32_t width, std::int32_t height);
+
+  std::int32_t width() const noexcept { return width_; }
+  std::int32_t height() const noexcept { return height_; }
+  std::int32_t cell_count() const noexcept { return width_ * height_; }
+
+  bool in_bounds(sq::SquareCoord at) const noexcept;
+  CellIndex index_of(sq::SquareCoord at) const;
+  sq::SquareCoord coord_at(CellIndex cell) const;
+
+  /// In-bounds 4-neighbours of `cell`.
+  std::vector<CellIndex> neighbors_of(CellIndex cell) const;
+
+  CellRole role(CellIndex cell) const;
+  CellHealth health(CellIndex cell) const;
+  CellUsage usage(CellIndex cell) const;
+  void set_role(CellIndex cell, CellRole role);
+  void set_health(CellIndex cell, CellHealth health);
+  void set_usage(CellIndex cell, CellUsage usage);
+  void reset_health();
+
+  std::int32_t primary_count() const noexcept { return primary_count_; }
+  std::int32_t spare_count() const noexcept {
+    return cell_count() - primary_count_;
+  }
+  std::int32_t faulty_count() const noexcept { return faulty_count_; }
+
+  /// Marks every cell of row `y` as spare (the Fig. 2 spare-row pattern).
+  void mark_spare_row(std::int32_t y);
+
+ private:
+  std::int32_t width_;
+  std::int32_t height_;
+  std::vector<CellRole> roles_;
+  std::vector<CellHealth> health_;
+  std::vector<CellUsage> usage_;
+  std::int32_t primary_count_ = 0;
+  std::int32_t faulty_count_ = 0;
+};
+
+}  // namespace dmfb::biochip

@@ -1,0 +1,14 @@
+#include "common/contracts.hpp"
+
+#include <sstream>
+
+namespace dmfb {
+
+void contract_fail(const char* kind, const char* condition, const char* file,
+                   int line) {
+  std::ostringstream msg;
+  msg << kind << " failed: (" << condition << ") at " << file << ':' << line;
+  throw ContractViolation(msg.str());
+}
+
+}  // namespace dmfb

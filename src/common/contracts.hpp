@@ -1,0 +1,42 @@
+// Contract checking in the style of the C++ Core Guidelines (I.5-I.8):
+// preconditions via DMFB_EXPECTS, postconditions via DMFB_ENSURES, internal
+// invariants via DMFB_ASSERT. Violations throw dmfb::ContractViolation so
+// that (a) tests can assert on contract enforcement and (b) research code
+// fails loudly rather than silently corrupting an experiment.
+//
+// Contracts are always on: this library's workloads (laptop-scale yield
+// simulation) are never bottlenecked by the checks, and a wrong yield number
+// is far more expensive than a branch.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace dmfb {
+
+/// Thrown when a DMFB_EXPECTS/DMFB_ENSURES/DMFB_ASSERT condition fails.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Builds the diagnostic message and throws ContractViolation.
+[[noreturn]] void contract_fail(const char* kind, const char* condition,
+                                const char* file, int line);
+
+}  // namespace dmfb
+
+#define DMFB_EXPECTS(cond)                                              \
+  do {                                                                  \
+    if (!(cond)) ::dmfb::contract_fail("precondition", #cond, __FILE__, __LINE__); \
+  } while (false)
+
+#define DMFB_ENSURES(cond)                                              \
+  do {                                                                  \
+    if (!(cond)) ::dmfb::contract_fail("postcondition", #cond, __FILE__, __LINE__); \
+  } while (false)
+
+#define DMFB_ASSERT(cond)                                               \
+  do {                                                                  \
+    if (!(cond)) ::dmfb::contract_fail("invariant", #cond, __FILE__, __LINE__); \
+  } while (false)

@@ -1,0 +1,103 @@
+#include "common/rng.hpp"
+
+#include <numeric>
+
+#include "common/contracts.hpp"
+
+namespace dmfb {
+
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  std::uint64_t sm = seed;
+  for (auto& word : state_) word = splitmix64(sm);
+}
+
+Rng::result_type Rng::operator()() noexcept {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::uniform01() noexcept {
+  // Top 53 bits scaled by 2^-53: the canonical xoshiro double recipe.
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::bernoulli(double prob) noexcept {
+  if (prob <= 0.0) return false;
+  if (prob >= 1.0) return true;
+  return uniform01() < prob;
+}
+
+std::uint64_t Rng::uniform_below(std::uint64_t bound) noexcept {
+  // Lemire's nearly-divisionless unbiased bounded generation.
+  if (bound == 0) return 0;
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (low < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+int Rng::uniform_int(int lo, int hi) noexcept {
+  if (lo >= hi) return lo;
+  const auto span =
+      static_cast<std::uint64_t>(static_cast<std::int64_t>(hi) - lo) + 1;
+  return lo + static_cast<int>(uniform_below(span));
+}
+
+Rng Rng::split() noexcept {
+  // A fresh stream seeded from two raw outputs; the constructor's splitmix64
+  // pass decorrelates the child state from the parent trajectory.
+  const std::uint64_t a = (*this)();
+  const std::uint64_t b = (*this)();
+  return Rng(a ^ rotl(b, 32));
+}
+
+std::vector<std::int32_t> Rng::sample_without_replacement(std::int32_t n,
+                                                          std::int32_t k) {
+  DMFB_EXPECTS(n >= 0);
+  DMFB_EXPECTS(k >= 0 && k <= n);
+  std::vector<std::int32_t> pool(static_cast<std::size_t>(n));
+  std::iota(pool.begin(), pool.end(), 0);
+  // Partial Fisher-Yates: after k swaps the first k entries are a uniform
+  // k-subset in uniform random order.
+  for (std::int32_t i = 0; i < k; ++i) {
+    const auto j = i + static_cast<std::int32_t>(
+                           uniform_below(static_cast<std::uint64_t>(n - i)));
+    std::swap(pool[static_cast<std::size_t>(i)],
+              pool[static_cast<std::size_t>(j)]);
+  }
+  pool.resize(static_cast<std::size_t>(k));
+  return pool;
+}
+
+}  // namespace dmfb

@@ -1,0 +1,71 @@
+// Deterministic pseudo-random number generation for Monte-Carlo yield
+// simulation.
+//
+// The engine is xoshiro256** (Blackman & Vigna), seeded through splitmix64 so
+// that any 64-bit seed — including 0 — yields a well-mixed state. The class
+// satisfies UniformRandomBitGenerator, and additionally offers the unbiased
+// bounded-integer and sampling helpers the simulators need, plus `split()`
+// for deriving statistically independent child streams (one per Monte-Carlo
+// worker / experiment arm) from a single experiment seed.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace dmfb {
+
+/// xoshiro256** engine with splitmix64 seeding and stream splitting.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the generator; any seed value (including 0) is acceptable.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// Next raw 64-bit output.
+  result_type operator()() noexcept;
+
+  /// Uniform double in [0, 1) with 53 random bits.
+  double uniform01() noexcept;
+
+  /// Bernoulli trial: true with probability `prob` (clamped to [0,1]).
+  bool bernoulli(double prob) noexcept;
+
+  /// Unbiased uniform integer in [0, bound); bound must be > 0.
+  std::uint64_t uniform_below(std::uint64_t bound) noexcept;
+
+  /// Unbiased uniform integer in [lo, hi] (inclusive); requires lo <= hi.
+  int uniform_int(int lo, int hi) noexcept;
+
+  /// Derives an independent child stream (distinct seed trajectory).
+  Rng split() noexcept;
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& values) noexcept {
+    for (std::size_t i = values.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(uniform_below(i));
+      using std::swap;
+      swap(values[i - 1], values[j]);
+    }
+  }
+
+  /// Samples k distinct integers from [0, n), uniformly, in random order.
+  /// Uses Floyd's algorithm semantics via partial Fisher-Yates. k <= n.
+  std::vector<std::int32_t> sample_without_replacement(std::int32_t n,
+                                                       std::int32_t k);
+
+ private:
+  std::uint64_t state_[4];
+};
+
+/// splitmix64 step — exposed for deterministic seed derivation in tests.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+}  // namespace dmfb

@@ -1,0 +1,85 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace dmfb {
+
+void RunningStats::add(double x) noexcept {
+  ++count_;
+  if (count_ == 1) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+Interval wilson_interval(std::int64_t successes, std::int64_t trials,
+                         double z) {
+  DMFB_EXPECTS(trials >= 0);
+  DMFB_EXPECTS(successes >= 0 && successes <= trials);
+  DMFB_EXPECTS(z > 0.0);
+  if (trials == 0) return {0.0, 1.0};
+  const double n = static_cast<double>(trials);
+  const double phat = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (phat + z2 / (2.0 * n)) / denom;
+  const double margin =
+      z * std::sqrt(phat * (1.0 - phat) / n + z2 / (4.0 * n * n)) / denom;
+  return {std::max(0.0, center - margin), std::min(1.0, center + margin)};
+}
+
+double BernoulliEstimate::proportion() const noexcept {
+  if (trials_ == 0) return 0.0;
+  return static_cast<double>(successes_) / static_cast<double>(trials_);
+}
+
+Interval BernoulliEstimate::wilson(double z) const {
+  return wilson_interval(successes_, trials_, z);
+}
+
+double binomial_coefficient(int n, int k) {
+  DMFB_EXPECTS(n >= 0);
+  if (k < 0 || k > n) return 0.0;
+  k = std::min(k, n - k);
+  double result = 1.0;
+  for (int i = 1; i <= k; ++i) {
+    result *= static_cast<double>(n - k + i);
+    result /= static_cast<double>(i);
+  }
+  return result;
+}
+
+double binomial_pmf(int n, int k, double p) {
+  DMFB_EXPECTS(n >= 0);
+  DMFB_EXPECTS(p >= 0.0 && p <= 1.0);
+  if (k < 0 || k > n) return 0.0;
+  return binomial_coefficient(n, k) * std::pow(p, k) *
+         std::pow(1.0 - p, n - k);
+}
+
+double binomial_cdf(int n, int k, double p) {
+  DMFB_EXPECTS(n >= 0);
+  DMFB_EXPECTS(p >= 0.0 && p <= 1.0);
+  if (k < 0) return 0.0;
+  if (k >= n) return 1.0;
+  double sum = 0.0;
+  for (int i = 0; i <= k; ++i) sum += binomial_pmf(n, i, p);
+  return std::min(1.0, sum);
+}
+
+}  // namespace dmfb

@@ -1,0 +1,74 @@
+// Small statistics toolkit used by the Monte-Carlo yield engine and the
+// benchmark harnesses: streaming moments (Welford), Bernoulli proportion
+// estimates with Wilson score intervals, and exact binomial terms for the
+// analytic yield models.
+#pragma once
+
+#include <cstdint>
+
+namespace dmfb {
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  std::int64_t count() const noexcept { return count_; }
+  double mean() const noexcept { return mean_; }
+  /// Unbiased sample variance; 0 for fewer than two observations.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+
+ private:
+  std::int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// A closed interval [lo, hi] on the real line.
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+
+  bool contains(double x) const noexcept { return lo <= x && x <= hi; }
+  double width() const noexcept { return hi - lo; }
+};
+
+/// Wilson score interval for a binomial proportion.
+/// `z` is the standard-normal quantile (1.96 for 95%, 2.576 for 99%).
+Interval wilson_interval(std::int64_t successes, std::int64_t trials,
+                         double z = 1.96);
+
+/// Success counter for Bernoulli experiments (Monte-Carlo yield runs).
+class BernoulliEstimate {
+ public:
+  void add(bool success) noexcept {
+    ++trials_;
+    if (success) ++successes_;
+  }
+
+  std::int64_t trials() const noexcept { return trials_; }
+  std::int64_t successes() const noexcept { return successes_; }
+  /// Point estimate; 0 when no trials recorded.
+  double proportion() const noexcept;
+  Interval wilson(double z = 1.96) const;
+
+ private:
+  std::int64_t trials_ = 0;
+  std::int64_t successes_ = 0;
+};
+
+/// Exact binomial coefficient C(n, k) as double (n small in our models).
+double binomial_coefficient(int n, int k);
+
+/// Binomial pmf: C(n,k) p^k (1-p)^(n-k).
+double binomial_pmf(int n, int k, double p);
+
+/// P(X <= k) for X ~ Binomial(n, p).
+double binomial_cdf(int n, int k, double p);
+
+}  // namespace dmfb

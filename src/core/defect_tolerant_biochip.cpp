@@ -1,0 +1,57 @@
+#include "core/defect_tolerant_biochip.hpp"
+
+#include "biochip/redundancy.hpp"
+#include "common/contracts.hpp"
+
+namespace dmfb::core {
+
+DefectTolerantBiochip::DefectTolerantBiochip(biochip::DtmbKind kind,
+                                             std::int32_t width,
+                                             std::int32_t height)
+    : array_(biochip::make_dtmb_array(kind, width, height)), kind_(kind) {}
+
+DefectTolerantBiochip::DefectTolerantBiochip(biochip::HexArray array)
+    : array_(std::move(array)) {}
+
+double DefectTolerantBiochip::redundancy_ratio() const {
+  return biochip::measured_redundancy_ratio(array_);
+}
+
+void DefectTolerantBiochip::heal() { array_.reset_health(); }
+
+fault::FaultMap DefectTolerantBiochip::inject_bernoulli(double p, Rng& rng) {
+  return fault::BernoulliInjector(p).inject(array_, rng);
+}
+
+fault::FaultMap DefectTolerantBiochip::inject_fixed(std::int32_t m, Rng& rng) {
+  return fault::FixedCountInjector(m).inject(array_, rng);
+}
+
+testplan::TestSessionResult DefectTolerantBiochip::test_chip(
+    hex::CellIndex source) const {
+  return testplan::run_test_session(array_, source);
+}
+
+reconfig::ReconfigPlan DefectTolerantBiochip::reconfigure(
+    reconfig::CoveragePolicy policy) const {
+  return reconfig::LocalReconfigurer(policy).plan(array_);
+}
+
+bool DefectTolerantBiochip::repairable(
+    reconfig::CoveragePolicy policy) const {
+  return reconfig::LocalReconfigurer(policy).feasible(array_);
+}
+
+yield::YieldEstimate DefectTolerantBiochip::estimate_yield(
+    double p, const yield::McOptions& options) {
+  heal();
+  return yield::mc_yield_bernoulli(array_, p, options);
+}
+
+yield::YieldEstimate DefectTolerantBiochip::estimate_yield_fixed_faults(
+    std::int32_t m, const yield::McOptions& options) {
+  heal();
+  return yield::mc_yield_fixed_faults(array_, m, options);
+}
+
+}  // namespace dmfb::core

@@ -1,0 +1,80 @@
+// Facade over the full defect-tolerance flow:
+//   design -> fault injection -> test/diagnosis -> local reconfiguration ->
+//   yield estimation.
+//
+// This is the one-object entry point a downstream user needs for the common
+// cases; the underlying subsystems stay available for fine-grained control.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "biochip/dtmb.hpp"
+#include "biochip/hex_array.hpp"
+#include "common/rng.hpp"
+#include "fault/fault_model.hpp"
+#include "fault/injector.hpp"
+#include "reconfig/local_reconfig.hpp"
+#include "testplan/stimulus_test.hpp"
+#include "yield/monte_carlo.hpp"
+
+namespace dmfb::core {
+
+class DefectTolerantBiochip {
+ public:
+  /// Builds a `kind`-patterned width x height chip.
+  DefectTolerantBiochip(biochip::DtmbKind kind, std::int32_t width,
+                        std::int32_t height);
+
+  /// Wraps an existing array (e.g. the multiplexed diagnostics chip).
+  explicit DefectTolerantBiochip(biochip::HexArray array);
+
+  biochip::HexArray& array() noexcept { return array_; }
+  const biochip::HexArray& array() const noexcept { return array_; }
+
+  /// Design kind when constructed from a pattern.
+  std::optional<biochip::DtmbKind> kind() const noexcept { return kind_; }
+
+  /// Measured redundancy ratio of this chip.
+  double redundancy_ratio() const;
+
+  // -- fault handling -------------------------------------------------------
+  /// Clears all faults.
+  void heal();
+
+  /// Injects iid faults (survival probability p per cell).
+  fault::FaultMap inject_bernoulli(double p, Rng& rng);
+
+  /// Injects exactly m random faults.
+  fault::FaultMap inject_fixed(std::int32_t m, Rng& rng);
+
+  /// Runs the stimulus-droplet test session from cell 0 (or a chosen
+  /// source) and returns the faults it localises.
+  testplan::TestSessionResult test_chip(hex::CellIndex source = 0) const;
+
+  // -- reconfiguration ------------------------------------------------------
+  /// Computes the spare-assignment plan for the current fault state.
+  reconfig::ReconfigPlan reconfigure(
+      reconfig::CoveragePolicy policy =
+          reconfig::CoveragePolicy::kAllFaultyPrimaries) const;
+
+  /// True iff the current fault state is repairable.
+  bool repairable(reconfig::CoveragePolicy policy =
+                      reconfig::CoveragePolicy::kAllFaultyPrimaries) const;
+
+  // -- yield ----------------------------------------------------------------
+  /// Monte-Carlo yield at survival probability p (chip is healed first and
+  /// left healed).
+  yield::YieldEstimate estimate_yield(double p,
+                                      const yield::McOptions& options = {});
+
+  /// Monte-Carlo yield under exactly m random faults per chip.
+  yield::YieldEstimate estimate_yield_fixed_faults(
+      std::int32_t m, const yield::McOptions& options = {});
+
+ private:
+  biochip::HexArray array_;
+  std::optional<biochip::DtmbKind> kind_;
+};
+
+}  // namespace dmfb::core

@@ -1,0 +1,82 @@
+#include "core/design_advisor.hpp"
+
+#include <algorithm>
+
+#include "biochip/redundancy.hpp"
+#include "common/contracts.hpp"
+#include "yield/analytic.hpp"
+
+namespace dmfb::core {
+
+const DesignAssessment& Advice::best_yield() const {
+  DMFB_EXPECTS(!assessments.empty());
+  return *std::max_element(assessments.begin(), assessments.end(),
+                           [](const auto& a, const auto& b) {
+                             return a.yield < b.yield;
+                           });
+}
+
+const DesignAssessment& Advice::best_effective_yield() const {
+  DMFB_EXPECTS(!assessments.empty());
+  return *std::max_element(assessments.begin(), assessments.end(),
+                           [](const auto& a, const auto& b) {
+                             return a.effective_yield < b.effective_yield;
+                           });
+}
+
+const DesignAssessment* Advice::cheapest_meeting(double target_yield) const {
+  const DesignAssessment* best = nullptr;
+  for (const DesignAssessment& assessment : assessments) {
+    if (assessment.yield < target_yield) continue;
+    if (best == nullptr ||
+        assessment.redundancy_ratio < best->redundancy_ratio) {
+      best = &assessment;
+    }
+  }
+  return best;
+}
+
+DesignAdvisor::DesignAdvisor(std::int32_t min_primaries,
+                             yield::McOptions options)
+    : min_primaries_(min_primaries), options_(options) {
+  DMFB_EXPECTS(min_primaries > 0);
+}
+
+Advice DesignAdvisor::assess(double p) const {
+  DMFB_EXPECTS(p >= 0.0 && p <= 1.0);
+  Advice advice;
+  advice.p = p;
+
+  // Baseline: no redundancy, yield = p^n exactly.
+  {
+    DesignAssessment none;
+    none.kind = std::nullopt;
+    none.name = "no-redundancy";
+    none.redundancy_ratio = 0.0;
+    none.primaries = min_primaries_;
+    none.total_cells = min_primaries_;
+    none.yield = yield::no_redundancy_yield(min_primaries_, p);
+    none.effective_yield = none.yield;
+    advice.assessments.push_back(std::move(none));
+  }
+
+  for (const biochip::DtmbKind kind :
+       {biochip::DtmbKind::kDtmb1_6, biochip::DtmbKind::kDtmb2_6,
+        biochip::DtmbKind::kDtmb3_6, biochip::DtmbKind::kDtmb4_4}) {
+    biochip::HexArray array =
+        biochip::make_dtmb_array_with_primaries(kind, min_primaries_);
+    DesignAssessment assessment;
+    assessment.kind = kind;
+    assessment.name = std::string(biochip::dtmb_info(kind).name);
+    assessment.redundancy_ratio = biochip::measured_redundancy_ratio(array);
+    assessment.primaries = array.primary_count();
+    assessment.total_cells = array.cell_count();
+    assessment.yield = yield::mc_yield_bernoulli(array, p, options_).value;
+    assessment.effective_yield =
+        yield::effective_yield(assessment.yield, assessment.redundancy_ratio);
+    advice.assessments.push_back(std::move(assessment));
+  }
+  return advice;
+}
+
+}  // namespace dmfb::core

@@ -1,0 +1,58 @@
+// Design-space advisor (the engineering use of Fig. 10).
+//
+// Given a target number of primary cells and an expected per-cell survival
+// probability p, evaluate every DTMB redundancy level (plus no redundancy):
+// raw yield, redundancy ratio, effective yield EY = Y/(1+RR). The paper's
+// conclusion — high redundancy pays off at low p, low redundancy at high
+// p — falls out of ranking by effective yield.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "biochip/dtmb.hpp"
+#include "yield/monte_carlo.hpp"
+
+namespace dmfb::core {
+
+/// One design point evaluated at a given p.
+struct DesignAssessment {
+  /// nullopt = no redundancy (plain array of primaries).
+  std::optional<biochip::DtmbKind> kind;
+  std::string name;
+  double redundancy_ratio = 0.0;
+  std::int32_t primaries = 0;
+  std::int32_t total_cells = 0;
+  double yield = 0.0;
+  double effective_yield = 0.0;
+};
+
+/// Full advice for one operating point.
+struct Advice {
+  double p = 0.0;
+  std::vector<DesignAssessment> assessments;  ///< in fixed design order
+
+  /// Highest raw yield / highest effective yield entries.
+  const DesignAssessment& best_yield() const;
+  const DesignAssessment& best_effective_yield() const;
+  /// Cheapest design (lowest RR) whose yield meets `target`; nullptr if none.
+  const DesignAssessment* cheapest_meeting(double target_yield) const;
+};
+
+class DesignAdvisor {
+ public:
+  /// Evaluates designs sized to hold at least `min_primaries` primaries.
+  /// Uses Monte-Carlo (options.runs) on the actual finite arrays, so
+  /// boundary effects are included.
+  explicit DesignAdvisor(std::int32_t min_primaries,
+                         yield::McOptions options = {});
+
+  Advice assess(double p) const;
+
+ private:
+  std::int32_t min_primaries_;
+  yield::McOptions options_;
+};
+
+}  // namespace dmfb::core

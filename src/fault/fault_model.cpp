@@ -1,0 +1,65 @@
+#include "fault/fault_model.hpp"
+
+#include <ostream>
+
+namespace dmfb::fault {
+
+const char* to_string(CatastrophicDefect defect) noexcept {
+  switch (defect) {
+    case CatastrophicDefect::kDielectricBreakdown:
+      return "dielectric-breakdown";
+    case CatastrophicDefect::kElectrodeShort:
+      return "electrode-short";
+    case CatastrophicDefect::kOpenConnection:
+      return "open-connection";
+  }
+  return "?";
+}
+
+const char* to_string(ParametricDefect defect) noexcept {
+  switch (defect) {
+    case ParametricDefect::kInsulatorThickness:
+      return "insulator-thickness";
+    case ParametricDefect::kElectrodeLength:
+      return "electrode-length";
+    case ParametricDefect::kPlateGap:
+      return "plate-gap";
+  }
+  return "?";
+}
+
+const char* to_string(FaultClass cls) noexcept {
+  switch (cls) {
+    case FaultClass::kCatastrophic:
+      return "catastrophic";
+    case FaultClass::kParametric:
+      return "parametric";
+  }
+  return "?";
+}
+
+std::ostream& operator<<(std::ostream& os, const FaultRecord& record) {
+  os << "cell " << record.cell << ": " << to_string(record.fault_class);
+  if (record.catastrophic) os << '/' << to_string(*record.catastrophic);
+  if (record.parametric) {
+    os << '/' << to_string(*record.parametric) << " dev=" << record.deviation;
+  }
+  return os;
+}
+
+std::vector<hex::CellIndex> FaultMap::cells() const {
+  std::vector<hex::CellIndex> result;
+  result.reserve(records.size());
+  for (const FaultRecord& record : records) result.push_back(record.cell);
+  return result;
+}
+
+std::int32_t FaultMap::count_of(FaultClass cls) const noexcept {
+  std::int32_t count = 0;
+  for (const FaultRecord& record : records) {
+    if (record.fault_class == cls) ++count;
+  }
+  return count;
+}
+
+}  // namespace dmfb::fault

@@ -1,0 +1,74 @@
+// Manufacturing-fault taxonomy for digital microfluidic biochips
+// (paper Section 4).
+//
+// DMFBs behave like analog/mixed-signal devices, so faults divide into
+// *catastrophic* (hard — the cell can no longer transport droplets) and
+// *parametric* (soft — a geometry deviation degrades performance; it counts
+// as a fault only when the deviation exceeds the system tolerance).
+// Reconfiguration treats both the same way once detected: the cell is marked
+// faulty and a spare must take over.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <vector>
+
+#include "biochip/cell.hpp"
+#include "hexgrid/region.hpp"
+
+namespace dmfb::fault {
+
+/// Defects that cause catastrophic (hard) faults.
+enum class CatastrophicDefect : std::uint8_t {
+  /// Dielectric breakdown shorts droplet to electrode; droplet electrolyses.
+  kDielectricBreakdown,
+  /// Two adjacent electrodes shorted form one long electrode; the droplet
+  /// can no longer overlap its neighbour, so actuation fails.
+  kElectrodeShort,
+  /// Open in the metal connection; the electrode cannot be activated.
+  kOpenConnection,
+};
+
+/// Geometry parameters whose deviation causes parametric (soft) faults.
+enum class ParametricDefect : std::uint8_t {
+  kInsulatorThickness,  ///< Parylene C layer (~800 nm nominal)
+  kElectrodeLength,     ///< electrode pitch deviation
+  kPlateGap,            ///< height between the parallel plates
+};
+
+/// Fault class along the analog-circuit lines of Section 4.
+enum class FaultClass : std::uint8_t {
+  kCatastrophic,
+  kParametric,
+};
+
+const char* to_string(CatastrophicDefect defect) noexcept;
+const char* to_string(ParametricDefect defect) noexcept;
+const char* to_string(FaultClass cls) noexcept;
+
+/// One detected fault, attributed to a cell.
+struct FaultRecord {
+  hex::CellIndex cell = hex::kInvalidCell;
+  FaultClass fault_class = FaultClass::kCatastrophic;
+  /// Set when fault_class == kCatastrophic.
+  std::optional<CatastrophicDefect> catastrophic;
+  /// Set when fault_class == kParametric.
+  std::optional<ParametricDefect> parametric;
+  /// For parametric faults: relative deviation from nominal (e.g. +0.12).
+  double deviation = 0.0;
+};
+
+std::ostream& operator<<(std::ostream& os, const FaultRecord& record);
+
+/// A complete fault map for one chip instance.
+struct FaultMap {
+  std::vector<FaultRecord> records;
+
+  bool empty() const noexcept { return records.empty(); }
+  std::size_t size() const noexcept { return records.size(); }
+  std::vector<hex::CellIndex> cells() const;
+  std::int32_t count_of(FaultClass cls) const noexcept;
+};
+
+}  // namespace dmfb::fault

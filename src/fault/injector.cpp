@@ -1,0 +1,138 @@
+#include "fault/injector.hpp"
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "hexgrid/hex_coord.hpp"
+
+namespace dmfb::fault {
+
+namespace {
+
+/// Relative frequencies of the three catastrophic defect mechanisms.
+/// Dielectric breakdown dominates in electrowetting devices (high-voltage
+/// stress), shorts and opens split the remainder.
+constexpr double kBreakdownWeight = 0.5;
+constexpr double kShortWeight = 0.3;
+// open-connection weight = 0.2 (remainder)
+
+FaultRecord make_catastrophic_record(hex::CellIndex cell, Rng& rng) {
+  FaultRecord record;
+  record.cell = cell;
+  record.fault_class = FaultClass::kCatastrophic;
+  record.catastrophic = sample_catastrophic_defect(rng);
+  return record;
+}
+
+}  // namespace
+
+CatastrophicDefect sample_catastrophic_defect(Rng& rng) {
+  const double u = rng.uniform01();
+  if (u < kBreakdownWeight) return CatastrophicDefect::kDielectricBreakdown;
+  if (u < kBreakdownWeight + kShortWeight) {
+    return CatastrophicDefect::kElectrodeShort;
+  }
+  return CatastrophicDefect::kOpenConnection;
+}
+
+BernoulliInjector::BernoulliInjector(double survival_p)
+    : survival_p_(survival_p) {
+  DMFB_EXPECTS(survival_p >= 0.0 && survival_p <= 1.0);
+}
+
+FaultMap BernoulliInjector::inject(biochip::HexArray& array, Rng& rng) const {
+  DMFB_EXPECTS(array.faulty_count() == 0);
+  FaultMap map;
+  const double kill_prob = 1.0 - survival_p_;
+  for (std::int32_t cell = 0; cell < array.cell_count(); ++cell) {
+    if (rng.bernoulli(kill_prob)) {
+      array.set_health(cell, biochip::CellHealth::kFaulty);
+      map.records.push_back(make_catastrophic_record(cell, rng));
+    }
+  }
+  return map;
+}
+
+FixedCountInjector::FixedCountInjector(std::int32_t count) : count_(count) {
+  DMFB_EXPECTS(count >= 0);
+}
+
+FaultMap FixedCountInjector::inject(biochip::HexArray& array, Rng& rng) const {
+  DMFB_EXPECTS(array.faulty_count() == 0);
+  DMFB_EXPECTS(count_ <= array.cell_count());
+  FaultMap map;
+  for (const std::int32_t cell :
+       rng.sample_without_replacement(array.cell_count(), count_)) {
+    array.set_health(cell, biochip::CellHealth::kFaulty);
+    map.records.push_back(make_catastrophic_record(cell, rng));
+  }
+  return map;
+}
+
+std::int32_t sample_poisson(double mean, Rng& rng) {
+  DMFB_EXPECTS(mean >= 0.0);
+  if (mean == 0.0) return 0;
+  // Knuth's product method; fine for the small means used here.
+  const double limit = std::exp(-mean);
+  std::int32_t k = 0;
+  double product = 1.0;
+  do {
+    ++k;
+    product *= rng.uniform01();
+  } while (product > limit);
+  return k - 1;
+}
+
+ClusteredInjector::ClusteredInjector(double mean_spots, std::int32_t radius,
+                                     double core_kill_prob,
+                                     double edge_kill_prob)
+    : mean_spots_(mean_spots),
+      radius_(radius),
+      core_kill_prob_(core_kill_prob),
+      edge_kill_prob_(edge_kill_prob) {
+  DMFB_EXPECTS(mean_spots >= 0.0);
+  DMFB_EXPECTS(radius >= 0);
+  DMFB_EXPECTS(core_kill_prob >= 0.0 && core_kill_prob <= 1.0);
+  DMFB_EXPECTS(edge_kill_prob >= 0.0 && edge_kill_prob <= core_kill_prob);
+}
+
+FaultMap ClusteredInjector::inject(biochip::HexArray& array, Rng& rng) const {
+  DMFB_EXPECTS(array.faulty_count() == 0);
+  FaultMap map;
+  const std::int32_t spots = sample_poisson(mean_spots_, rng);
+  for (std::int32_t spot = 0; spot < spots; ++spot) {
+    const auto center_index = static_cast<std::int32_t>(
+        rng.uniform_below(static_cast<std::uint64_t>(array.cell_count())));
+    const hex::HexCoord center = array.region().coord_at(center_index);
+    for (const hex::HexCoord at : hex::disk(center, radius_)) {
+      const hex::CellIndex cell = array.region().index_of(at);
+      if (cell == hex::kInvalidCell) continue;  // spot clipped by boundary
+      if (array.health(cell) == biochip::CellHealth::kFaulty) continue;
+      const double t =
+          radius_ == 0 ? 0.0
+                       : static_cast<double>(hex::distance(center, at)) /
+                             static_cast<double>(radius_);
+      const double kill_prob =
+          core_kill_prob_ + (edge_kill_prob_ - core_kill_prob_) * t;
+      if (rng.bernoulli(kill_prob)) {
+        array.set_health(cell, biochip::CellHealth::kFaulty);
+        map.records.push_back(make_catastrophic_record(cell, rng));
+      }
+    }
+  }
+  return map;
+}
+
+double ClusteredInjector::expected_failures_per_spot() const noexcept {
+  // Sum of kill probability over the rings of an interior disk.
+  double expected = core_kill_prob_;  // ring 0 (the centre)
+  for (std::int32_t d = 1; d <= radius_; ++d) {
+    const double t = static_cast<double>(d) / static_cast<double>(radius_);
+    const double kill_prob =
+        core_kill_prob_ + (edge_kill_prob_ - core_kill_prob_) * t;
+    expected += 6.0 * d * kill_prob;
+  }
+  return expected;
+}
+
+}  // namespace dmfb::fault

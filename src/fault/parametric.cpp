@@ -1,0 +1,88 @@
+#include "fault/parametric.hpp"
+
+#include <cmath>
+#include <limits>
+#include <numbers>
+
+#include "common/contracts.hpp"
+
+namespace dmfb::fault {
+
+ProcessSpec ProcessSpec::typical() {
+  return ProcessSpec{{{
+      {ParametricDefect::kInsulatorThickness, 0.030, 0.10},
+      {ParametricDefect::kElectrodeLength, 0.015, 0.06},
+      {ParametricDefect::kPlateGap, 0.025, 0.09},
+  }}};
+}
+
+double normal_upper_tail(double x) {
+  return 0.5 * std::erfc(x / std::numbers::sqrt2);
+}
+
+double ProcessSpec::cell_fault_probability() const {
+  double survive = 1.0;
+  for (const ParameterSpec& param : parameters) {
+    DMFB_EXPECTS(param.sigma > 0.0);
+    // P(|dev| <= tol) = 1 - 2 Q(tol / sigma)
+    const double in_tolerance =
+        1.0 - 2.0 * normal_upper_tail(param.tolerance / param.sigma);
+    survive *= in_tolerance;
+  }
+  return 1.0 - survive;
+}
+
+double sample_standard_normal(Rng& rng) {
+  // Box-Muller; guard against log(0).
+  double u1 = rng.uniform01();
+  if (u1 <= 0.0) u1 = std::numeric_limits<double>::min();
+  const double u2 = rng.uniform01();
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+ParametricInjector::ParametricInjector(ProcessSpec spec) : spec_(spec) {
+  for (const ParameterSpec& param : spec_.parameters) {
+    DMFB_EXPECTS(param.sigma > 0.0);
+    DMFB_EXPECTS(param.tolerance > 0.0);
+  }
+}
+
+std::array<Deviation, 3> ParametricInjector::sample_cell(Rng& rng) const {
+  std::array<Deviation, 3> deviations;
+  for (std::size_t i = 0; i < deviations.size(); ++i) {
+    const ParameterSpec& param = spec_.parameters[i];
+    const double value = sample_standard_normal(rng) * param.sigma;
+    deviations[i] = {param.parameter, value,
+                     std::abs(value) > param.tolerance};
+  }
+  return deviations;
+}
+
+FaultMap ParametricInjector::inject(biochip::HexArray& array, Rng& rng) const {
+  DMFB_EXPECTS(array.faulty_count() == 0);
+  FaultMap map;
+  for (std::int32_t cell = 0; cell < array.cell_count(); ++cell) {
+    const auto deviations = sample_cell(rng);
+    const Deviation* worst = nullptr;
+    for (const Deviation& deviation : deviations) {
+      if (!deviation.out_of_tolerance) continue;
+      if (worst == nullptr ||
+          std::abs(deviation.value) > std::abs(worst->value)) {
+        worst = &deviation;
+      }
+    }
+    if (worst != nullptr) {
+      array.set_health(cell, biochip::CellHealth::kFaulty);
+      FaultRecord record;
+      record.cell = cell;
+      record.fault_class = FaultClass::kParametric;
+      record.parametric = worst->parameter;
+      record.deviation = worst->value;
+      map.records.push_back(record);
+    }
+  }
+  return map;
+}
+
+}  // namespace dmfb::fault

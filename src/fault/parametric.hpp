@@ -1,0 +1,73 @@
+// Parametric (soft) fault model — geometry deviations with tolerances
+// (paper Section 4: insulator thickness, electrode length, plate gap).
+//
+// Each cell receives independent Gaussian relative deviations for the three
+// geometry parameters. A deviation is a *parametric fault* only when its
+// magnitude exceeds the parameter's tolerance; per the paper, cells whose
+// parametric fault causes significant performance degradation are treated
+// like catastrophic ones for reconfiguration purposes.
+#pragma once
+
+#include <array>
+
+#include "biochip/hex_array.hpp"
+#include "common/rng.hpp"
+#include "fault/fault_model.hpp"
+
+namespace dmfb::fault {
+
+/// Manufacturing spread and acceptance tolerance of one geometry parameter,
+/// both as fractions of nominal (e.g. sigma = 0.03 means 3% spread).
+struct ParameterSpec {
+  ParametricDefect parameter;
+  double sigma;      ///< std-dev of the relative deviation
+  double tolerance;  ///< |deviation| beyond this is a parametric fault
+};
+
+/// Process corner for all three parameters.
+struct ProcessSpec {
+  std::array<ParameterSpec, 3> parameters;
+
+  /// Defaults loosely modelled on the paper's device: 800 nm Parylene C
+  /// insulator, ~1.5 mm electrode pitch, ~300 um plate gap. Tolerances are
+  /// chosen so the marginal per-cell parametric fault probability is small
+  /// compared to typical catastrophic rates.
+  static ProcessSpec typical();
+
+  /// Probability that a single cell has at least one out-of-tolerance
+  /// parameter (closed form from the Gaussian tail).
+  double cell_fault_probability() const;
+};
+
+/// One sampled deviation.
+struct Deviation {
+  ParametricDefect parameter;
+  double value = 0.0;  ///< relative deviation
+  bool out_of_tolerance = false;
+};
+
+/// Samples Gaussian deviations for every cell of `array`; cells with at
+/// least one out-of-tolerance parameter are marked faulty and recorded as
+/// parametric faults (worst parameter attributed).
+class ParametricInjector {
+ public:
+  explicit ParametricInjector(ProcessSpec spec);
+
+  const ProcessSpec& spec() const noexcept { return spec_; }
+
+  FaultMap inject(biochip::HexArray& array, Rng& rng) const;
+
+  /// Samples the three deviations of one cell (exposed for tests).
+  std::array<Deviation, 3> sample_cell(Rng& rng) const;
+
+ private:
+  ProcessSpec spec_;
+};
+
+/// Standard normal sample via Box-Muller (exposed for tests).
+double sample_standard_normal(Rng& rng);
+
+/// Standard normal upper-tail probability Q(x) = P(Z > x).
+double normal_upper_tail(double x);
+
+}  // namespace dmfb::fault

@@ -1,0 +1,97 @@
+#include "fluidics/actuation.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <set>
+
+#include "common/contracts.hpp"
+#include "hexgrid/hex_coord.hpp"
+
+namespace dmfb::fluidics {
+
+std::int64_t ActuationProgram::activation_count() const noexcept {
+  std::int64_t count = 0;
+  for (const ActuationFrame& frame : frames) {
+    count += static_cast<std::int64_t>(frame.energized.size());
+  }
+  return count;
+}
+
+ActuationProgram compile_routes(const std::vector<TimedRoute>& routes,
+                                double drive_voltage) {
+  DMFB_EXPECTS(drive_voltage > 0.0);
+  ActuationProgram program;
+  program.drive_voltage = drive_voltage;
+  std::int64_t makespan = 0;
+  for (const TimedRoute& route : routes) {
+    DMFB_EXPECTS(!route.cells.empty());
+    makespan = std::max(makespan, route.arrival_time());
+  }
+  program.frames.reserve(static_cast<std::size_t>(makespan));
+  for (std::int64_t t = 0; t < makespan; ++t) {
+    ActuationFrame frame;
+    frame.cycle = t;
+    for (const TimedRoute& route : routes) {
+      const hex::CellIndex here = route.at(t);
+      const hex::CellIndex next = route.at(t + 1);
+      if (next != here) frame.energized.push_back(next);
+    }
+    std::sort(frame.energized.begin(), frame.energized.end());
+    program.frames.push_back(std::move(frame));
+  }
+  return program;
+}
+
+const char* to_string(ActuationFault fault) noexcept {
+  switch (fault) {
+    case ActuationFault::kNone: return "none";
+    case ActuationFault::kDoubleDrive: return "double-drive";
+    case ActuationFault::kDeadActivation: return "dead-activation";
+  }
+  return "?";
+}
+
+ActuationFault validate_program(const ActuationProgram& program,
+                                const std::vector<TimedRoute>& routes,
+                                const biochip::HexArray& array) {
+  for (const ActuationFrame& frame : program.frames) {
+    // Double drive: one electrode cannot pull two droplets.
+    for (std::size_t i = 1; i < frame.energized.size(); ++i) {
+      if (frame.energized[i] == frame.energized[i - 1]) {
+        return ActuationFault::kDoubleDrive;
+      }
+    }
+    // Every energised electrode must be adjacent to (or under) a droplet at
+    // that cycle, otherwise it pulls nothing.
+    for (const hex::CellIndex electrode : frame.energized) {
+      bool near_droplet = false;
+      for (const TimedRoute& route : routes) {
+        const hex::CellIndex at = route.at(frame.cycle);
+        if (at == electrode ||
+            hex::adjacent(array.region().coord_at(at),
+                          array.region().coord_at(electrode))) {
+          near_droplet = true;
+          break;
+        }
+      }
+      if (!near_droplet) return ActuationFault::kDeadActivation;
+    }
+  }
+  return ActuationFault::kNone;
+}
+
+void disassemble(const ActuationProgram& program,
+                 const biochip::HexArray& array, std::ostream& os) {
+  os << "; actuation program: " << program.cycle_count() << " cycles, "
+     << program.activation_count() << " activations @ "
+     << program.drive_voltage << " V\n";
+  for (const ActuationFrame& frame : program.frames) {
+    os << "t=" << frame.cycle << ':';
+    for (const hex::CellIndex electrode : frame.energized) {
+      os << ' ' << array.region().coord_at(electrode);
+    }
+    os << '\n';
+  }
+}
+
+}  // namespace dmfb::fluidics

@@ -1,0 +1,67 @@
+// Electrode actuation programs.
+//
+// The paper (Section 3): "The configurations of the microfluidic array are
+// programmed into a microcontroller that controls the voltages of
+// electrodes in the array." This module compiles routed droplet motion into
+// that program: for every cycle, the set of electrodes to energise (each
+// droplet's *destination* cell is driven high while its current cell is
+// released — the electrowetting hand-off). The program can be checked for
+// electrode-level conflicts and disassembled for inspection/export.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "biochip/hex_array.hpp"
+#include "fluidics/router.hpp"
+
+namespace dmfb::fluidics {
+
+/// One cycle of electrode drive state.
+struct ActuationFrame {
+  std::int64_t cycle = 0;
+  /// Electrodes driven high this cycle (each pulls one droplet).
+  std::vector<hex::CellIndex> energized;
+};
+
+/// A complete per-cycle electrode program.
+struct ActuationProgram {
+  double drive_voltage = 60.0;
+  std::vector<ActuationFrame> frames;
+
+  std::int64_t cycle_count() const noexcept {
+    return static_cast<std::int64_t>(frames.size());
+  }
+  /// Total electrode activations (a proxy for energy / EWOD stress).
+  std::int64_t activation_count() const noexcept;
+};
+
+/// Compiles timed routes into an actuation program. Frame t holds, for every
+/// droplet that moves between t and t+1, the destination electrode.
+/// Parked droplets need no drive (the droplet rests on a grounded cell).
+ActuationProgram compile_routes(const std::vector<TimedRoute>& routes,
+                                double drive_voltage = 60.0);
+
+/// Validation errors detectable in a program.
+enum class ActuationFault : std::uint8_t {
+  kNone,
+  /// Same electrode driven for two different droplets in one frame.
+  kDoubleDrive,
+  /// An energised electrode is not adjacent to any routed droplet position
+  /// (would move nothing — a dead activation).
+  kDeadActivation,
+};
+
+const char* to_string(ActuationFault fault) noexcept;
+
+/// Checks `program` against the routes it was compiled from.
+ActuationFault validate_program(const ActuationProgram& program,
+                                const std::vector<TimedRoute>& routes,
+                                const biochip::HexArray& array);
+
+/// Human-readable disassembly (one line per frame).
+void disassemble(const ActuationProgram& program,
+                 const biochip::HexArray& array, std::ostream& os);
+
+}  // namespace dmfb::fluidics

@@ -1,0 +1,69 @@
+#include "fluidics/constraints.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+#include "hexgrid/hex_coord.hpp"
+
+namespace dmfb::fluidics {
+
+namespace {
+
+std::pair<DropletId, DropletId> ordered(DropletId a, DropletId b) {
+  return {std::min(a, b), std::max(a, b)};
+}
+
+}  // namespace
+
+ConstraintChecker::ConstraintChecker(const biochip::HexArray& array)
+    : array_(array) {}
+
+void ConstraintChecker::allow_pair(DropletId a, DropletId b) {
+  allowed_pairs_.insert(ordered(a, b));
+}
+
+void ConstraintChecker::forbid_pair(DropletId a, DropletId b) {
+  allowed_pairs_.erase(ordered(a, b));
+}
+
+bool ConstraintChecker::pair_allowed(DropletId a, DropletId b) const noexcept {
+  return allowed_pairs_.contains(ordered(a, b));
+}
+
+std::int32_t ConstraintChecker::cell_distance(hex::CellIndex a,
+                                              hex::CellIndex b) const {
+  return hex::distance(array_.region().coord_at(a),
+                       array_.region().coord_at(b));
+}
+
+std::optional<FluidicViolationInfo> ConstraintChecker::check_static(
+    const std::vector<DropletAt>& now) const {
+  for (std::size_t i = 0; i < now.size(); ++i) {
+    for (std::size_t j = i + 1; j < now.size(); ++j) {
+      if (pair_allowed(now[i].droplet, now[j].droplet)) continue;
+      if (cell_distance(now[i].cell, now[j].cell) <= 1) {
+        return FluidicViolationInfo{FluidicViolationInfo::Kind::kStatic,
+                                    now[i].droplet, now[j].droplet};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<FluidicViolationInfo> ConstraintChecker::check_dynamic(
+    const std::vector<DropletAt>& prev,
+    const std::vector<DropletAt>& now) const {
+  for (const DropletAt& moved : now) {
+    for (const DropletAt& other : prev) {
+      if (moved.droplet == other.droplet) continue;
+      if (pair_allowed(moved.droplet, other.droplet)) continue;
+      if (cell_distance(moved.cell, other.cell) <= 1) {
+        return FluidicViolationInfo{FluidicViolationInfo::Kind::kDynamic,
+                                    moved.droplet, other.droplet};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace dmfb::fluidics

@@ -1,0 +1,68 @@
+// Fluidic (droplet non-interference) constraints.
+//
+// Digital microfluidics imposes two rules on concurrently moving droplets
+// that are not meant to merge:
+//   * static  constraint: at any time step, two droplets must not occupy the
+//     same or adjacent cells (they would touch and coalesce);
+//   * dynamic constraint: a droplet's new cell must not be adjacent to any
+//     other droplet's *previous* cell (a droplet sweeping past another's old
+//     position can still split/merge mid-flight).
+// Pairs registered as merge-allowed are exempt — that is exactly how
+// intentional mixing happens.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "biochip/hex_array.hpp"
+
+namespace dmfb::fluidics {
+
+using DropletId = std::int32_t;
+
+/// A droplet position snapshot used for constraint checking.
+struct DropletAt {
+  DropletId droplet = 0;
+  hex::CellIndex cell = hex::kInvalidCell;
+};
+
+/// A detected constraint violation.
+struct FluidicViolationInfo {
+  enum class Kind : std::uint8_t { kStatic, kDynamic };
+  Kind kind = Kind::kStatic;
+  DropletId first = 0;
+  DropletId second = 0;
+};
+
+/// Checks the static/dynamic constraints over droplet position snapshots.
+class ConstraintChecker {
+ public:
+  explicit ConstraintChecker(const biochip::HexArray& array);
+
+  /// Marks the (unordered) pair as allowed to touch/merge.
+  void allow_pair(DropletId a, DropletId b);
+  void forbid_pair(DropletId a, DropletId b);
+  bool pair_allowed(DropletId a, DropletId b) const noexcept;
+
+  /// Static check of one snapshot: first violating pair, if any.
+  std::optional<FluidicViolationInfo> check_static(
+      const std::vector<DropletAt>& now) const;
+
+  /// Dynamic check between consecutive snapshots (same droplet set; `prev`
+  /// positions of other droplets vs `now` positions).
+  std::optional<FluidicViolationInfo> check_dynamic(
+      const std::vector<DropletAt>& prev,
+      const std::vector<DropletAt>& now) const;
+
+ private:
+  /// Hex distance between two cells of the array.
+  std::int32_t cell_distance(hex::CellIndex a, hex::CellIndex b) const;
+
+  const biochip::HexArray& array_;
+  std::set<std::pair<DropletId, DropletId>> allowed_pairs_;
+};
+
+}  // namespace dmfb::fluidics

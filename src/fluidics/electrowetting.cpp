@@ -1,0 +1,47 @@
+#include "fluidics/electrowetting.hpp"
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace dmfb::fluidics {
+
+ElectrowettingModel::ElectrowettingModel(const ElectrowettingSpec& spec)
+    : spec_(spec) {
+  DMFB_EXPECTS(spec.threshold_voltage > 0.0);
+  DMFB_EXPECTS(spec.saturation_voltage > spec.threshold_voltage);
+  DMFB_EXPECTS(spec.max_velocity_cm_s > 0.0);
+  DMFB_EXPECTS(spec.electrode_pitch_um > 0.0);
+}
+
+double ElectrowettingModel::velocity_cm_s(double voltage) const {
+  DMFB_EXPECTS(voltage >= 0.0);
+  if (voltage <= spec_.threshold_voltage) return 0.0;
+  const double vth2 = spec_.threshold_voltage * spec_.threshold_voltage;
+  const double vsat2 = spec_.saturation_voltage * spec_.saturation_voltage;
+  const double drive = (voltage * voltage - vth2) / (vsat2 - vth2);
+  return spec_.max_velocity_cm_s * std::min(1.0, drive);
+}
+
+double ElectrowettingModel::seconds_per_hop(double voltage) const {
+  const double velocity = velocity_cm_s(voltage);
+  if (velocity <= 0.0) return HUGE_VAL;
+  const double pitch_cm = spec_.electrode_pitch_um * 1e-4;
+  return pitch_cm / velocity;
+}
+
+double ElectrowettingModel::hops_per_second(double voltage) const {
+  const double seconds = seconds_per_hop(voltage);
+  return seconds == HUGE_VAL ? 0.0 : 1.0 / seconds;
+}
+
+double ElectrowettingModel::voltage_for_velocity(double velocity_cm_s) const {
+  DMFB_EXPECTS(velocity_cm_s > 0.0);
+  DMFB_EXPECTS(velocity_cm_s <= spec_.max_velocity_cm_s);
+  const double vth2 = spec_.threshold_voltage * spec_.threshold_voltage;
+  const double vsat2 = spec_.saturation_voltage * spec_.saturation_voltage;
+  const double drive = velocity_cm_s / spec_.max_velocity_cm_s;
+  return std::sqrt(vth2 + drive * (vsat2 - vth2));
+}
+
+}  // namespace dmfb::fluidics

@@ -1,0 +1,48 @@
+// Electrowetting actuation model (paper Section 3).
+//
+// Droplet transport is driven by a surface-tension gradient created when the
+// electrode ahead of the droplet is energised. The electrowetting force
+// scales with V^2 (Lippmann-Young), there is a threshold voltage below which
+// contact-angle hysteresis pins the droplet, and velocity saturates at high
+// drive — the paper reports up to 20 cm/s within a 0-90 V control range.
+// This model maps control voltage to droplet velocity and converts between
+// actuation cycles and wall-clock seconds for the assay kinetics.
+#pragma once
+
+namespace dmfb::fluidics {
+
+struct ElectrowettingSpec {
+  double threshold_voltage = 12.0;   ///< V, below this the droplet is pinned
+  double saturation_voltage = 90.0;  ///< V, top of the control range
+  double max_velocity_cm_s = 20.0;   ///< cm/s at saturation (paper, ref [12])
+  double electrode_pitch_um = 1500.0;  ///< centre-to-centre electrode pitch
+};
+
+class ElectrowettingModel {
+ public:
+  ElectrowettingModel() : ElectrowettingModel(ElectrowettingSpec{}) {}
+  explicit ElectrowettingModel(const ElectrowettingSpec& spec);
+
+  const ElectrowettingSpec& spec() const noexcept { return spec_; }
+
+  /// Droplet velocity (cm/s) at the given control voltage: 0 below the
+  /// threshold, then proportional to (V^2 - Vth^2), saturating at
+  /// max_velocity for V >= Vsat.
+  double velocity_cm_s(double voltage) const;
+
+  /// Time for one single-cell hop at the given voltage, in seconds.
+  /// Infinite (HUGE_VAL) below the threshold voltage.
+  double seconds_per_hop(double voltage) const;
+
+  /// Hops per second at the given voltage (0 below threshold).
+  double hops_per_second(double voltage) const;
+
+  /// Minimum voltage that achieves at least `velocity_cm_s` (inverse model);
+  /// requires 0 < velocity <= max_velocity.
+  double voltage_for_velocity(double velocity_cm_s) const;
+
+ private:
+  ElectrowettingSpec spec_;
+};
+
+}  // namespace dmfb::fluidics

@@ -1,0 +1,47 @@
+#include "fluidics/mixture.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+
+namespace dmfb::fluidics {
+
+Mixture Mixture::of(const std::string& species, double nanomoles) {
+  DMFB_EXPECTS(nanomoles >= 0.0);
+  Mixture mixture;
+  if (nanomoles > 0.0) mixture.amounts_[species] = nanomoles;
+  return mixture;
+}
+
+Mixture Mixture::from_concentration(const std::string& species,
+                                    double concentration_mm,
+                                    double volume_nl) {
+  DMFB_EXPECTS(concentration_mm >= 0.0);
+  DMFB_EXPECTS(volume_nl > 0.0);
+  return of(species, concentration_mm * volume_nl * 1e-3);
+}
+
+void Mixture::add(const Mixture& other) {
+  for (const auto& [species, nanomoles] : other.amounts_) {
+    amounts_[species] += nanomoles;
+  }
+}
+
+void Mixture::add_amount(const std::string& species, double nanomoles) {
+  double& slot = amounts_[species];
+  slot = std::max(0.0, slot + nanomoles);
+  if (slot == 0.0) amounts_.erase(species);
+}
+
+double Mixture::amount(const std::string& species) const noexcept {
+  const auto it = amounts_.find(species);
+  return it == amounts_.end() ? 0.0 : it->second;
+}
+
+double Mixture::concentration_mm(const std::string& species,
+                                 double volume_nl) const {
+  DMFB_EXPECTS(volume_nl > 0.0);
+  return amount(species) / volume_nl * 1e3;
+}
+
+}  // namespace dmfb::fluidics

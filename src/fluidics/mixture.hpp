@@ -1,0 +1,49 @@
+// Chemical contents of a droplet.
+//
+// A Mixture tracks absolute amounts (nanomoles) of named species, so that
+// merging two droplets is plain addition and concentrations follow from the
+// merged volume. The assay layer (Trinder reaction) consumes and produces
+// species through this interface.
+#pragma once
+
+#include <map>
+#include <string>
+
+namespace dmfb::fluidics {
+
+class Mixture {
+ public:
+  Mixture() = default;
+
+  /// A mixture holding `nanomoles` of a single species.
+  static Mixture of(const std::string& species, double nanomoles);
+
+  /// A mixture from a concentration: mM * nL = picomol; we keep nanomoles,
+  /// so amount = concentration_mM * volume_nl * 1e-3.
+  static Mixture from_concentration(const std::string& species,
+                                    double concentration_mm, double volume_nl);
+
+  /// Adds all species of `other` into this mixture.
+  void add(const Mixture& other);
+
+  /// Adds `nanomoles` of `species` (negative consumes; clamped at zero).
+  void add_amount(const std::string& species, double nanomoles);
+
+  /// Amount in nanomoles (0 for absent species).
+  double amount(const std::string& species) const noexcept;
+
+  /// Concentration in mM given the droplet volume in nL.
+  double concentration_mm(const std::string& species,
+                          double volume_nl) const;
+
+  bool empty() const noexcept { return amounts_.empty(); }
+
+  const std::map<std::string, double>& amounts() const noexcept {
+    return amounts_;
+  }
+
+ private:
+  std::map<std::string, double> amounts_;  // species -> nanomoles
+};
+
+}  // namespace dmfb::fluidics

@@ -1,0 +1,93 @@
+#include "fluidics/placement.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+#include "hexgrid/hex_coord.hpp"
+
+namespace dmfb::fluidics {
+
+HexModuleShape mixer_shape() {
+  // Anchor plus east run and a south-east cell: matches the diagnostics
+  // chip's mixers (entry + 3-cell circulation loop).
+  return {"mixer", {{0, 0}, {1, 0}, {2, 0}, {1, 1}}};
+}
+
+HexModuleShape detector_shape() { return {"detector", {{0, 0}}}; }
+
+HexModuleShape linear_shape(std::int32_t length) {
+  DMFB_EXPECTS(length >= 1);
+  HexModuleShape shape;
+  shape.name = "segment-" + std::to_string(length);
+  for (std::int32_t i = 0; i < length; ++i) shape.offsets.push_back({i, 0});
+  return shape;
+}
+
+std::vector<hex::CellIndex> PlacedHexModule::cells(
+    const biochip::HexArray& array) const {
+  std::vector<hex::CellIndex> result;
+  result.reserve(shape.offsets.size());
+  for (const hex::HexCoord offset : shape.offsets) {
+    const hex::CellIndex cell = array.region().index_of(anchor + offset);
+    DMFB_EXPECTS(cell != hex::kInvalidCell);
+    result.push_back(cell);
+  }
+  return result;
+}
+
+ModulePlacer::ModulePlacer(const biochip::HexArray& array) : array_(array) {}
+
+bool ModulePlacer::fits(const HexModuleShape& shape, hex::HexCoord anchor,
+                        const std::vector<char>& blocked) const {
+  for (const hex::HexCoord offset : shape.offsets) {
+    const hex::CellIndex cell = array_.region().index_of(anchor + offset);
+    if (cell == hex::kInvalidCell) return false;
+    if (array_.role(cell) != biochip::CellRole::kPrimary) return false;
+    if (array_.health(cell) != biochip::CellHealth::kHealthy) return false;
+    if (blocked[static_cast<std::size_t>(cell)]) return false;
+  }
+  return true;
+}
+
+std::optional<std::vector<PlacedHexModule>> ModulePlacer::place(
+    const std::vector<HexModuleShape>& shapes) const {
+  std::vector<PlacedHexModule> placed;
+  // blocked = cells already used by a module, or inside its one-cell
+  // fluidic-segregation margin.
+  std::vector<char> blocked(static_cast<std::size_t>(array_.cell_count()), 0);
+
+  std::int32_t next_id = 0;
+  for (const HexModuleShape& shape : shapes) {
+    DMFB_EXPECTS(!shape.offsets.empty());
+    DMFB_EXPECTS(shape.offsets.front() == (hex::HexCoord{0, 0}));
+    bool found = false;
+    for (const hex::HexCoord anchor : array_.region().cells()) {
+      if (!fits(shape, anchor, blocked)) continue;
+      PlacedHexModule module{next_id++, shape, anchor};
+      for (const hex::CellIndex cell : module.cells(array_)) {
+        blocked[static_cast<std::size_t>(cell)] = 1;
+        for (const hex::CellIndex margin : array_.neighbors_of(cell)) {
+          blocked[static_cast<std::size_t>(margin)] = 1;
+        }
+      }
+      placed.push_back(std::move(module));
+      found = true;
+      break;
+    }
+    if (!found) return std::nullopt;
+  }
+  return placed;
+}
+
+std::int32_t total_displacement(const std::vector<PlacedHexModule>& before,
+                                const std::vector<PlacedHexModule>& after) {
+  DMFB_EXPECTS(before.size() == after.size());
+  std::int32_t total = 0;
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    DMFB_EXPECTS(before[i].shape.name == after[i].shape.name);
+    total += hex::distance(before[i].anchor, after[i].anchor);
+  }
+  return total;
+}
+
+}  // namespace dmfb::fluidics

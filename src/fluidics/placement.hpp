@@ -1,0 +1,80 @@
+// Module placement and re-placement on hexagonal arrays.
+//
+// Virtual modules (mixers, detectors, storage segments) occupy groups of
+// cells. Because DMFB cells are interchangeable, a faulty cell can also be
+// tolerated by *re-placing* the module somewhere healthy — the paper's
+// first category of reconfiguration ("attempt to tolerate the defect by
+// using fault-free unused cells... it leads to an increase in design
+// complexity"). This module implements that baseline so the benches can
+// compare it against interstitial redundancy:
+//
+//   * deterministic greedy placement with one-cell fluidic segregation
+//     between modules (droplets inside one module must not touch another);
+//   * re-placement on the faulty array = the same procedure with faulty
+//     cells excluded;
+//   * displacement cost = how far modules had to move.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "biochip/hex_array.hpp"
+
+namespace dmfb::fluidics {
+
+/// A module footprint: offsets relative to the anchor; offsets[0] = (0,0).
+struct HexModuleShape {
+  std::string name;
+  std::vector<hex::HexCoord> offsets;
+
+  std::int32_t cell_count() const noexcept {
+    return static_cast<std::int32_t>(offsets.size());
+  }
+};
+
+/// The 4-cell mixer block used by the diagnostics chip (a triangle loop
+/// plus an entry cell).
+HexModuleShape mixer_shape();
+/// Single-cell optical detector.
+HexModuleShape detector_shape();
+/// A 1 x length transport/storage segment.
+HexModuleShape linear_shape(std::int32_t length);
+
+/// A shape instantiated at an anchor.
+struct PlacedHexModule {
+  std::int32_t id = 0;
+  HexModuleShape shape;
+  hex::HexCoord anchor;
+
+  /// Resolved cell indices on `array` (all valid, in offset order).
+  std::vector<hex::CellIndex> cells(const biochip::HexArray& array) const;
+};
+
+/// Greedy deterministic placer.
+class ModulePlacer {
+ public:
+  explicit ModulePlacer(const biochip::HexArray& array);
+
+  /// Places the shapes in order, scanning anchors in region order. Each
+  /// module needs healthy primary cells; modules keep >= 1 cell of
+  /// clearance from each other. Returns nullopt when any shape cannot be
+  /// placed.
+  std::optional<std::vector<PlacedHexModule>> place(
+      const std::vector<HexModuleShape>& shapes) const;
+
+  /// True iff `shape` fits at `anchor` given `occupied_or_margin` cells.
+  bool fits(const HexModuleShape& shape, hex::HexCoord anchor,
+            const std::vector<char>& blocked) const;
+
+ private:
+  const biochip::HexArray& array_;
+};
+
+/// Total anchor displacement (hex distance) between two placements of the
+/// same module list — the re-placement cost metric.
+std::int32_t total_displacement(const std::vector<PlacedHexModule>& before,
+                                const std::vector<PlacedHexModule>& after);
+
+}  // namespace dmfb::fluidics

@@ -1,0 +1,250 @@
+#include "fluidics/simulator.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/contracts.hpp"
+#include "hexgrid/hex_coord.hpp"
+
+namespace dmfb::fluidics {
+
+namespace {
+
+std::string describe_cell(const biochip::HexArray& array, hex::CellIndex cell) {
+  std::ostringstream out;
+  const hex::HexCoord at = array.region().coord_at(cell);
+  out << "cell " << cell << " (" << at.q << ',' << at.r << ')';
+  return out.str();
+}
+
+}  // namespace
+
+DropletSimulator::DropletSimulator(const UsableCells& usable)
+    : usable_(usable), checker_(usable.array()) {}
+
+DropletId DropletSimulator::dispense(hex::CellIndex at, double volume_nl,
+                                     const Mixture& mixture) {
+  DMFB_EXPECTS(volume_nl > 0.0);
+  if (!usable_.usable(at)) {
+    throw FluidicViolation("dispense onto unusable " +
+                           describe_cell(usable_.array(), at));
+  }
+  const auto id = static_cast<DropletId>(droplets_.size());
+  Droplet droplet;
+  droplet.id = id;
+  droplet.cell = at;
+  droplet.volume_nl = volume_nl;
+  droplet.mixture = mixture;
+  droplet.formed_at = now_;
+  droplets_.push_back(std::move(droplet));
+
+  const auto violation = checker_.check_static(snapshot());
+  if (violation) {
+    droplets_.pop_back();
+    throw FluidicViolation("dispense violates static constraint at " +
+                           describe_cell(usable_.array(), at));
+  }
+  return id;
+}
+
+void DropletSimulator::remove(DropletId droplet) {
+  droplet_ref(droplet).active = false;
+}
+
+void DropletSimulator::allow_merge(DropletId a, DropletId b) {
+  DMFB_EXPECTS(a != b);
+  droplet_ref(a);
+  droplet_ref(b);
+  checker_.allow_pair(a, b);
+}
+
+std::pair<DropletId, DropletId> DropletSimulator::split(DropletId droplet,
+                                                        hex::Direction axis) {
+  Droplet& parent = droplet_ref(droplet);
+  const hex::CellIndex parent_cell = parent.cell;
+  const auto& array = usable_.array();
+  const hex::HexCoord center = array.region().coord_at(parent_cell);
+  const hex::HexCoord left = hex::neighbor(center, axis);
+  const auto opposite = static_cast<hex::Direction>(
+      (static_cast<std::uint8_t>(axis) + 3) % 6);
+  const hex::HexCoord right = hex::neighbor(center, opposite);
+  const hex::CellIndex left_cell = array.region().index_of(left);
+  const hex::CellIndex right_cell = array.region().index_of(right);
+  if (left_cell == hex::kInvalidCell || right_cell == hex::kInvalidCell ||
+      !usable_.usable(left_cell) || !usable_.usable(right_cell)) {
+    throw FluidicViolation("split needs two usable flanking cells at " +
+                           describe_cell(array, parent_cell));
+  }
+
+  const double half_volume = parent.volume_nl / 2.0;
+  Mixture half_mixture;
+  for (const auto& [species, nanomoles] : parent.mixture.amounts()) {
+    half_mixture.add_amount(species, nanomoles / 2.0);
+  }
+  parent.active = false;
+
+  const auto make_half = [&](hex::CellIndex cell) {
+    const auto id = static_cast<DropletId>(droplets_.size());
+    Droplet half;
+    half.id = id;
+    half.cell = cell;
+    half.volume_nl = half_volume;
+    half.mixture = half_mixture;
+    half.formed_at = now_;
+    droplets_.push_back(std::move(half));
+    return id;
+  };
+  const DropletId a = make_half(left_cell);
+  const DropletId b = make_half(right_cell);
+  // The halves land on opposite flanks (distance 2 apart), which is legal;
+  // still verify the whole board in case another droplet crowds the site.
+  if (const auto violation = checker_.check_static(snapshot())) {
+    throw FluidicViolation("split violates static constraint near " +
+                           describe_cell(array, parent_cell));
+  }
+  ++now_;
+  return {a, b};
+}
+
+void DropletSimulator::step(const std::map<DropletId, hex::CellIndex>& moves) {
+  const std::vector<DropletAt> prev = snapshot();
+  const auto& array = usable_.array();
+
+  for (const auto& [id, target] : moves) {
+    Droplet& droplet = droplet_ref(id);
+    if (!droplet.active) {
+      throw FluidicViolation("move of inactive droplet " + std::to_string(id));
+    }
+    if (target != droplet.cell) {
+      const auto nbrs = array.neighbors_of(droplet.cell);
+      if (std::find(nbrs.begin(), nbrs.end(), target) == nbrs.end()) {
+        throw FluidicViolation("droplet " + std::to_string(id) +
+                               " move is not single-hop to " +
+                               describe_cell(array, target));
+      }
+      if (!usable_.usable(target)) {
+        throw FluidicViolation("droplet " + std::to_string(id) +
+                               " moved onto unusable " +
+                               describe_cell(array, target));
+      }
+      droplet.cell = target;
+    }
+  }
+  ++now_;
+
+  const std::vector<DropletAt> now_positions = snapshot();
+  if (const auto violation = checker_.check_static(now_positions)) {
+    throw FluidicViolation("static fluidic constraint violated by droplets " +
+                           std::to_string(violation->first) + " and " +
+                           std::to_string(violation->second));
+  }
+  if (const auto violation = checker_.check_dynamic(prev, now_positions)) {
+    throw FluidicViolation("dynamic fluidic constraint violated by droplets " +
+                           std::to_string(violation->first) + " and " +
+                           std::to_string(violation->second));
+  }
+  merge_pass();
+}
+
+void DropletSimulator::idle(std::int64_t cycles) {
+  DMFB_EXPECTS(cycles >= 0);
+  for (std::int64_t i = 0; i < cycles; ++i) step({});
+}
+
+void DropletSimulator::run_routes(const std::vector<TimedRoute>& routes) {
+  std::int64_t makespan = 0;
+  for (const TimedRoute& route : routes) {
+    DMFB_EXPECTS(!route.cells.empty());
+    makespan = std::max(makespan, route.arrival_time());
+    if (droplet(route.droplet).cell != route.cells.front()) {
+      throw FluidicViolation("route for droplet " +
+                             std::to_string(route.droplet) +
+                             " does not start at its current cell");
+    }
+  }
+  for (std::int64_t t = 1; t <= makespan; ++t) {
+    std::map<DropletId, hex::CellIndex> moves;
+    for (const TimedRoute& route : routes) {
+      if (droplet(route.droplet).active) {
+        moves[route.droplet] = route.at(t);
+      }
+    }
+    step(moves);
+  }
+}
+
+const Droplet& DropletSimulator::droplet(DropletId droplet) const {
+  DMFB_EXPECTS(droplet >= 0 &&
+               droplet < static_cast<DropletId>(droplets_.size()));
+  return droplets_[static_cast<std::size_t>(droplet)];
+}
+
+Droplet& DropletSimulator::droplet_ref(DropletId droplet) {
+  DMFB_EXPECTS(droplet >= 0 &&
+               droplet < static_cast<DropletId>(droplets_.size()));
+  return droplets_[static_cast<std::size_t>(droplet)];
+}
+
+std::vector<Droplet> DropletSimulator::active_droplets() const {
+  std::vector<Droplet> result;
+  for (const Droplet& droplet : droplets_) {
+    if (droplet.active) result.push_back(droplet);
+  }
+  return result;
+}
+
+std::int32_t DropletSimulator::active_count() const noexcept {
+  std::int32_t count = 0;
+  for (const Droplet& droplet : droplets_) {
+    if (droplet.active) ++count;
+  }
+  return count;
+}
+
+std::optional<DropletId> DropletSimulator::droplet_at(
+    hex::CellIndex cell) const {
+  for (const Droplet& droplet : droplets_) {
+    if (droplet.active && droplet.cell == cell) return droplet.id;
+  }
+  return std::nullopt;
+}
+
+std::vector<DropletAt> DropletSimulator::snapshot() const {
+  std::vector<DropletAt> positions;
+  for (const Droplet& droplet : droplets_) {
+    if (droplet.active) positions.push_back({droplet.id, droplet.cell});
+  }
+  return positions;
+}
+
+void DropletSimulator::merge_pass() {
+  const auto& array = usable_.array();
+  bool merged = true;
+  while (merged) {
+    merged = false;
+    const auto active = active_droplets();
+    for (std::size_t i = 0; i < active.size() && !merged; ++i) {
+      for (std::size_t j = i + 1; j < active.size() && !merged; ++j) {
+        if (!checker_.pair_allowed(active[i].id, active[j].id)) continue;
+        const auto d = hex::distance(array.region().coord_at(active[i].cell),
+                                     array.region().coord_at(active[j].cell));
+        if (d == 0) {
+          merge_into(active[i].id, active[j].id);
+          merged = true;
+        }
+      }
+    }
+  }
+}
+
+void DropletSimulator::merge_into(DropletId keep, DropletId absorb) {
+  Droplet& keeper = droplet_ref(keep);
+  Droplet& absorbed = droplet_ref(absorb);
+  keeper.volume_nl += absorbed.volume_nl;
+  keeper.mixture.add(absorbed.mixture);
+  keeper.formed_at = now_;  // reaction clock restarts at mixing
+  absorbed.active = false;
+  checker_.forbid_pair(keep, absorb);
+}
+
+}  // namespace dmfb::fluidics

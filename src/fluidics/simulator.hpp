@@ -1,0 +1,106 @@
+// Cycle-accurate droplet simulator.
+//
+// Executes dispenses, per-cycle moves (or whole TimedRoute batches), merges
+// and splits on a HexArray, enforcing at every step:
+//   * cell usability — droplets travel only on healthy primary cells and
+//     explicitly activated spare cells (reconfiguration activates spares);
+//   * move legality — a droplet moves at most one cell per cycle;
+//   * fluidic constraints — static and dynamic non-interference, except for
+//     merge-allowed pairs.
+// Violations throw FluidicViolation: an illegal actuation program is a bug
+// in the caller (scheduler/test), never silently tolerated.
+//
+// The simulator also timestamps droplet formation so the assay layer can
+// convert "cycles since mixing" into reaction time.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "biochip/hex_array.hpp"
+#include "fluidics/constraints.hpp"
+#include "fluidics/mixture.hpp"
+#include "fluidics/router.hpp"
+
+namespace dmfb::fluidics {
+
+/// Thrown when an actuation program violates fluidic or array rules.
+class FluidicViolation : public std::runtime_error {
+ public:
+  explicit FluidicViolation(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// A droplet living on the array.
+struct Droplet {
+  DropletId id = 0;
+  hex::CellIndex cell = hex::kInvalidCell;
+  double volume_nl = 0.0;
+  Mixture mixture;
+  std::int64_t formed_at = 0;  ///< cycle of dispense or merge
+  bool active = true;          ///< false once merged away or removed
+};
+
+class DropletSimulator {
+ public:
+  /// The simulator moves droplets over `usable` cells; the UsableCells view
+  /// (and through it the array) must outlive the simulator.
+  explicit DropletSimulator(const UsableCells& usable);
+
+  const UsableCells& usable() const noexcept { return usable_; }
+  std::int64_t now() const noexcept { return now_; }
+
+  // -- droplet lifecycle ----------------------------------------------------
+  /// Creates a droplet at `at` (must be usable and fluidically clear).
+  DropletId dispense(hex::CellIndex at, double volume_nl,
+                     const Mixture& mixture);
+
+  /// Removes a droplet from the array (waste port / readout complete).
+  void remove(DropletId droplet);
+
+  /// Registers that `a` and `b` may touch and merge.
+  void allow_merge(DropletId a, DropletId b);
+
+  /// Splits `droplet` into two equal halves placed on the two opposite
+  /// neighbours of its cell along `axis`; consumes one cycle.
+  std::pair<DropletId, DropletId> split(DropletId droplet,
+                                        hex::Direction axis);
+
+  // -- time -----------------------------------------------------------------
+  /// Advances one cycle with the given moves (droplet -> target cell; a
+  /// missing entry means "hold position"). Merge-allowed droplets ending on
+  /// the same or adjacent cells coalesce (the pair merges into the droplet
+  /// with the lower id; the other becomes inactive).
+  void step(const std::map<DropletId, hex::CellIndex>& moves);
+
+  /// Advances one cycle with every droplet holding position.
+  void idle(std::int64_t cycles = 1);
+
+  /// Replays a batch of timed routes (as produced by MultiDropletRouter)
+  /// from the current cycle until every route has arrived.
+  void run_routes(const std::vector<TimedRoute>& routes);
+
+  // -- observation ----------------------------------------------------------
+  const Droplet& droplet(DropletId droplet) const;
+  std::vector<Droplet> active_droplets() const;
+  std::int32_t active_count() const noexcept;
+  /// Droplet currently on `cell`, if any.
+  std::optional<DropletId> droplet_at(hex::CellIndex cell) const;
+
+ private:
+  Droplet& droplet_ref(DropletId droplet);
+  std::vector<DropletAt> snapshot() const;
+  void merge_pass();
+  void merge_into(DropletId keep, DropletId absorb);
+
+  const UsableCells& usable_;
+  ConstraintChecker checker_;
+  std::vector<Droplet> droplets_;  // index = id
+  std::int64_t now_ = 0;
+};
+
+}  // namespace dmfb::fluidics

@@ -1,0 +1,35 @@
+#include "graph/bipartite_graph.hpp"
+
+#include "common/contracts.hpp"
+
+namespace dmfb::graph {
+
+BipartiteGraph::BipartiteGraph(std::int32_t left_count,
+                               std::int32_t right_count)
+    : left_count_(left_count), right_count_(right_count) {
+  DMFB_EXPECTS(left_count >= 0 && right_count >= 0);
+  adj_left_.resize(static_cast<std::size_t>(left_count));
+  adj_right_.resize(static_cast<std::size_t>(right_count));
+}
+
+void BipartiteGraph::add_edge(std::int32_t left, std::int32_t right) {
+  DMFB_EXPECTS(left >= 0 && left < left_count_);
+  DMFB_EXPECTS(right >= 0 && right < right_count_);
+  adj_left_[static_cast<std::size_t>(left)].push_back(right);
+  adj_right_[static_cast<std::size_t>(right)].push_back(left);
+  ++edge_count_;
+}
+
+std::span<const std::int32_t> BipartiteGraph::neighbors_of_left(
+    std::int32_t left) const {
+  DMFB_EXPECTS(left >= 0 && left < left_count_);
+  return adj_left_[static_cast<std::size_t>(left)];
+}
+
+std::span<const std::int32_t> BipartiteGraph::neighbors_of_right(
+    std::int32_t right) const {
+  DMFB_EXPECTS(right >= 0 && right < right_count_);
+  return adj_right_[static_cast<std::size_t>(right)];
+}
+
+}  // namespace dmfb::graph

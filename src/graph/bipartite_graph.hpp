@@ -1,0 +1,38 @@
+// Bipartite graph BG(A, B, E) — the paper's reconfiguration model (Fig. 8).
+//
+// Left vertices (set A) are the faulty primary cells, right vertices (set B)
+// the fault-free spare cells; an edge means physical adjacency on the array.
+// The class itself is domain-neutral: it is also exercised directly by the
+// matching-engine property tests.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace dmfb::graph {
+
+class BipartiteGraph {
+ public:
+  /// Creates a graph with fixed vertex counts and no edges.
+  BipartiteGraph(std::int32_t left_count, std::int32_t right_count);
+
+  /// Adds an undirected edge; parallel edges are permitted but pointless.
+  void add_edge(std::int32_t left, std::int32_t right);
+
+  std::int32_t left_count() const noexcept { return left_count_; }
+  std::int32_t right_count() const noexcept { return right_count_; }
+  std::int32_t edge_count() const noexcept { return edge_count_; }
+
+  std::span<const std::int32_t> neighbors_of_left(std::int32_t left) const;
+  std::span<const std::int32_t> neighbors_of_right(std::int32_t right) const;
+
+ private:
+  std::int32_t left_count_;
+  std::int32_t right_count_;
+  std::int32_t edge_count_ = 0;
+  std::vector<std::vector<std::int32_t>> adj_left_;
+  std::vector<std::vector<std::int32_t>> adj_right_;
+};
+
+}  // namespace dmfb::graph

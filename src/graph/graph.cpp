@@ -1,0 +1,145 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/contracts.hpp"
+
+namespace dmfb::graph {
+
+Graph::Graph(std::int32_t node_count) : node_count_(node_count) {
+  DMFB_EXPECTS(node_count >= 0);
+  adj_.resize(static_cast<std::size_t>(node_count));
+}
+
+void Graph::add_edge(std::int32_t a, std::int32_t b) {
+  DMFB_EXPECTS(a >= 0 && a < node_count_);
+  DMFB_EXPECTS(b >= 0 && b < node_count_);
+  DMFB_EXPECTS(a != b);
+  adj_[static_cast<std::size_t>(a)].push_back(b);
+  adj_[static_cast<std::size_t>(b)].push_back(a);
+  ++edge_count_;
+}
+
+std::span<const std::int32_t> Graph::neighbors(std::int32_t v) const {
+  DMFB_EXPECTS(v >= 0 && v < node_count_);
+  return adj_[static_cast<std::size_t>(v)];
+}
+
+std::vector<std::int32_t> bfs_distances(const Graph& graph,
+                                        std::int32_t source) {
+  std::vector<std::int32_t> dist(static_cast<std::size_t>(graph.node_count()),
+                                 -1);
+  std::queue<std::int32_t> frontier;
+  dist[static_cast<std::size_t>(source)] = 0;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const std::int32_t v = frontier.front();
+    frontier.pop();
+    for (const std::int32_t u : graph.neighbors(v)) {
+      if (dist[static_cast<std::size_t>(u)] < 0) {
+        dist[static_cast<std::size_t>(u)] =
+            dist[static_cast<std::size_t>(v)] + 1;
+        frontier.push(u);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<std::int32_t> shortest_path(const Graph& graph, std::int32_t from,
+                                        std::int32_t to) {
+  std::vector<std::int32_t> parent(static_cast<std::size_t>(graph.node_count()),
+                                   -2);
+  std::queue<std::int32_t> frontier;
+  parent[static_cast<std::size_t>(from)] = -1;
+  frontier.push(from);
+  while (!frontier.empty() && parent[static_cast<std::size_t>(to)] == -2) {
+    const std::int32_t v = frontier.front();
+    frontier.pop();
+    for (const std::int32_t u : graph.neighbors(v)) {
+      if (parent[static_cast<std::size_t>(u)] == -2) {
+        parent[static_cast<std::size_t>(u)] = v;
+        frontier.push(u);
+      }
+    }
+  }
+  if (parent[static_cast<std::size_t>(to)] == -2) return {};
+  std::vector<std::int32_t> path;
+  for (std::int32_t v = to; v != -1; v = parent[static_cast<std::size_t>(v)]) {
+    path.push_back(v);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+std::vector<std::vector<std::int32_t>> connected_components(
+    const Graph& graph) {
+  std::vector<char> seen(static_cast<std::size_t>(graph.node_count()), 0);
+  std::vector<std::vector<std::int32_t>> components;
+  for (std::int32_t v = 0; v < graph.node_count(); ++v) {
+    if (seen[static_cast<std::size_t>(v)]) continue;
+    std::vector<std::int32_t> component;
+    std::queue<std::int32_t> frontier;
+    seen[static_cast<std::size_t>(v)] = 1;
+    frontier.push(v);
+    while (!frontier.empty()) {
+      const std::int32_t w = frontier.front();
+      frontier.pop();
+      component.push_back(w);
+      for (const std::int32_t u : graph.neighbors(w)) {
+        if (!seen[static_cast<std::size_t>(u)]) {
+          seen[static_cast<std::size_t>(u)] = 1;
+          frontier.push(u);
+        }
+      }
+    }
+    std::sort(component.begin(), component.end());
+    components.push_back(std::move(component));
+  }
+  return components;
+}
+
+bool is_connected(const Graph& graph) {
+  if (graph.node_count() == 0) return true;
+  return connected_components(graph).size() == 1;
+}
+
+std::vector<std::int32_t> covering_walk(const Graph& graph,
+                                        std::int32_t start) {
+  DMFB_EXPECTS(start >= 0 && start < graph.node_count());
+  std::vector<char> visited(static_cast<std::size_t>(graph.node_count()), 0);
+  std::vector<std::int32_t> walk;
+  // Iterative DFS that records the walk including backtrack steps, so
+  // consecutive entries are always adjacent cells.
+  struct Frame {
+    std::int32_t vertex;
+    std::size_t next = 0;
+  };
+  std::vector<Frame> stack;
+  visited[static_cast<std::size_t>(start)] = 1;
+  walk.push_back(start);
+  stack.push_back({start});
+  while (!stack.empty()) {
+    Frame& top = stack.back();
+    const auto nbrs = graph.neighbors(top.vertex);
+    bool descended = false;
+    while (top.next < nbrs.size()) {
+      const std::int32_t u = nbrs[top.next++];
+      if (!visited[static_cast<std::size_t>(u)]) {
+        visited[static_cast<std::size_t>(u)] = 1;
+        walk.push_back(u);
+        stack.push_back({u});
+        descended = true;
+        break;
+      }
+    }
+    if (!descended) {
+      stack.pop_back();
+      if (!stack.empty()) walk.push_back(stack.back().vertex);  // backtrack
+    }
+  }
+  return walk;
+}
+
+}  // namespace dmfb::graph

@@ -1,0 +1,50 @@
+// Generic undirected graph utilities.
+//
+// Backs the paper's array graph model (Fig. 3(b): nodes = cells, edges =
+// physical adjacency) and the test-planning layer (covering walks for
+// stimulus droplets).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace dmfb::graph {
+
+/// Undirected graph over vertices [0, node_count).
+class Graph {
+ public:
+  explicit Graph(std::int32_t node_count);
+
+  void add_edge(std::int32_t a, std::int32_t b);
+
+  std::int32_t node_count() const noexcept { return node_count_; }
+  std::int32_t edge_count() const noexcept { return edge_count_; }
+  std::span<const std::int32_t> neighbors(std::int32_t v) const;
+
+ private:
+  std::int32_t node_count_;
+  std::int32_t edge_count_ = 0;
+  std::vector<std::vector<std::int32_t>> adj_;
+};
+
+/// BFS distances from `source`; unreachable vertices get -1.
+std::vector<std::int32_t> bfs_distances(const Graph& graph,
+                                        std::int32_t source);
+
+/// Shortest path from `from` to `to` (inclusive); empty when unreachable.
+std::vector<std::int32_t> shortest_path(const Graph& graph, std::int32_t from,
+                                        std::int32_t to);
+
+/// Connected components, each a sorted list of vertices.
+std::vector<std::vector<std::int32_t>> connected_components(const Graph& graph);
+
+bool is_connected(const Graph& graph);
+
+/// A walk starting at `start` that visits every vertex reachable from
+/// `start`; consecutive vertices are adjacent (DFS walk with backtracking,
+/// length <= 2*V). This is the skeleton of a stimulus-droplet test plan.
+std::vector<std::int32_t> covering_walk(const Graph& graph,
+                                        std::int32_t start);
+
+}  // namespace dmfb::graph

@@ -1,0 +1,108 @@
+// Hopcroft-Karp maximum bipartite matching: O(E * sqrt(V)).
+//
+// Phase structure: a BFS from all unmatched left vertices builds a layered
+// graph of shortest alternating paths; a DFS then augments along a maximal
+// set of vertex-disjoint shortest paths. The number of phases is O(sqrt(V)).
+#include <limits>
+#include <queue>
+
+#include "graph/matching.hpp"
+
+namespace dmfb::graph::detail {
+
+namespace {
+
+constexpr std::int32_t kInf = std::numeric_limits<std::int32_t>::max();
+
+class HopcroftKarp {
+ public:
+  explicit HopcroftKarp(const BipartiteGraph& graph)
+      : graph_(graph),
+        match_left_(static_cast<std::size_t>(graph.left_count()),
+                    MatchingResult::kUnmatched),
+        match_right_(static_cast<std::size_t>(graph.right_count()),
+                     MatchingResult::kUnmatched),
+        layer_(static_cast<std::size_t>(graph.left_count()), kInf) {}
+
+  MatchingResult run() {
+    std::int32_t size = 0;
+    while (bfs_layers()) {
+      for (std::int32_t a = 0; a < graph_.left_count(); ++a) {
+        if (match_left_[static_cast<std::size_t>(a)] ==
+                MatchingResult::kUnmatched &&
+            try_augment(a)) {
+          ++size;
+        }
+      }
+    }
+    MatchingResult result;
+    result.match_of_left = std::move(match_left_);
+    result.match_of_right = std::move(match_right_);
+    result.size = size;
+    return result;
+  }
+
+ private:
+  /// Builds BFS layers over left vertices; true iff an augmenting path exists.
+  bool bfs_layers() {
+    std::queue<std::int32_t> frontier;
+    for (std::int32_t a = 0; a < graph_.left_count(); ++a) {
+      if (match_left_[static_cast<std::size_t>(a)] ==
+          MatchingResult::kUnmatched) {
+        layer_[static_cast<std::size_t>(a)] = 0;
+        frontier.push(a);
+      } else {
+        layer_[static_cast<std::size_t>(a)] = kInf;
+      }
+    }
+    bool found_free_right = false;
+    while (!frontier.empty()) {
+      const std::int32_t a = frontier.front();
+      frontier.pop();
+      for (const std::int32_t b : graph_.neighbors_of_left(a)) {
+        const std::int32_t back =
+            match_right_[static_cast<std::size_t>(b)];
+        if (back == MatchingResult::kUnmatched) {
+          found_free_right = true;
+        } else if (layer_[static_cast<std::size_t>(back)] == kInf) {
+          layer_[static_cast<std::size_t>(back)] =
+              layer_[static_cast<std::size_t>(a)] + 1;
+          frontier.push(back);
+        }
+      }
+    }
+    return found_free_right;
+  }
+
+  /// DFS along the layered graph; augments if a free right vertex is found.
+  bool try_augment(std::int32_t a) {
+    for (const std::int32_t b : graph_.neighbors_of_left(a)) {
+      const std::int32_t back = match_right_[static_cast<std::size_t>(b)];
+      const bool advance =
+          back == MatchingResult::kUnmatched ||
+          (layer_[static_cast<std::size_t>(back)] ==
+               layer_[static_cast<std::size_t>(a)] + 1 &&
+           try_augment(back));
+      if (advance) {
+        match_left_[static_cast<std::size_t>(a)] = b;
+        match_right_[static_cast<std::size_t>(b)] = a;
+        return true;
+      }
+    }
+    layer_[static_cast<std::size_t>(a)] = kInf;  // dead end this phase
+    return false;
+  }
+
+  const BipartiteGraph& graph_;
+  std::vector<std::int32_t> match_left_;
+  std::vector<std::int32_t> match_right_;
+  std::vector<std::int32_t> layer_;
+};
+
+}  // namespace
+
+MatchingResult hopcroft_karp(const BipartiteGraph& graph) {
+  return HopcroftKarp(graph).run();
+}
+
+}  // namespace dmfb::graph::detail

@@ -1,0 +1,49 @@
+// Kuhn's algorithm: repeated augmenting-path search, O(V * E).
+//
+// Simple and easy to audit — it serves as the reference implementation the
+// faster engines are validated against, and as the "textbook" baseline in
+// the matching-engine ablation bench.
+#include "graph/matching.hpp"
+
+namespace dmfb::graph::detail {
+
+namespace {
+
+bool try_augment(const BipartiteGraph& graph, std::int32_t a,
+                 std::vector<char>& visited_right,
+                 std::vector<std::int32_t>& match_left,
+                 std::vector<std::int32_t>& match_right) {
+  for (const std::int32_t b : graph.neighbors_of_left(a)) {
+    if (visited_right[static_cast<std::size_t>(b)]) continue;
+    visited_right[static_cast<std::size_t>(b)] = 1;
+    const std::int32_t back = match_right[static_cast<std::size_t>(b)];
+    if (back == MatchingResult::kUnmatched ||
+        try_augment(graph, back, visited_right, match_left, match_right)) {
+      match_left[static_cast<std::size_t>(a)] = b;
+      match_right[static_cast<std::size_t>(b)] = a;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+MatchingResult kuhn(const BipartiteGraph& graph) {
+  MatchingResult result;
+  result.match_of_left.assign(static_cast<std::size_t>(graph.left_count()),
+                              MatchingResult::kUnmatched);
+  result.match_of_right.assign(static_cast<std::size_t>(graph.right_count()),
+                               MatchingResult::kUnmatched);
+  std::vector<char> visited_right;
+  for (std::int32_t a = 0; a < graph.left_count(); ++a) {
+    visited_right.assign(static_cast<std::size_t>(graph.right_count()), 0);
+    if (try_augment(graph, a, visited_right, result.match_of_left,
+                    result.match_of_right)) {
+      ++result.size;
+    }
+  }
+  return result;
+}
+
+}  // namespace dmfb::graph::detail

@@ -1,0 +1,140 @@
+#include "graph/max_flow.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "common/contracts.hpp"
+#include "graph/matching.hpp"
+
+namespace dmfb::graph {
+
+MaxFlow::MaxFlow(std::int32_t node_count) : node_count_(node_count) {
+  DMFB_EXPECTS(node_count >= 0);
+  adj_.resize(static_cast<std::size_t>(node_count));
+}
+
+std::int32_t MaxFlow::add_edge(std::int32_t from, std::int32_t to,
+                               std::int64_t capacity) {
+  DMFB_EXPECTS(from >= 0 && from < node_count_);
+  DMFB_EXPECTS(to >= 0 && to < node_count_);
+  DMFB_EXPECTS(capacity >= 0);
+  const auto fwd_pos = static_cast<std::int32_t>(adj_[static_cast<std::size_t>(from)].size());
+  const auto rev_pos = static_cast<std::int32_t>(adj_[static_cast<std::size_t>(to)].size());
+  adj_[static_cast<std::size_t>(from)].push_back({to, capacity, rev_pos});
+  adj_[static_cast<std::size_t>(to)].push_back({from, 0, fwd_pos});
+  const auto edge_id = static_cast<std::int32_t>(edge_locator_.size());
+  edge_locator_.emplace_back(from, fwd_pos);
+  original_capacity_.push_back(capacity);
+  return edge_id;
+}
+
+bool MaxFlow::bfs_levels(std::int32_t source, std::int32_t sink) {
+  level_.assign(static_cast<std::size_t>(node_count_), -1);
+  std::queue<std::int32_t> frontier;
+  level_[static_cast<std::size_t>(source)] = 0;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const std::int32_t v = frontier.front();
+    frontier.pop();
+    for (const Edge& e : adj_[static_cast<std::size_t>(v)]) {
+      if (e.capacity > 0 && level_[static_cast<std::size_t>(e.to)] < 0) {
+        level_[static_cast<std::size_t>(e.to)] =
+            level_[static_cast<std::size_t>(v)] + 1;
+        frontier.push(e.to);
+      }
+    }
+  }
+  return level_[static_cast<std::size_t>(sink)] >= 0;
+}
+
+std::int64_t MaxFlow::dfs_blocking(std::int32_t v, std::int32_t sink,
+                                   std::int64_t pushed) {
+  if (v == sink || pushed == 0) return pushed;
+  auto& cursor = next_edge_[static_cast<std::size_t>(v)];
+  auto& edges = adj_[static_cast<std::size_t>(v)];
+  for (; cursor < static_cast<std::int32_t>(edges.size()); ++cursor) {
+    Edge& e = edges[static_cast<std::size_t>(cursor)];
+    if (e.capacity <= 0 ||
+        level_[static_cast<std::size_t>(e.to)] !=
+            level_[static_cast<std::size_t>(v)] + 1) {
+      continue;
+    }
+    const std::int64_t got =
+        dfs_blocking(e.to, sink, std::min(pushed, e.capacity));
+    if (got > 0) {
+      e.capacity -= got;
+      adj_[static_cast<std::size_t>(e.to)][static_cast<std::size_t>(e.reverse)]
+          .capacity += got;
+      return got;
+    }
+  }
+  return 0;
+}
+
+std::int64_t MaxFlow::max_flow(std::int32_t source, std::int32_t sink) {
+  DMFB_EXPECTS(source >= 0 && source < node_count_);
+  DMFB_EXPECTS(sink >= 0 && sink < node_count_);
+  DMFB_EXPECTS(source != sink);
+  std::int64_t total = 0;
+  while (bfs_levels(source, sink)) {
+    next_edge_.assign(static_cast<std::size_t>(node_count_), 0);
+    while (const std::int64_t pushed = dfs_blocking(
+               source, sink, std::numeric_limits<std::int64_t>::max())) {
+      total += pushed;
+    }
+  }
+  return total;
+}
+
+std::int64_t MaxFlow::flow_on(std::int32_t edge_id) const {
+  DMFB_EXPECTS(edge_id >= 0 &&
+               edge_id < static_cast<std::int32_t>(edge_locator_.size()));
+  const auto [node, pos] = edge_locator_[static_cast<std::size_t>(edge_id)];
+  const Edge& e =
+      adj_[static_cast<std::size_t>(node)][static_cast<std::size_t>(pos)];
+  return original_capacity_[static_cast<std::size_t>(edge_id)] - e.capacity;
+}
+
+namespace detail {
+
+MatchingResult dinic_matching(const BipartiteGraph& graph) {
+  // Unit network: source -> each left (cap 1), left -> right for each edge
+  // (cap 1), each right -> sink (cap 1).
+  const std::int32_t n_left = graph.left_count();
+  const std::int32_t n_right = graph.right_count();
+  const std::int32_t source = n_left + n_right;
+  const std::int32_t sink = source + 1;
+  MaxFlow flow(n_left + n_right + 2);
+  for (std::int32_t a = 0; a < n_left; ++a) flow.add_edge(source, a, 1);
+  std::vector<std::pair<std::int32_t, std::int32_t>> cross;  // (a, b) per id
+  std::vector<std::int32_t> cross_ids;
+  for (std::int32_t a = 0; a < n_left; ++a) {
+    for (const std::int32_t b : graph.neighbors_of_left(a)) {
+      cross_ids.push_back(flow.add_edge(a, n_left + b, 1));
+      cross.emplace_back(a, b);
+    }
+  }
+  for (std::int32_t b = 0; b < n_right; ++b) {
+    flow.add_edge(n_left + b, sink, 1);
+  }
+
+  MatchingResult result;
+  result.match_of_left.assign(static_cast<std::size_t>(n_left),
+                              MatchingResult::kUnmatched);
+  result.match_of_right.assign(static_cast<std::size_t>(n_right),
+                               MatchingResult::kUnmatched);
+  result.size = static_cast<std::int32_t>(flow.max_flow(source, sink));
+  for (std::size_t i = 0; i < cross.size(); ++i) {
+    if (flow.flow_on(cross_ids[i]) == 1) {
+      const auto [a, b] = cross[i];
+      result.match_of_left[static_cast<std::size_t>(a)] = b;
+      result.match_of_right[static_cast<std::size_t>(b)] = a;
+    }
+  }
+  return result;
+}
+
+}  // namespace detail
+
+}  // namespace dmfb::graph

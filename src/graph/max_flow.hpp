@@ -1,0 +1,48 @@
+// Dinic's maximum-flow algorithm on integer-capacity networks.
+//
+// Used (a) as the third, independent bipartite-matching engine via the unit
+// network reduction, and (b) directly available for capacity-style
+// extensions (e.g. spares that may absorb more than one logical remap).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dmfb::graph {
+
+class MaxFlow {
+ public:
+  explicit MaxFlow(std::int32_t node_count);
+
+  /// Adds a directed edge; returns its edge id (for flow inspection).
+  std::int32_t add_edge(std::int32_t from, std::int32_t to,
+                        std::int64_t capacity);
+
+  /// Computes the maximum flow from `source` to `sink`.
+  std::int64_t max_flow(std::int32_t source, std::int32_t sink);
+
+  /// Flow currently carried by edge `edge_id` (after max_flow).
+  std::int64_t flow_on(std::int32_t edge_id) const;
+
+  std::int32_t node_count() const noexcept { return node_count_; }
+
+ private:
+  struct Edge {
+    std::int32_t to;
+    std::int64_t capacity;  // residual capacity
+    std::int32_t reverse;   // index of the reverse edge in adj_[to]
+  };
+
+  bool bfs_levels(std::int32_t source, std::int32_t sink);
+  std::int64_t dfs_blocking(std::int32_t v, std::int32_t sink,
+                            std::int64_t pushed);
+
+  std::int32_t node_count_;
+  std::vector<std::vector<Edge>> adj_;
+  std::vector<std::pair<std::int32_t, std::int32_t>> edge_locator_;
+  std::vector<std::int64_t> original_capacity_;
+  std::vector<std::int32_t> level_;
+  std::vector<std::int32_t> next_edge_;
+};
+
+}  // namespace dmfb::graph

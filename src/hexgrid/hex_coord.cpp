@@ -1,0 +1,129 @@
+#include "hexgrid/hex_coord.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <ostream>
+
+#include "common/contracts.hpp"
+
+namespace dmfb::hex {
+
+const char* to_string(Direction direction) noexcept {
+  switch (direction) {
+    case Direction::kEast: return "E";
+    case Direction::kNorthEast: return "NE";
+    case Direction::kNorthWest: return "NW";
+    case Direction::kWest: return "W";
+    case Direction::kSouthWest: return "SW";
+    case Direction::kSouthEast: return "SE";
+  }
+  return "?";
+}
+
+std::array<HexCoord, 6> neighbors(HexCoord at) noexcept {
+  std::array<HexCoord, 6> result;
+  for (std::size_t i = 0; i < kAllDirections.size(); ++i) {
+    result[i] = neighbor(at, kAllDirections[i]);
+  }
+  return result;
+}
+
+bool adjacent(HexCoord a, HexCoord b) noexcept {
+  return a != b && distance(a, b) == 1;
+}
+
+std::int32_t distance(HexCoord a, HexCoord b) noexcept {
+  const HexCoord d = a - b;
+  return (std::abs(d.q) + std::abs(d.r) + std::abs(d.s())) / 2;
+}
+
+Direction direction_of(HexCoord delta) {
+  for (const Direction direction : kAllDirections) {
+    if (offset(direction) == delta) return direction;
+  }
+  DMFB_EXPECTS(!"delta must be a unit hex offset");
+  return Direction::kEast;  // unreachable
+}
+
+std::vector<HexCoord> ring(HexCoord center, std::int32_t radius) {
+  DMFB_EXPECTS(radius >= 0);
+  if (radius == 0) return {center};
+  std::vector<HexCoord> cells;
+  cells.reserve(static_cast<std::size_t>(6 * radius));
+  // Start at the cell `radius` steps south-west of the centre and walk the
+  // ring: radius steps in each of the six directions.
+  HexCoord at = center + offset(Direction::kSouthWest) * radius;
+  for (const Direction side : kAllDirections) {
+    for (std::int32_t step = 0; step < radius; ++step) {
+      cells.push_back(at);
+      at = neighbor(at, side);
+    }
+  }
+  DMFB_ENSURES(cells.size() == static_cast<std::size_t>(6 * radius));
+  return cells;
+}
+
+std::vector<HexCoord> disk(HexCoord center, std::int32_t radius) {
+  DMFB_EXPECTS(radius >= 0);
+  std::vector<HexCoord> cells;
+  cells.reserve(static_cast<std::size_t>(3 * radius * (radius + 1) + 1));
+  for (std::int32_t q = -radius; q <= radius; ++q) {
+    for (std::int32_t r = std::max(-radius, -q - radius);
+         r <= std::min(radius, -q + radius); ++r) {
+      cells.push_back(center + HexCoord{q, r});
+    }
+  }
+  return cells;
+}
+
+namespace {
+
+struct FractionalHex {
+  double q = 0.0;
+  double r = 0.0;
+  double s() const noexcept { return -q - r; }
+};
+
+HexCoord hex_round(FractionalHex f) {
+  double rq = std::round(f.q);
+  double rr = std::round(f.r);
+  const double rs = std::round(f.s());
+  const double dq = std::abs(rq - f.q);
+  const double dr = std::abs(rr - f.r);
+  const double ds = std::abs(rs - f.s());
+  if (dq > dr && dq > ds) {
+    rq = -rr - rs;
+  } else if (dr > ds) {
+    rr = -rq - rs;
+  }
+  return {static_cast<std::int32_t>(rq), static_cast<std::int32_t>(rr)};
+}
+
+}  // namespace
+
+std::vector<HexCoord> line(HexCoord a, HexCoord b) {
+  const std::int32_t n = distance(a, b);
+  std::vector<HexCoord> cells;
+  cells.reserve(static_cast<std::size_t>(n) + 1);
+  if (n == 0) {
+    cells.push_back(a);
+    return cells;
+  }
+  // Nudge the endpoints slightly so ties in hex_round break consistently and
+  // the path stays connected (standard epsilon trick).
+  const FractionalHex fa{a.q + 1e-6, a.r + 1e-6};
+  const FractionalHex fb{b.q + 1e-6, b.r + 1e-6};
+  for (std::int32_t i = 0; i <= n; ++i) {
+    const double t = static_cast<double>(i) / n;
+    cells.push_back(hex_round(
+        {fa.q + (fb.q - fa.q) * t, fa.r + (fb.r - fa.r) * t}));
+  }
+  DMFB_ENSURES(cells.front() == a && cells.back() == b);
+  return cells;
+}
+
+std::ostream& operator<<(std::ostream& os, HexCoord at) {
+  return os << '(' << at.q << ',' << at.r << ')';
+}
+
+}  // namespace dmfb::hex

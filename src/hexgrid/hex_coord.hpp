@@ -1,0 +1,122 @@
+// Hexagonal lattice coordinates.
+//
+// The biochips in the paper (Fig. 1(b)) use close-packed hexagonal
+// electrodes: every cell touches six neighbours. We model cell centres as
+// points of the triangular lattice in *axial coordinates* (q, r); the
+// implied third cube coordinate is s = -q - r. All DTMB spare patterns are
+// defined as sublattices in these coordinates (see src/biochip/dtmb.hpp).
+//
+// Orientation convention: "pointy-top" rows — r selects the row, q walks
+// along the row, and each successive row is offset by half a cell. The six
+// neighbour offsets are East, West, North-East, North-West, South-East,
+// South-West.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <vector>
+
+namespace dmfb::hex {
+
+/// The six droplet-motion directions on a hexagonal-electrode array.
+enum class Direction : std::uint8_t {
+  kEast = 0,
+  kNorthEast = 1,
+  kNorthWest = 2,
+  kWest = 3,
+  kSouthWest = 4,
+  kSouthEast = 5,
+};
+
+/// All six directions, in counter-clockwise order starting at East.
+constexpr std::array<Direction, 6> kAllDirections = {
+    Direction::kEast,      Direction::kNorthEast, Direction::kNorthWest,
+    Direction::kWest,      Direction::kSouthWest, Direction::kSouthEast,
+};
+
+/// Short printable name ("E", "NE", ...).
+const char* to_string(Direction direction) noexcept;
+
+/// Axial hex coordinate (q, r); cube coordinate s() == -q - r.
+struct HexCoord {
+  std::int32_t q = 0;
+  std::int32_t r = 0;
+
+  constexpr std::int32_t s() const noexcept { return -q - r; }
+
+  friend constexpr bool operator==(HexCoord, HexCoord) noexcept = default;
+  friend constexpr auto operator<=>(HexCoord, HexCoord) noexcept = default;
+
+  constexpr HexCoord operator+(HexCoord other) const noexcept {
+    return {q + other.q, r + other.r};
+  }
+  constexpr HexCoord operator-(HexCoord other) const noexcept {
+    return {q - other.q, r - other.r};
+  }
+  constexpr HexCoord operator*(std::int32_t k) const noexcept {
+    return {q * k, r * k};
+  }
+};
+
+/// Axial offset corresponding to one step in `direction`.
+constexpr HexCoord offset(Direction direction) noexcept {
+  // Indexed by Direction value: E, NE, NW, W, SW, SE.
+  constexpr std::array<HexCoord, 6> kOffsets = {{
+      {+1, 0}, {+1, -1}, {0, -1}, {-1, 0}, {-1, +1}, {0, +1},
+  }};
+  return kOffsets[static_cast<std::size_t>(direction)];
+}
+
+/// Neighbour of `at` one step along `direction`.
+constexpr HexCoord neighbor(HexCoord at, Direction direction) noexcept {
+  return at + offset(direction);
+}
+
+/// All six neighbours, in kAllDirections order.
+std::array<HexCoord, 6> neighbors(HexCoord at) noexcept;
+
+/// True iff `a` and `b` are distinct, physically adjacent cells.
+bool adjacent(HexCoord a, HexCoord b) noexcept;
+
+/// Hex (graph) distance: minimum number of single-cell droplet moves.
+std::int32_t distance(HexCoord a, HexCoord b) noexcept;
+
+/// Direction of the unit offset `delta`; requires `delta` to be one of the
+/// six unit offsets.
+Direction direction_of(HexCoord delta);
+
+/// The ring of cells at exactly `radius` steps from `center`
+/// (radius 0 -> just {center}); cells in walk order around the ring.
+std::vector<HexCoord> ring(HexCoord center, std::int32_t radius);
+
+/// The filled disk of cells within `radius` steps of `center`.
+std::vector<HexCoord> disk(HexCoord center, std::int32_t radius);
+
+/// Cells on the straight-line interpolation from `a` to `b`, inclusive.
+/// Successive cells are adjacent, so the result is a legal droplet path on a
+/// fault-free array.
+std::vector<HexCoord> line(HexCoord a, HexCoord b);
+
+std::ostream& operator<<(std::ostream& os, HexCoord at);
+
+/// Hash functor so coordinates can key unordered containers.
+struct HexCoordHash {
+  std::size_t operator()(HexCoord at) const noexcept {
+    // Szudzik-style mix of the two 32-bit fields.
+    const auto uq = static_cast<std::uint64_t>(static_cast<std::uint32_t>(at.q));
+    const auto ur = static_cast<std::uint64_t>(static_cast<std::uint32_t>(at.r));
+    std::uint64_t h = (uq << 32) | ur;
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    h *= 0xc4ceb9fe1a85ec53ULL;
+    h ^= h >> 33;
+    return static_cast<std::size_t>(h);
+  }
+};
+
+}  // namespace dmfb::hex

@@ -1,0 +1,77 @@
+#include "hexgrid/region.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+
+namespace dmfb::hex {
+
+Region::Region(std::vector<HexCoord> cells) {
+  cells_.reserve(cells.size());
+  for (const HexCoord at : cells) add(at);
+}
+
+Region Region::parallelogram(std::int32_t width, std::int32_t height) {
+  DMFB_EXPECTS(width > 0 && height > 0);
+  std::vector<HexCoord> cells;
+  cells.reserve(static_cast<std::size_t>(width) *
+                static_cast<std::size_t>(height));
+  for (std::int32_t r = 0; r < height; ++r) {
+    for (std::int32_t q = 0; q < width; ++q) {
+      cells.push_back({q, r});
+    }
+  }
+  return Region(std::move(cells));
+}
+
+Region Region::hexagon(HexCoord center, std::int32_t radius) {
+  return Region(disk(center, radius));
+}
+
+CellIndex Region::index_of(HexCoord at) const noexcept {
+  const auto it = index_by_coord_.find(at);
+  return it == index_by_coord_.end() ? kInvalidCell : it->second;
+}
+
+HexCoord Region::coord_at(CellIndex index) const {
+  DMFB_EXPECTS(index >= 0 && index < size());
+  return cells_[static_cast<std::size_t>(index)];
+}
+
+std::vector<CellIndex> Region::neighbors_of(CellIndex index) const {
+  const HexCoord at = coord_at(index);
+  std::vector<CellIndex> result;
+  result.reserve(6);
+  for (const HexCoord n : neighbors(at)) {
+    const CellIndex ni = index_of(n);
+    if (ni != kInvalidCell) result.push_back(ni);
+  }
+  return result;
+}
+
+bool Region::is_boundary(CellIndex index) const {
+  return neighbors_of(index).size() < 6;
+}
+
+CellIndex Region::add(HexCoord at) {
+  DMFB_EXPECTS(!contains(at));
+  const CellIndex index = size();
+  cells_.push_back(at);
+  index_by_coord_.emplace(at, index);
+  return index;
+}
+
+Region::Bounds Region::bounds() const {
+  DMFB_EXPECTS(!empty());
+  Bounds b{cells_.front().q, cells_.front().q, cells_.front().r,
+           cells_.front().r};
+  for (const HexCoord at : cells_) {
+    b.min_q = std::min(b.min_q, at.q);
+    b.max_q = std::max(b.max_q, at.q);
+    b.min_r = std::min(b.min_r, at.r);
+    b.max_r = std::max(b.max_r, at.r);
+  }
+  return b;
+}
+
+}  // namespace dmfb::hex

@@ -1,0 +1,75 @@
+// A finite region of the hexagonal lattice with dense cell indexing.
+//
+// Microfluidic arrays are finite carve-outs of the infinite lattice. Region
+// stores the member coordinates, assigns each a dense index (stable,
+// insertion-ordered), and answers membership / adjacency queries. All higher
+// layers (biochip arrays, routers, yield simulation) address cells by dense
+// index and only convert back to coordinates at the geometry boundary.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "hexgrid/hex_coord.hpp"
+
+namespace dmfb::hex {
+
+/// Dense cell index within a Region; -1 (kInvalidCell) means "no cell".
+using CellIndex = std::int32_t;
+inline constexpr CellIndex kInvalidCell = -1;
+
+class Region {
+ public:
+  Region() = default;
+
+  /// Builds a region from coordinates; duplicates are rejected.
+  explicit Region(std::vector<HexCoord> cells);
+
+  /// Parallelogram q in [0,width), r in [0,height) — the paper's arrays.
+  static Region parallelogram(std::int32_t width, std::int32_t height);
+
+  /// Filled hexagon of the given radius centred at `center`.
+  static Region hexagon(HexCoord center, std::int32_t radius);
+
+  std::int32_t size() const noexcept {
+    return static_cast<std::int32_t>(cells_.size());
+  }
+  bool empty() const noexcept { return cells_.empty(); }
+
+  bool contains(HexCoord at) const noexcept {
+    return index_by_coord_.find(at) != index_by_coord_.end();
+  }
+
+  /// Dense index of `at`, or kInvalidCell when absent.
+  CellIndex index_of(HexCoord at) const noexcept;
+
+  /// Coordinate of a valid dense index.
+  HexCoord coord_at(CellIndex index) const;
+
+  /// All member coordinates in dense-index order.
+  std::span<const HexCoord> cells() const noexcept { return cells_; }
+
+  /// Dense indices of the in-region neighbours of `index`.
+  std::vector<CellIndex> neighbors_of(CellIndex index) const;
+
+  /// True iff the cell has fewer than six in-region neighbours.
+  bool is_boundary(CellIndex index) const;
+
+  /// Appends a cell; returns its new dense index. The cell must be new.
+  CellIndex add(HexCoord at);
+
+  /// Bounding box in axial coordinates: {min_q, max_q, min_r, max_r}.
+  struct Bounds {
+    std::int32_t min_q = 0, max_q = 0, min_r = 0, max_r = 0;
+  };
+  Bounds bounds() const;
+
+ private:
+  std::vector<HexCoord> cells_;
+  std::unordered_map<HexCoord, CellIndex, HexCoordHash> index_by_coord_;
+};
+
+}  // namespace dmfb::hex

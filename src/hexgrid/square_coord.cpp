@@ -1,0 +1,38 @@
+#include "hexgrid/square_coord.hpp"
+
+#include <cstdlib>
+#include <ostream>
+
+namespace dmfb::sq {
+
+const char* to_string(Direction direction) noexcept {
+  switch (direction) {
+    case Direction::kEast: return "E";
+    case Direction::kNorth: return "N";
+    case Direction::kWest: return "W";
+    case Direction::kSouth: return "S";
+  }
+  return "?";
+}
+
+std::array<SquareCoord, 4> neighbors(SquareCoord at) noexcept {
+  std::array<SquareCoord, 4> result;
+  for (std::size_t i = 0; i < kAllDirections.size(); ++i) {
+    result[i] = neighbor(at, kAllDirections[i]);
+  }
+  return result;
+}
+
+std::int32_t distance(SquareCoord a, SquareCoord b) noexcept {
+  return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+}
+
+bool adjacent(SquareCoord a, SquareCoord b) noexcept {
+  return distance(a, b) == 1;
+}
+
+std::ostream& operator<<(std::ostream& os, SquareCoord at) {
+  return os << '(' << at.x << ',' << at.y << ')';
+}
+
+}  // namespace dmfb::sq

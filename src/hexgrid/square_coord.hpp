@@ -1,0 +1,79 @@
+// Square-electrode lattice coordinates (4-neighbourhood).
+//
+// The first-generation fabricated biochip (paper Fig. 11) and the classic
+// boundary spare-row baseline (Fig. 2) use conventional square electrodes;
+// droplets move N/E/S/W. This mirrors hex_coord.hpp for that geometry.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+namespace dmfb::sq {
+
+/// The four droplet-motion directions on a square-electrode array.
+enum class Direction : std::uint8_t {
+  kEast = 0,
+  kNorth = 1,
+  kWest = 2,
+  kSouth = 3,
+};
+
+constexpr std::array<Direction, 4> kAllDirections = {
+    Direction::kEast, Direction::kNorth, Direction::kWest, Direction::kSouth};
+
+const char* to_string(Direction direction) noexcept;
+
+/// Integer grid coordinate (x = column, y = row).
+struct SquareCoord {
+  std::int32_t x = 0;
+  std::int32_t y = 0;
+
+  friend constexpr bool operator==(SquareCoord, SquareCoord) noexcept = default;
+  friend constexpr auto operator<=>(SquareCoord, SquareCoord) noexcept = default;
+
+  constexpr SquareCoord operator+(SquareCoord other) const noexcept {
+    return {x + other.x, y + other.y};
+  }
+  constexpr SquareCoord operator-(SquareCoord other) const noexcept {
+    return {x - other.x, y - other.y};
+  }
+};
+
+constexpr SquareCoord offset(Direction direction) noexcept {
+  constexpr std::array<SquareCoord, 4> kOffsets = {{
+      {+1, 0}, {0, -1}, {-1, 0}, {0, +1},  // E, N, W, S (y grows downward)
+  }};
+  return kOffsets[static_cast<std::size_t>(direction)];
+}
+
+constexpr SquareCoord neighbor(SquareCoord at, Direction direction) noexcept {
+  return at + offset(direction);
+}
+
+std::array<SquareCoord, 4> neighbors(SquareCoord at) noexcept;
+
+/// Manhattan distance: minimum number of single-cell droplet moves.
+std::int32_t distance(SquareCoord a, SquareCoord b) noexcept;
+
+/// True iff `a` and `b` are distinct, edge-adjacent cells.
+bool adjacent(SquareCoord a, SquareCoord b) noexcept;
+
+std::ostream& operator<<(std::ostream& os, SquareCoord at);
+
+struct SquareCoordHash {
+  std::size_t operator()(SquareCoord at) const noexcept {
+    const auto ux = static_cast<std::uint64_t>(static_cast<std::uint32_t>(at.x));
+    const auto uy = static_cast<std::uint64_t>(static_cast<std::uint32_t>(at.y));
+    std::uint64_t h = (ux << 32) | uy;
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    return static_cast<std::size_t>(h);
+  }
+};
+
+}  // namespace dmfb::sq

@@ -1,0 +1,97 @@
+#include "io/ascii_render.hpp"
+
+#include <sstream>
+#include <unordered_set>
+
+#include "common/contracts.hpp"
+
+namespace dmfb::io {
+
+namespace {
+
+char hex_glyph(const biochip::HexArray& array, hex::CellIndex cell,
+               const std::unordered_set<hex::CellIndex>& matched_spares,
+               const std::unordered_set<hex::CellIndex>& unrepairable,
+               const RenderOptions& options) {
+  using biochip::CellHealth;
+  using biochip::CellRole;
+  using biochip::CellUsage;
+  const bool faulty = array.health(cell) == CellHealth::kFaulty;
+  if (array.role(cell) == CellRole::kSpare) {
+    if (faulty) return 'x';
+    if (matched_spares.contains(cell)) return '@';
+    return 'o';
+  }
+  if (faulty) {
+    if (unrepairable.contains(cell)) return '!';
+    return 'X';
+  }
+  if (options.show_usage &&
+      array.usage(cell) == CellUsage::kAssayUsed) {
+    return '#';
+  }
+  return '.';
+}
+
+}  // namespace
+
+std::string render_hex(const biochip::HexArray& array,
+                       const reconfig::ReconfigPlan* plan,
+                       const RenderOptions& options) {
+  std::unordered_set<hex::CellIndex> matched_spares;
+  std::unordered_set<hex::CellIndex> unrepairable;
+  if (plan != nullptr) {
+    for (const reconfig::Replacement& replacement : plan->replacements) {
+      matched_spares.insert(replacement.spare);
+    }
+    unrepairable.insert(plan->unrepairable.begin(), plan->unrepairable.end());
+  }
+
+  const auto bounds = array.region().bounds();
+  std::ostringstream out;
+  for (std::int32_t r = bounds.min_r; r <= bounds.max_r; ++r) {
+    if (options.stagger_rows) {
+      // Pointy-top axial rows shift right by half a cell per row.
+      for (std::int32_t pad = 0; pad < r - bounds.min_r; ++pad) out << ' ';
+    }
+    for (std::int32_t q = bounds.min_q; q <= bounds.max_q; ++q) {
+      const hex::CellIndex cell = array.region().index_of({q, r});
+      if (cell == hex::kInvalidCell) {
+        out << "  ";
+        continue;
+      }
+      out << hex_glyph(array, cell, matched_spares, unrepairable, options)
+          << ' ';
+    }
+    out << '\n';
+  }
+  if (options.legend) {
+    out << "legend: .=primary #=used o=spare @=repair-spare X=faulty "
+           "!=unrepairable x=faulty-spare\n";
+  }
+  return out.str();
+}
+
+std::string render_square(const reconfig::SpareRowChip& chip) {
+  const auto& array = chip.array();
+  std::ostringstream out;
+  for (std::int32_t y = 0; y < array.height(); ++y) {
+    for (std::int32_t x = 0; x < array.width(); ++x) {
+      const auto cell = array.index_of({x, y});
+      char glyph = '.';
+      if (array.health(cell) == biochip::CellHealth::kFaulty) {
+        glyph = 'X';
+      } else if (array.role(cell) == biochip::CellRole::kSpare) {
+        glyph = 'o';
+      } else if (const reconfig::PlacedModule* module =
+                     chip.module_at({x, y})) {
+        glyph = static_cast<char>('0' + module->id % 10);
+      }
+      out << glyph << ' ';
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace dmfb::io

@@ -1,0 +1,42 @@
+// ASCII rendering of microfluidic arrays.
+//
+// Reproduces the paper's layout figures (Figs 3-6, 12) in text form: hex
+// rows are staggered to suggest the close-packed lattice; cell glyphs encode
+// role / health / usage / reconfiguration state.
+//
+// Glyph legend (hex arrays):
+//   .  primary                 #  primary used by assays
+//   o  spare                   @  spare used in reconfiguration
+//   X  faulty primary          x  faulty spare
+//   !  faulty primary that could not be repaired
+//
+// Square arrays print module ids (digits) plus 'o' for spares and 'X' for
+// faults.
+#pragma once
+
+#include <string>
+
+#include "biochip/hex_array.hpp"
+#include "biochip/square_array.hpp"
+#include "reconfig/local_reconfig.hpp"
+#include "reconfig/shifted_replacement.hpp"
+
+namespace dmfb::io {
+
+struct RenderOptions {
+  bool show_usage = true;        ///< '#' for assay-used primaries
+  bool stagger_rows = true;      ///< hex-like row offset
+  bool legend = false;           ///< append the glyph legend
+};
+
+/// Renders `array`, optionally overlaying a reconfiguration plan (matched
+/// spares drawn as '@', unrepairable cells as '!').
+std::string render_hex(const biochip::HexArray& array,
+                       const reconfig::ReconfigPlan* plan = nullptr,
+                       const RenderOptions& options = {});
+
+/// Renders a spare-row chip: module footprints as their id digit, spare
+/// cells 'o', faults 'X', free primary cells '.'.
+std::string render_square(const reconfig::SpareRowChip& chip);
+
+}  // namespace dmfb::io

@@ -1,0 +1,113 @@
+#include "io/svg_render.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <sstream>
+#include <unordered_set>
+
+#include "common/contracts.hpp"
+
+namespace dmfb::io {
+
+namespace {
+
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// Centre of a pointy-top hex cell in pixel space.
+Point cell_center(hex::HexCoord at, double radius) {
+  const double sqrt3 = std::numbers::sqrt3;
+  return {radius * (sqrt3 * at.q + sqrt3 / 2.0 * at.r),
+          radius * (1.5 * at.r)};
+}
+
+std::string hex_points(Point center, double radius) {
+  std::ostringstream out;
+  for (int corner = 0; corner < 6; ++corner) {
+    const double angle =
+        std::numbers::pi / 180.0 * (60.0 * corner - 30.0);
+    if (corner > 0) out << ' ';
+    out << center.x + radius * std::cos(angle) << ','
+        << center.y + radius * std::sin(angle);
+  }
+  return out.str();
+}
+
+const char* fill_for(const biochip::HexArray& array, hex::CellIndex cell,
+                     bool show_usage) {
+  using biochip::CellHealth;
+  using biochip::CellRole;
+  using biochip::CellUsage;
+  const bool faulty = array.health(cell) == CellHealth::kFaulty;
+  if (array.role(cell) == CellRole::kSpare) {
+    return faulty ? "#f4a7a3" : "#ffffff";  // faulty spare pink, spare white
+  }
+  if (faulty) return "#d62728";  // faulty primary red
+  if (show_usage && array.usage(cell) == CellUsage::kAssayUsed) {
+    return "#9ecae1";  // assay-used blue
+  }
+  return "#d9d9d9";  // plain primary grey
+}
+
+}  // namespace
+
+std::string render_svg(const biochip::HexArray& array,
+                       const reconfig::ReconfigPlan* plan,
+                       const SvgOptions& options) {
+  DMFB_EXPECTS(options.cell_radius_px > 0.0);
+  std::unordered_set<hex::CellIndex> replacement_spares;
+  if (plan != nullptr) {
+    for (const auto& replacement : plan->replacements) {
+      replacement_spares.insert(replacement.spare);
+    }
+  }
+
+  const double r = options.cell_radius_px;
+  double min_x = 1e18, min_y = 1e18, max_x = -1e18, max_y = -1e18;
+  for (const hex::HexCoord at : array.region().cells()) {
+    const Point center = cell_center(at, r);
+    min_x = std::min(min_x, center.x - r);
+    min_y = std::min(min_y, center.y - r);
+    max_x = std::max(max_x, center.x + r);
+    max_y = std::max(max_y, center.y + r);
+  }
+
+  std::ostringstream svg;
+  svg << "<svg xmlns=\"http://www.w3.org/2000/svg\" viewBox=\""
+      << min_x - 2 << ' ' << min_y - 2 << ' ' << (max_x - min_x) + 4 << ' '
+      << (max_y - min_y) + 4 << "\">\n";
+  for (hex::CellIndex cell = 0; cell < array.cell_count(); ++cell) {
+    const hex::HexCoord at = array.region().coord_at(cell);
+    const Point center = cell_center(at, r);
+    const bool is_replacement = replacement_spares.contains(cell);
+    svg << "  <polygon points=\"" << hex_points(center, r * 0.94)
+        << "\" fill=\"" << fill_for(array, cell, options.show_usage)
+        << "\" stroke=\"" << (is_replacement ? "#d62728" : "#555555")
+        << "\" stroke-width=\"" << (is_replacement ? 2.5 : 0.8) << "\"/>\n";
+    if (options.show_coordinates) {
+      svg << "  <text x=\"" << center.x << "\" y=\"" << center.y + 3
+          << "\" font-size=\"" << r * 0.45
+          << "\" text-anchor=\"middle\" fill=\"#333333\">" << at.q << ','
+          << at.r << "</text>\n";
+    }
+  }
+  // Replacement arrows: faulty cell -> spare.
+  if (plan != nullptr) {
+    for (const auto& replacement : plan->replacements) {
+      const Point from =
+          cell_center(array.region().coord_at(replacement.faulty), r);
+      const Point to =
+          cell_center(array.region().coord_at(replacement.spare), r);
+      svg << "  <line x1=\"" << from.x << "\" y1=\"" << from.y << "\" x2=\""
+          << to.x << "\" y2=\"" << to.y
+          << "\" stroke=\"#d62728\" stroke-width=\"2\"/>\n";
+    }
+  }
+  svg << "</svg>\n";
+  return svg.str();
+}
+
+}  // namespace dmfb::io

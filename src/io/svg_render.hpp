@@ -1,0 +1,26 @@
+// SVG rendering of hexagonal microfluidic arrays — publication-quality
+// figures in the style of the paper's Figs 3-6 and 12.
+//
+// Pointy-top hexagons; fill encodes role/health/usage, a red outline marks
+// reconfiguration replacements. Output is a self-contained SVG string.
+#pragma once
+
+#include <string>
+
+#include "biochip/hex_array.hpp"
+#include "reconfig/local_reconfig.hpp"
+
+namespace dmfb::io {
+
+struct SvgOptions {
+  double cell_radius_px = 14.0;
+  bool show_usage = true;
+  bool show_coordinates = false;  ///< label each cell with (q,r)
+};
+
+/// Renders `array` (optionally with a reconfiguration plan overlay) as SVG.
+std::string render_svg(const biochip::HexArray& array,
+                       const reconfig::ReconfigPlan* plan = nullptr,
+                       const SvgOptions& options = {});
+
+}  // namespace dmfb::io

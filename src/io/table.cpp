@@ -1,0 +1,102 @@
+#include "io/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/contracts.hpp"
+
+namespace dmfb::io {
+
+std::string format_double(double value, int precision) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(precision) << value;
+  return out.str();
+}
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  DMFB_EXPECTS(!headers_.empty());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  DMFB_EXPECTS(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+Table::RowBuilder::RowBuilder(Table& table, int precision)
+    : table_(table), precision_(precision) {}
+
+Table::RowBuilder& Table::RowBuilder::cell(const std::string& text) {
+  cells_.push_back(text);
+  return *this;
+}
+
+Table::RowBuilder& Table::RowBuilder::cell(double value) {
+  cells_.push_back(format_double(value, precision_));
+  return *this;
+}
+
+Table::RowBuilder& Table::RowBuilder::cell(std::int64_t value) {
+  cells_.push_back(std::to_string(value));
+  return *this;
+}
+
+Table::RowBuilder& Table::RowBuilder::cell(std::int32_t value) {
+  cells_.push_back(std::to_string(value));
+  return *this;
+}
+
+Table::RowBuilder::~RowBuilder() { table_.add_row(std::move(cells_)); }
+
+std::string Table::to_text() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  const auto rule = [&] {
+    out << '+';
+    for (const std::size_t w : widths) {
+      out << std::string(w + 2, '-') << '+';
+    }
+    out << '\n';
+  };
+  const auto line = [&](const std::vector<std::string>& cells) {
+    out << '|';
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << ' ' << std::setw(static_cast<int>(widths[c])) << cells[c]
+          << " |";
+    }
+    out << '\n';
+  };
+  rule();
+  line(headers_);
+  rule();
+  for (const auto& row : rows_) line(row);
+  rule();
+  return out.str();
+}
+
+std::string Table::to_csv() const {
+  std::ostringstream out;
+  const auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) out << ',';
+      out << cells[c];
+    }
+    out << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+void Table::print(std::ostream& os, const std::string& title) const {
+  os << "== " << title << " ==\n" << to_text() << '\n';
+}
+
+}  // namespace dmfb::io

@@ -1,0 +1,62 @@
+// Plain-text and CSV table formatting for the benchmark harnesses.
+//
+// Every bench that regenerates a paper table/figure prints through this
+// class so the output is uniform: an aligned text table for the console and
+// an optional CSV dump for plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dmfb::io {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats arithmetic values with `precision` digits.
+  class RowBuilder {
+   public:
+    RowBuilder(Table& table, int precision);
+    RowBuilder& cell(const std::string& text);
+    RowBuilder& cell(double value);
+    RowBuilder& cell(std::int64_t value);
+    RowBuilder& cell(std::int32_t value);
+    ~RowBuilder();
+
+    RowBuilder(const RowBuilder&) = delete;
+    RowBuilder& operator=(const RowBuilder&) = delete;
+
+   private:
+    Table& table_;
+    int precision_;
+    std::vector<std::string> cells_;
+  };
+
+  /// Starts a row; cells are committed when the builder goes out of scope.
+  RowBuilder row(int precision = 4) { return RowBuilder(*this, precision); }
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Aligned, boxed text rendering.
+  std::string to_text() const;
+
+  /// RFC-4180-ish CSV (no quoting needed for our content).
+  std::string to_csv() const;
+
+  /// Prints to_text() to `os` with a title line.
+  void print(std::ostream& os, const std::string& title) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (helper shared by benches).
+std::string format_double(double value, int precision = 4);
+
+}  // namespace dmfb::io

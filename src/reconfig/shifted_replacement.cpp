@@ -1,0 +1,106 @@
+#include "reconfig/shifted_replacement.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+
+namespace dmfb::reconfig {
+
+bool PlacedModule::contains(sq::SquareCoord at) const noexcept {
+  return at.x >= origin.x && at.x < origin.x + width && at.y >= origin.y &&
+         at.y < origin.y + height;
+}
+
+SpareRowChip::SpareRowChip(std::int32_t width, std::int32_t height,
+                           std::int32_t spare_rows)
+    : array_(width, height), spare_rows_(spare_rows) {
+  DMFB_EXPECTS(spare_rows >= 0 && spare_rows < height);
+  for (std::int32_t y = height - spare_rows; y < height; ++y) {
+    array_.mark_spare_row(y);
+  }
+}
+
+void SpareRowChip::place_module(PlacedModule module) {
+  DMFB_EXPECTS(module.width > 0 && module.height > 0);
+  DMFB_EXPECTS(module.origin.x >= 0 && module.origin.y >= 0);
+  DMFB_EXPECTS(module.origin.x + module.width <= array_.width());
+  // Modules must sit entirely on primary rows.
+  DMFB_EXPECTS(module.origin.y + module.height <=
+               array_.height() - spare_rows_);
+  for (const PlacedModule& placed : modules_) {
+    const bool x_overlap = module.origin.x < placed.origin.x + placed.width &&
+                           placed.origin.x < module.origin.x + module.width;
+    const bool y_overlap = module.origin.y < placed.origin.y + placed.height &&
+                           placed.origin.y < module.origin.y + module.height;
+    DMFB_EXPECTS(!(x_overlap && y_overlap));
+  }
+  modules_.push_back(module);
+}
+
+const PlacedModule* SpareRowChip::module_at(sq::SquareCoord at) const noexcept {
+  for (const PlacedModule& module : modules_) {
+    if (module.contains(at)) return &module;
+  }
+  return nullptr;
+}
+
+SpareRowChip SpareRowChip::make_figure2_example() {
+  // 8 columns x 7 rows; row 6 is the spare row. Module 1 sits just above the
+  // spare row on the left; Modules 2 (middle) and 3 (top) stack on the right
+  // columns, so a fault in Module 3 shifts through Module 2 but not 1.
+  SpareRowChip chip(8, 7, 1);
+  chip.place_module({1, {0, 4}, 4, 2});  // Module 1: cols 0-3, rows 4-5
+  chip.place_module({2, {4, 2}, 4, 2});  // Module 2: cols 4-7, rows 2-3
+  chip.place_module({3, {4, 0}, 4, 2});  // Module 3: cols 4-7, rows 0-1
+  return chip;
+}
+
+ShiftedReplacer::ShiftedReplacer(SpareRowChip& chip)
+    : chip_(chip),
+      spare_consumed_(static_cast<std::size_t>(chip.array().cell_count()), 0) {}
+
+ShiftedReplacementPlan ShiftedReplacer::replace(sq::SquareCoord faulty) {
+  auto& array = chip_.array();
+  DMFB_EXPECTS(array.in_bounds(faulty));
+  ShiftedReplacementPlan plan;
+  array.set_health(array.index_of(faulty), biochip::CellHealth::kFaulty);
+  if (array.role(array.index_of(faulty)) == biochip::CellRole::kSpare) {
+    // A faulty spare consumes redundancy but needs no chain.
+    spare_consumed_[static_cast<std::size_t>(array.index_of(faulty))] = 1;
+    plan.success = true;
+    plan.chain.push_back(array.index_of(faulty));
+    return plan;
+  }
+
+  // Walk down the fault's column to the first healthy, unconsumed spare.
+  plan.chain.push_back(array.index_of(faulty));
+  for (sq::SquareCoord at = {faulty.x, faulty.y + 1};; ++at.y) {
+    if (!array.in_bounds(at)) return plan;  // fell off the chip: failure
+    const auto cell = array.index_of(at);
+    if (array.health(cell) == biochip::CellHealth::kFaulty) {
+      return plan;  // chain blocked by another fault: failure
+    }
+    plan.chain.push_back(cell);
+    if (array.role(cell) == biochip::CellRole::kSpare &&
+        !spare_consumed_[static_cast<std::size_t>(cell)]) {
+      spare_consumed_[static_cast<std::size_t>(cell)] = 1;
+      break;
+    }
+  }
+  plan.success = true;
+
+  // Modules crossed by the chain must all be reconfigured.
+  for (const auto cell : plan.chain) {
+    if (const PlacedModule* module = chip_.module_at(array.coord_at(cell))) {
+      if (std::find(plan.modules_affected.begin(), plan.modules_affected.end(),
+                    module->id) == plan.modules_affected.end()) {
+        plan.modules_affected.push_back(module->id);
+      }
+    }
+  }
+  total_cells_remapped_ += plan.cells_remapped();
+  ++total_replacements_;
+  return plan;
+}
+
+}  // namespace dmfb::reconfig

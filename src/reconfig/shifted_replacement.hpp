@@ -1,0 +1,117 @@
+// Boundary spare-row redundancy with "shifted replacement" (paper Fig. 2).
+//
+// The classic PA/FPGA spare-row scheme, transplanted to a microfluidic
+// array, runs into microfluidic locality: a spare in the boundary row can
+// only take over for a faulty cell through a *chain* of replacements — the
+// faulty cell's function moves to the cell below it, that cell's function to
+// the next one down, and so on until the chain reaches an unconsumed spare
+// cell in the boundary row. Every module the chain passes through must be
+// reconfigured even if it is fault-free. This module quantifies that cost as
+// the baseline against which interstitial redundancy is compared
+// (bench_fig2_shifted_replacement).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "biochip/square_array.hpp"
+#include "hexgrid/square_coord.hpp"
+
+namespace dmfb::reconfig {
+
+/// A rectangular microfluidic module (mixer, storage, ...) placed on the
+/// square array.
+struct PlacedModule {
+  std::int32_t id = 0;
+  sq::SquareCoord origin;  ///< top-left cell
+  std::int32_t width = 1;
+  std::int32_t height = 1;
+
+  bool contains(sq::SquareCoord at) const noexcept;
+  std::int32_t cell_count() const noexcept { return width * height; }
+};
+
+/// A square-electrode chip with spare rows along the bottom boundary and
+/// rectangular modules placed on the primary rows.
+class SpareRowChip {
+ public:
+  /// `spare_rows` bottom rows are marked spare; the rest are primary.
+  SpareRowChip(std::int32_t width, std::int32_t height,
+               std::int32_t spare_rows);
+
+  biochip::SquareArray& array() noexcept { return array_; }
+  const biochip::SquareArray& array() const noexcept { return array_; }
+  std::int32_t spare_rows() const noexcept { return spare_rows_; }
+
+  /// Places a module; must be in bounds, on primary rows, and not overlap
+  /// previously placed modules.
+  void place_module(PlacedModule module);
+
+  const std::vector<PlacedModule>& modules() const noexcept {
+    return modules_;
+  }
+
+  /// Module occupying `at`, or nullptr.
+  const PlacedModule* module_at(sq::SquareCoord at) const noexcept;
+
+  /// The Fig. 2 example: an 8x7 array, one spare row, three modules —
+  /// Module 1 near the spare row (left), Modules 2 and 3 stacked above on
+  /// the right columns.
+  static SpareRowChip make_figure2_example();
+
+ private:
+  biochip::SquareArray array_;
+  std::int32_t spare_rows_;
+  std::vector<PlacedModule> modules_;
+};
+
+/// Outcome of one shifted replacement.
+struct ShiftedReplacementPlan {
+  bool success = false;
+  /// Cells of the replacement chain: the faulty cell first, then each cell
+  /// that inherits its upstairs neighbour's function, ending at the consumed
+  /// spare cell.
+  std::vector<biochip::SquareArray::CellIndex> chain;
+  /// Ids of modules that must be reconfigured (their footprint intersects
+  /// the chain) — includes the faulty module itself.
+  std::vector<std::int32_t> modules_affected;
+
+  /// Cells whose logical function moves (chain minus the faulty cell).
+  std::int32_t cells_remapped() const noexcept {
+    return chain.empty() ? 0 : static_cast<std::int32_t>(chain.size()) - 1;
+  }
+  /// Fault-free modules dragged into the reconfiguration.
+  std::int32_t collateral_modules() const noexcept {
+    return modules_affected.empty()
+               ? 0
+               : static_cast<std::int32_t>(modules_affected.size()) - 1;
+  }
+};
+
+/// Executes shifted replacements on a SpareRowChip, consuming boundary
+/// spares column by column. Stateful: each successful replacement occupies
+/// one spare cell.
+class ShiftedReplacer {
+ public:
+  explicit ShiftedReplacer(SpareRowChip& chip);
+
+  /// Marks `faulty` faulty and computes the downward replacement chain.
+  /// Fails when no unconsumed healthy spare exists below the fault in its
+  /// column, or when the chain crosses another faulty cell.
+  ShiftedReplacementPlan replace(sq::SquareCoord faulty);
+
+  std::int32_t total_cells_remapped() const noexcept {
+    return total_cells_remapped_;
+  }
+  std::int32_t total_replacements() const noexcept {
+    return total_replacements_;
+  }
+
+ private:
+  SpareRowChip& chip_;
+  std::vector<char> spare_consumed_;
+  std::int32_t total_cells_remapped_ = 0;
+  std::int32_t total_replacements_ = 0;
+};
+
+}  // namespace dmfb::reconfig

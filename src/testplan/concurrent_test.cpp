@@ -1,0 +1,135 @@
+#include "testplan/concurrent_test.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_set>
+
+#include "common/contracts.hpp"
+#include "hexgrid/hex_coord.hpp"
+
+namespace dmfb::testplan {
+
+namespace {
+
+/// True iff the test droplet may stand on `cell` at cycle `t` given the
+/// assay droplets' trajectories (static + dynamic constraints).
+bool clear_of_assays(const biochip::HexArray& array, hex::CellIndex cell,
+                     std::int64_t t,
+                     const std::vector<fluidics::TimedRoute>& assay_routes) {
+  const hex::HexCoord here = array.region().coord_at(cell);
+  for (const fluidics::TimedRoute& route : assay_routes) {
+    if (hex::distance(here, array.region().coord_at(route.at(t))) <= 1) {
+      return false;
+    }
+    if (t > 0 &&
+        hex::distance(here, array.region().coord_at(route.at(t - 1))) <= 1) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+ConcurrentTestReport run_concurrent_test(
+    const biochip::HexArray& array, hex::CellIndex source,
+    const std::vector<fluidics::TimedRoute>& assay_routes,
+    std::int64_t deadline_cycles) {
+  DMFB_EXPECTS(source >= 0 && source < array.cell_count());
+  DMFB_EXPECTS(deadline_cycles > 0);
+
+  ConcurrentTestReport report;
+  std::unordered_set<hex::CellIndex> visited;
+  const auto finish = [&](std::int64_t t, bool deadline) {
+    report.cycles_used = t;
+    report.deadline_hit = deadline;
+    for (hex::CellIndex cell = 0; cell < array.cell_count(); ++cell) {
+      if (!visited.contains(cell)) report.untested.push_back(cell);
+    }
+    return report;
+  };
+
+  // Wait for the source window to open.
+  std::int64_t t = 0;
+  while (t < deadline_cycles &&
+         !clear_of_assays(array, source, t, assay_routes)) {
+    ++t;
+  }
+  if (t >= deadline_cycles) return finish(t, true);
+  visited.insert(source);
+  report.tested.push_back(source);
+
+  // Greedy coverage: every cycle, BFS (over cells clear at the next cycle)
+  // toward the nearest unvisited cell, and take one step. Replanning each
+  // cycle lets the droplet detour around both parked and moving assay
+  // droplets. A stall counter bounds futile waiting on permanently
+  // shadowed cells.
+  hex::CellIndex at = source;
+  std::int64_t stall = 0;
+  const std::int64_t stall_limit = 2 * array.cell_count();
+  while (t < deadline_cycles && stall < stall_limit &&
+         static_cast<std::int32_t>(visited.size()) < array.cell_count()) {
+    // BFS from `at` over cells clear at t+1 (one-step lookahead; later
+    // steps are replanned on their own cycles).
+    std::vector<std::int32_t> parent(
+        static_cast<std::size_t>(array.cell_count()), -2);
+    std::queue<hex::CellIndex> frontier;
+    parent[static_cast<std::size_t>(at)] = -1;
+    frontier.push(at);
+    hex::CellIndex target = hex::kInvalidCell;
+    while (!frontier.empty() && target == hex::kInvalidCell) {
+      const hex::CellIndex v = frontier.front();
+      frontier.pop();
+      for (const hex::CellIndex u : array.neighbors_of(v)) {
+        if (parent[static_cast<std::size_t>(u)] != -2) continue;
+        if (!clear_of_assays(array, u, t + 1, assay_routes)) continue;
+        parent[static_cast<std::size_t>(u)] = v;
+        if (!visited.contains(u)) {
+          target = u;
+          break;
+        }
+        frontier.push(u);
+      }
+    }
+
+    if (target == hex::kInvalidCell) {
+      // Nothing reachable this cycle: wait (or sidestep if holding is
+      // illegal because an assay droplet is sweeping past).
+      if (!clear_of_assays(array, at, t + 1, assay_routes)) {
+        for (const hex::CellIndex u : array.neighbors_of(at)) {
+          if (clear_of_assays(array, u, t + 1, assay_routes)) {
+            at = u;
+            if (visited.insert(u).second) report.tested.push_back(u);
+            break;
+          }
+        }
+      }
+      ++t;
+      ++stall;
+      continue;
+    }
+
+    // Walk back from target to find the first step away from `at`.
+    hex::CellIndex step = target;
+    while (parent[static_cast<std::size_t>(step)] != -1) {
+      const auto up =
+          parent[static_cast<std::size_t>(step)];
+      if (up == at) break;
+      step = up;
+    }
+    at = step;
+    ++t;
+    if (visited.insert(at).second) {
+      report.tested.push_back(at);
+      stall = 0;
+    } else {
+      ++stall;
+    }
+  }
+
+  const bool unfinished =
+      static_cast<std::int32_t>(visited.size()) < array.cell_count();
+  return finish(t, unfinished && t >= deadline_cycles);
+}
+
+}  // namespace dmfb::testplan

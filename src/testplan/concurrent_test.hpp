@@ -1,0 +1,46 @@
+// Concurrent testing (paper Section 2 / ref [11]): testing a biochip
+// *while* bioassays execute on it.
+//
+// The test droplet shares the array with assay droplets, so every move must
+// respect the fluidic constraints against the assay droplets' time-varying
+// positions. The planner follows a covering walk but, before each hop,
+// checks the exclusion zone (distance <= 1 of any assay droplet now or at
+// the previous cycle) and waits when blocked; cells whose window never
+// opens within the deadline stay untested and are reported for a later
+// off-line pass.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "biochip/hex_array.hpp"
+#include "fluidics/router.hpp"
+
+namespace dmfb::testplan {
+
+struct ConcurrentTestReport {
+  /// Cells the stimulus droplet traversed (tested) in walk order.
+  std::vector<hex::CellIndex> tested;
+  /// Cells that could not be visited before the deadline.
+  std::vector<hex::CellIndex> untested;
+  std::int64_t cycles_used = 0;
+  bool deadline_hit = false;
+
+  double coverage(const biochip::HexArray& array) const {
+    return array.cell_count() == 0
+               ? 1.0
+               : static_cast<double>(tested.size()) / array.cell_count();
+  }
+};
+
+/// Runs a concurrent test session: a stimulus droplet starts at `source` at
+/// cycle `start_cycle` and tries to cover all cells while the assay
+/// droplets follow `assay_routes`. The chip is assumed fault-free here (the
+/// concurrent pass screens for new/operational faults; fault *injection*
+/// testing goes through run_test_session).
+ConcurrentTestReport run_concurrent_test(
+    const biochip::HexArray& array, hex::CellIndex source,
+    const std::vector<fluidics::TimedRoute>& assay_routes,
+    std::int64_t deadline_cycles);
+
+}  // namespace dmfb::testplan

@@ -1,0 +1,142 @@
+#include "testplan/stimulus_test.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/contracts.hpp"
+#include "graph/graph.hpp"
+
+namespace dmfb::testplan {
+
+std::vector<CellIndex> plan_covering_walk(
+    const biochip::HexArray& array, CellIndex source,
+    const std::unordered_set<CellIndex>& excluded) {
+  DMFB_EXPECTS(source >= 0 && source < array.cell_count());
+  DMFB_EXPECTS(!excluded.contains(source));
+  // Graph over non-excluded cells; vertices keep array indices.
+  graph::Graph walk_graph(array.cell_count());
+  for (CellIndex cell = 0; cell < array.cell_count(); ++cell) {
+    if (excluded.contains(cell)) continue;
+    for (const CellIndex nb : array.neighbors_of(cell)) {
+      if (nb > cell && !excluded.contains(nb)) {
+        walk_graph.add_edge(cell, nb);
+      }
+    }
+  }
+  return graph::covering_walk(walk_graph, source);
+}
+
+std::vector<CellIndex> plan_short_covering_walk(
+    const biochip::HexArray& array, CellIndex source,
+    const std::unordered_set<CellIndex>& excluded) {
+  DMFB_EXPECTS(source >= 0 && source < array.cell_count());
+  DMFB_EXPECTS(!excluded.contains(source));
+  std::vector<char> visited(static_cast<std::size_t>(array.cell_count()), 0);
+  std::vector<CellIndex> walk{source};
+  visited[static_cast<std::size_t>(source)] = 1;
+
+  for (;;) {
+    // BFS from the walk head to the nearest unvisited, non-excluded cell;
+    // visited cells may be traversed en route.
+    const CellIndex head = walk.back();
+    std::vector<std::int32_t> parent(
+        static_cast<std::size_t>(array.cell_count()), -2);
+    std::queue<CellIndex> frontier;
+    parent[static_cast<std::size_t>(head)] = -1;
+    frontier.push(head);
+    CellIndex target = hex::kInvalidCell;
+    while (!frontier.empty() && target == hex::kInvalidCell) {
+      const CellIndex v = frontier.front();
+      frontier.pop();
+      for (const CellIndex u : array.neighbors_of(v)) {
+        if (parent[static_cast<std::size_t>(u)] != -2) continue;
+        if (excluded.contains(u)) continue;
+        parent[static_cast<std::size_t>(u)] = v;
+        if (!visited[static_cast<std::size_t>(u)]) {
+          target = u;
+          break;
+        }
+        frontier.push(u);
+      }
+    }
+    if (target == hex::kInvalidCell) break;  // everything reachable covered
+    // Append the path head -> target (head itself already in the walk).
+    std::vector<CellIndex> path;
+    for (CellIndex v = target; v != head;
+         v = parent[static_cast<std::size_t>(v)]) {
+      path.push_back(v);
+    }
+    for (auto it = path.rbegin(); it != path.rend(); ++it) {
+      walk.push_back(*it);
+      visited[static_cast<std::size_t>(*it)] = 1;
+    }
+  }
+  return walk;
+}
+
+StimulusOutcome run_stimulus_walk(const biochip::HexArray& array,
+                                  const std::vector<CellIndex>& walk) {
+  DMFB_EXPECTS(!walk.empty());
+  StimulusOutcome outcome;
+  // The source must actuate the droplet at all.
+  if (array.health(walk.front()) == biochip::CellHealth::kFaulty) {
+    outcome.last_step = -1;
+    outcome.detected_fault = walk.front();
+    return outcome;
+  }
+  outcome.last_step = 0;
+  for (std::size_t i = 1; i < walk.size(); ++i) {
+    DMFB_EXPECTS(hex::adjacent(array.region().coord_at(walk[i - 1]),
+                               array.region().coord_at(walk[i])));
+    if (array.health(walk[i]) == biochip::CellHealth::kFaulty) {
+      outcome.detected_fault = walk[i];
+      return outcome;
+    }
+    outcome.last_step = static_cast<std::int32_t>(i);
+  }
+  outcome.completed = true;
+  return outcome;
+}
+
+TestSessionResult run_test_session(const biochip::HexArray& array,
+                                   CellIndex source) {
+  TestSessionResult result;
+  std::unordered_set<CellIndex> known_faults;
+
+  // The source cell itself must be healthy to dispense at all; if not, the
+  // chip fails testing outright with the source as the (only locatable)
+  // fault.
+  if (array.health(source) == biochip::CellHealth::kFaulty) {
+    result.faults_found.push_back(source);
+    for (CellIndex cell = 0; cell < array.cell_count(); ++cell) {
+      if (cell != source) result.untestable.push_back(cell);
+    }
+    return result;
+  }
+
+  for (;;) {
+    const std::vector<CellIndex> walk =
+        plan_covering_walk(array, source, known_faults);
+    ++result.walks_used;
+    const StimulusOutcome outcome = run_stimulus_walk(array, walk);
+    if (outcome.completed) {
+      // Everything the walk visited is healthy; anything never visited and
+      // not a known fault is unreachable.
+      std::unordered_set<CellIndex> visited(walk.begin(), walk.end());
+      for (CellIndex cell = 0; cell < array.cell_count(); ++cell) {
+        if (!visited.contains(cell) && !known_faults.contains(cell)) {
+          result.untestable.push_back(cell);
+        }
+      }
+      break;
+    }
+    DMFB_ASSERT(outcome.detected_fault.has_value());
+    known_faults.insert(*outcome.detected_fault);
+    result.faults_found.push_back(*outcome.detected_fault);
+  }
+  std::sort(result.faults_found.begin(), result.faults_found.end());
+  std::sort(result.untestable.begin(), result.untestable.end());
+  return result;
+}
+
+}  // namespace dmfb::testplan

@@ -1,0 +1,57 @@
+#include "yield/analytic.hpp"
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace dmfb::yield {
+
+namespace {
+
+void check_probability(double p) {
+  DMFB_EXPECTS(p >= 0.0 && p <= 1.0);
+}
+
+}  // namespace
+
+double no_redundancy_yield(std::int32_t n, double p) {
+  DMFB_EXPECTS(n >= 0);
+  check_probability(p);
+  return std::pow(p, n);
+}
+
+double dtmb16_cluster_yield(double p) {
+  check_probability(p);
+  return std::pow(p, 7) + 7.0 * std::pow(p, 6) * (1.0 - p);
+}
+
+double dtmb16_yield(std::int32_t n_primaries, double p) {
+  DMFB_EXPECTS(n_primaries >= 0);
+  check_probability(p);
+  // n/6 independent clusters; allow fractional cluster counts so sweeps over
+  // arbitrary n remain smooth.
+  const double clusters = static_cast<double>(n_primaries) / 6.0;
+  return std::pow(dtmb16_cluster_yield(p), clusters);
+}
+
+double effective_yield(double yield, double redundancy_ratio) {
+  DMFB_EXPECTS(yield >= 0.0 && yield <= 1.0);
+  DMFB_EXPECTS(redundancy_ratio >= 0.0);
+  return yield / (1.0 + redundancy_ratio);
+}
+
+double used_cells_yield(std::int32_t n_used, double p) {
+  return no_redundancy_yield(n_used, p);
+}
+
+double spare_row_yield(std::int32_t columns, std::int32_t rows, double p) {
+  DMFB_EXPECTS(columns > 0);
+  DMFB_EXPECTS(rows >= 2);  // at least one primary + the spare cell
+  check_probability(p);
+  const double column_ok = std::pow(p, rows) +
+                           static_cast<double>(rows) *
+                               std::pow(p, rows - 1) * (1.0 - p);
+  return std::pow(column_ok, columns);
+}
+
+}  // namespace dmfb::yield

@@ -1,0 +1,43 @@
+// Closed-form yield models (paper Section 6).
+//
+// All formulas are in terms of the per-cell survival probability p (defect
+// probability q = 1 - p), under the paper's assumption of independent,
+// identically distributed cell failures.
+#pragma once
+
+#include <cstdint>
+
+namespace dmfb::yield {
+
+/// Yield of an array with n cells and no redundancy: Y = p^n.
+/// (Used for the paper's 0.99^108 = 0.3378 observation.)
+double no_redundancy_yield(std::int32_t n, double p);
+
+/// Yield of one DTMB(1,6) cluster (one spare + six primaries): the cluster
+/// survives iff at most one of its seven cells fails.
+/// Yc = p^7 + 7 p^6 (1 - p).
+double dtmb16_cluster_yield(double p);
+
+/// Analytic DTMB(1,6) yield for n primary cells: Y = Yc^(n/6)
+/// (the array decomposes into n/6 independent clusters).
+double dtmb16_yield(std::int32_t n_primaries, double p);
+
+/// Effective yield EY = Y * (n/N) = Y / (1 + RR): yield per unit of array
+/// area, the paper's cost-aware figure of merit.
+double effective_yield(double yield, double redundancy_ratio);
+
+/// Yield of a chip where only `n_used` of the cells matter and there is no
+/// redundancy: Y = p^n_used (the first-generation fabricated chip).
+double used_cells_yield(std::int32_t n_used, double p);
+
+/// Yield of the Fig. 2 boundary spare-row architecture under shifted
+/// replacement: `columns` independent columns of `rows` cells each (the
+/// bottom cell being the spare). A column survives iff at most one of its
+/// cells fails, so Y = (p^rows + rows * p^(rows-1) * (1-p))^columns.
+/// With rows = 7 this is *identical* to the DTMB(1,6) cluster formula at
+/// equal redundancy — the paper's case against spare rows is the
+/// reconfiguration cost, not the raw yield (see
+/// bench_fig2_shifted_replacement).
+double spare_row_yield(std::int32_t columns, std::int32_t rows, double p);
+
+}  // namespace dmfb::yield

@@ -1,0 +1,99 @@
+#include "yield/bounds.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/contracts.hpp"
+
+namespace dmfb::yield {
+
+namespace {
+
+using biochip::CellRole;
+using biochip::HexArray;
+using hex::CellIndex;
+
+/// Greedy dedicated-spare assignment: each primary picks its least-loaded
+/// adjacent spare. Returns designated spare per primary (kInvalidCell when
+/// the primary has no spare neighbour).
+std::vector<CellIndex> designate_spares(const HexArray& array) {
+  std::vector<CellIndex> designated(
+      static_cast<std::size_t>(array.cell_count()), hex::kInvalidCell);
+  std::vector<std::int32_t> load(static_cast<std::size_t>(array.cell_count()),
+                                 0);
+  for (const CellIndex primary : array.primaries()) {
+    CellIndex best = hex::kInvalidCell;
+    for (const CellIndex spare : array.spare_neighbors_of(primary)) {
+      if (best == hex::kInvalidCell ||
+          load[static_cast<std::size_t>(spare)] <
+              load[static_cast<std::size_t>(best)]) {
+        best = spare;
+      }
+    }
+    designated[static_cast<std::size_t>(primary)] = best;
+    if (best != hex::kInvalidCell) ++load[static_cast<std::size_t>(best)];
+  }
+  return designated;
+}
+
+}  // namespace
+
+YieldBounds analytic_yield_bounds(const HexArray& array, double p) {
+  DMFB_EXPECTS(p >= 0.0 && p <= 1.0);
+  const double q = 1.0 - p;
+  YieldBounds bounds;
+
+  // ---- lower bound: dedicated-spare clusters -----------------------------
+  const auto designated = designate_spares(array);
+  // Cluster sizes per spare.
+  std::vector<std::int32_t> cluster_size(
+      static_cast<std::size_t>(array.cell_count()), 0);
+  double lower = 1.0;
+  for (const CellIndex primary : array.primaries()) {
+    const CellIndex spare = designated[static_cast<std::size_t>(primary)];
+    if (spare == hex::kInvalidCell) {
+      lower *= p;  // unprotected primary must simply survive
+    } else {
+      ++cluster_size[static_cast<std::size_t>(spare)];
+    }
+  }
+  for (const CellIndex spare : array.spares()) {
+    const std::int32_t k = cluster_size[static_cast<std::size_t>(spare)];
+    if (k == 0) continue;  // unused spare, any health is fine
+    // P(0 of k faulty) + P(exactly 1 of k) * p(spare healthy).
+    const double no_fault = std::pow(p, k);
+    const double one_fault =
+        static_cast<double>(k) * std::pow(p, k - 1) * q;
+    lower *= no_fault + one_fault * p;
+  }
+  bounds.lower = lower;
+
+  // ---- upper bound: disjoint death traps ---------------------------------
+  std::vector<char> used(static_cast<std::size_t>(array.cell_count()), 0);
+  double upper = 1.0;
+  for (const CellIndex primary : array.primaries()) {
+    if (used[static_cast<std::size_t>(primary)]) continue;
+    const auto spares = array.spare_neighbors_of(primary);
+    bool overlap = false;
+    for (const CellIndex spare : spares) {
+      if (used[static_cast<std::size_t>(spare)]) {
+        overlap = true;
+        break;
+      }
+    }
+    if (overlap) continue;
+    used[static_cast<std::size_t>(primary)] = 1;
+    for (const CellIndex spare : spares) {
+      used[static_cast<std::size_t>(spare)] = 1;
+    }
+    // Trap dead (primary + all its spares faulty) => chip dead.
+    upper *= 1.0 - std::pow(q, 1 + static_cast<std::int32_t>(spares.size()));
+  }
+  bounds.upper = upper;
+
+  DMFB_ENSURES(bounds.lower <= bounds.upper + 1e-12);
+  return bounds;
+}
+
+}  // namespace dmfb::yield

@@ -1,0 +1,37 @@
+// Rigorous analytic yield bounds for arbitrary interstitial designs.
+//
+// The paper derives a closed form only for DTMB(1,6) ("for designs with
+// higher redundancy it is hard to develop an analytical model") and falls
+// back to Monte-Carlo. This module brackets the Monte-Carlo value with two
+// provable bounds that work for any HexArray:
+//
+//  * lower bound — dedicated-spare argument: assign every primary to one
+//    adjacent spare (greedy load balancing). Restricting the repair
+//    strategy to "use your dedicated spare" can only lose repairable chips,
+//    and it decomposes the array into independent clusters (a spare + its
+//    dedicated primaries), each with closed-form survival
+//        P = P(no dedicated primary faulty)
+//          + P(exactly one faulty) * p_spare.
+//    For DTMB(1,6) the decomposition is the paper's clusters and the bound
+//    is *exact* (verified in tests).
+//
+//  * upper bound — death-trap argument: a primary together with all of its
+//    adjacent spares is a "trap"; if every cell of a trap fails the chip is
+//    irreparable. For any family of vertex-disjoint traps the failures are
+//    independent, so Y <= prod over traps (1 - q^(1+s_i)).
+#pragma once
+
+#include "biochip/hex_array.hpp"
+
+namespace dmfb::yield {
+
+struct YieldBounds {
+  double lower = 0.0;
+  double upper = 1.0;
+};
+
+/// Computes both bounds for the array's structure at survival probability
+/// p, under the all-faulty-primaries coverage policy.
+YieldBounds analytic_yield_bounds(const biochip::HexArray& array, double p);
+
+}  // namespace dmfb::yield

@@ -1,0 +1,102 @@
+#include "yield/compound.hpp"
+
+#include <cmath>
+#include <numeric>
+
+#include "common/contracts.hpp"
+#include "common/stats.hpp"
+
+namespace dmfb::yield {
+
+namespace {
+
+void normalize(DefectCountPmf& pmf) {
+  const double total = std::accumulate(pmf.begin(), pmf.end(), 0.0);
+  DMFB_ASSERT(total > 0.0);
+  for (double& probability : pmf) probability /= total;
+}
+
+}  // namespace
+
+DefectCountPmf binomial_defect_pmf(std::int32_t cell_count, double q) {
+  DMFB_EXPECTS(cell_count >= 0);
+  DMFB_EXPECTS(q >= 0.0 && q <= 1.0);
+  DefectCountPmf pmf(static_cast<std::size_t>(cell_count) + 1);
+  for (std::int32_t m = 0; m <= cell_count; ++m) {
+    pmf[static_cast<std::size_t>(m)] = binomial_pmf(cell_count, m, q);
+  }
+  return pmf;  // already sums to 1
+}
+
+DefectCountPmf poisson_defect_pmf(std::int32_t cell_count, double mean) {
+  DMFB_EXPECTS(cell_count >= 0);
+  DMFB_EXPECTS(mean >= 0.0);
+  DefectCountPmf pmf(static_cast<std::size_t>(cell_count) + 1);
+  // Recurrence p(m) = p(m-1) * mean / m avoids factorial overflow.
+  double term = std::exp(-mean);
+  for (std::int32_t m = 0; m <= cell_count; ++m) {
+    pmf[static_cast<std::size_t>(m)] = term;
+    term *= mean / static_cast<double>(m + 1);
+  }
+  normalize(pmf);  // fold the truncated tail back in
+  return pmf;
+}
+
+DefectCountPmf negative_binomial_defect_pmf(std::int32_t cell_count,
+                                            double mean, double alpha) {
+  DMFB_EXPECTS(cell_count >= 0);
+  DMFB_EXPECTS(mean >= 0.0);
+  DMFB_EXPECTS(alpha > 0.0);
+  // NB with mean m and clustering alpha: P(k) = C(alpha+k-1, k) *
+  // (m/(m+alpha))^k * (alpha/(m+alpha))^alpha. Computed by recurrence:
+  // P(0) = (alpha/(m+alpha))^alpha; P(k) = P(k-1) * (alpha+k-1)/k * r,
+  // r = m/(m+alpha).
+  DefectCountPmf pmf(static_cast<std::size_t>(cell_count) + 1);
+  const double r = mean / (mean + alpha);
+  double term = std::pow(alpha / (mean + alpha), alpha);
+  for (std::int32_t k = 0; k <= cell_count; ++k) {
+    pmf[static_cast<std::size_t>(k)] = term;
+    term *= (alpha + static_cast<double>(k)) /
+            static_cast<double>(k + 1) * r;
+  }
+  normalize(pmf);
+  return pmf;
+}
+
+double poisson_zero_defect_yield(double mean) {
+  DMFB_EXPECTS(mean >= 0.0);
+  return std::exp(-mean);
+}
+
+double stapper_zero_defect_yield(double mean, double alpha) {
+  DMFB_EXPECTS(mean >= 0.0);
+  DMFB_EXPECTS(alpha > 0.0);
+  return std::pow(1.0 + mean / alpha, -alpha);
+}
+
+CompoundYield compound_yield(biochip::HexArray& array,
+                             const DefectCountPmf& pmf,
+                             const McOptions& options, double pmf_cutoff) {
+  DMFB_EXPECTS(static_cast<std::int32_t>(pmf.size()) ==
+               array.cell_count() + 1);
+  DMFB_EXPECTS(pmf_cutoff >= 0.0);
+  CompoundYield result;
+  for (std::int32_t m = 0;
+       m < static_cast<std::int32_t>(pmf.size()); ++m) {
+    const double mass = pmf[static_cast<std::size_t>(m)];
+    if (mass < pmf_cutoff) {
+      result.truncated_mass += mass;
+      continue;
+    }
+    double repairable = 1.0;
+    if (m > 0) {
+      McOptions per_m = options;
+      per_m.seed = options.seed + static_cast<std::uint64_t>(m) * 0x9E37ULL;
+      repairable = mc_yield_fixed_faults(array, m, per_m).value;
+    }
+    result.value += mass * repairable;
+  }
+  return result;
+}
+
+}  // namespace dmfb::yield

@@ -1,0 +1,62 @@
+#include "yield/monte_carlo.hpp"
+
+#include "common/contracts.hpp"
+
+namespace dmfb::yield {
+
+YieldEstimate mc_yield_with_oracle(biochip::HexArray& array,
+                                   const InjectFn& inject,
+                                   const RepairableFn& repairable,
+                                   const McOptions& options) {
+  DMFB_EXPECTS(options.runs > 0);
+  DMFB_EXPECTS(static_cast<bool>(inject));
+  DMFB_EXPECTS(static_cast<bool>(repairable));
+  array.reset_health();
+  Rng rng(options.seed);
+  BernoulliEstimate estimate;
+  for (std::int32_t run = 0; run < options.runs; ++run) {
+    inject(array, rng);
+    estimate.add(repairable(array));
+    array.reset_health();
+  }
+  YieldEstimate result;
+  result.value = estimate.proportion();
+  result.ci95 = estimate.wilson();
+  result.runs = estimate.trials();
+  result.successes = estimate.successes();
+  return result;
+}
+
+YieldEstimate mc_yield(biochip::HexArray& array, const InjectFn& inject,
+                       const McOptions& options) {
+  const reconfig::LocalReconfigurer reconfigurer(options.policy,
+                                                 options.engine, options.pool);
+  return mc_yield_with_oracle(
+      array, inject,
+      [&reconfigurer](const biochip::HexArray& a) {
+        return reconfigurer.feasible(a);
+      },
+      options);
+}
+
+YieldEstimate mc_yield_bernoulli(biochip::HexArray& array, double p,
+                                 const McOptions& options) {
+  DMFB_EXPECTS(p >= 0.0 && p <= 1.0);
+  const fault::BernoulliInjector injector(p);
+  return mc_yield(
+      array,
+      [&injector](biochip::HexArray& a, Rng& rng) { injector.inject(a, rng); },
+      options);
+}
+
+YieldEstimate mc_yield_fixed_faults(biochip::HexArray& array, std::int32_t m,
+                                    const McOptions& options) {
+  DMFB_EXPECTS(m >= 0 && m <= array.cell_count());
+  const fault::FixedCountInjector injector(m);
+  return mc_yield(
+      array,
+      [&injector](biochip::HexArray& a, Rng& rng) { injector.inject(a, rng); },
+      options);
+}
+
+}  // namespace dmfb::yield

@@ -1,0 +1,68 @@
+// Monte-Carlo yield estimation (paper Section 6).
+//
+// For designs beyond DTMB(1,6) the spare assignment is not straightforward
+// and no closed form is known, so yield is estimated by simulation: in each
+// run every cell (primary and spare) fails independently with probability
+// q = 1 - p; the run succeeds iff local reconfiguration can repair the chip
+// (maximal bipartite matching covers all relevant faulty primaries). The
+// estimate is the success proportion over `runs` runs (paper: 10000).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "biochip/hex_array.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "fault/injector.hpp"
+#include "graph/matching.hpp"
+#include "reconfig/local_reconfig.hpp"
+
+namespace dmfb::yield {
+
+/// Yield estimate with a Wilson 95% confidence interval.
+struct YieldEstimate {
+  double value = 0.0;
+  Interval ci95;
+  std::int64_t runs = 0;
+  std::int64_t successes = 0;
+};
+
+/// Simulation knobs. Defaults mirror the paper: 10000 runs,
+/// all-faulty-primaries coverage, Hopcroft-Karp matching.
+struct McOptions {
+  std::int32_t runs = 10000;
+  std::uint64_t seed = 0xD0E5A11ULL;
+  reconfig::CoveragePolicy policy =
+      reconfig::CoveragePolicy::kAllFaultyPrimaries;
+  graph::MatchingEngine engine = graph::MatchingEngine::kHopcroftKarp;
+  reconfig::ReplacementPool pool = reconfig::ReplacementPool::kSparesOnly;
+};
+
+/// Injects faults into `array` for one run. The array arrives healthy and
+/// may be left in any fault state; the engine resets it between runs.
+using InjectFn = std::function<void(biochip::HexArray&, Rng&)>;
+
+/// Repairability oracle for one run; defaults to matching feasibility.
+using RepairableFn = std::function<bool(const biochip::HexArray&)>;
+
+/// Generic Monte-Carlo loop: inject -> check repairable -> reset.
+YieldEstimate mc_yield(biochip::HexArray& array, const InjectFn& inject,
+                       const McOptions& options);
+
+/// Like mc_yield but with a custom repairability oracle (used by the greedy
+/// ablation and the fluidic-level integration tests).
+YieldEstimate mc_yield_with_oracle(biochip::HexArray& array,
+                                   const InjectFn& inject,
+                                   const RepairableFn& repairable,
+                                   const McOptions& options);
+
+/// Paper model: iid cell survival probability p.
+YieldEstimate mc_yield_bernoulli(biochip::HexArray& array, double p,
+                                 const McOptions& options);
+
+/// Fig. 13 model: exactly m random cell failures per run.
+YieldEstimate mc_yield_fixed_faults(biochip::HexArray& array, std::int32_t m,
+                                    const McOptions& options);
+
+}  // namespace dmfb::yield

@@ -1,0 +1,132 @@
+// Tests for the electrode actuation compiler.
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "biochip/dtmb.hpp"
+#include "common/contracts.hpp"
+#include "fluidics/actuation.hpp"
+#include "fluidics/router.hpp"
+
+namespace dmfb::fluidics {
+namespace {
+
+biochip::HexArray open_array() {
+  return biochip::HexArray(hex::Region::parallelogram(8, 8),
+                           [](hex::HexCoord) {
+                             return biochip::CellRole::kPrimary;
+                           });
+}
+
+TimedRoute straight_route(const biochip::HexArray& array, std::int32_t row,
+                          std::int32_t q0, std::int32_t q1, DropletId id) {
+  TimedRoute route;
+  route.droplet = id;
+  for (std::int32_t q = q0; q <= q1; ++q) {
+    route.cells.push_back(array.region().index_of({q, row}));
+  }
+  return route;
+}
+
+TEST(Actuation, EmptyRoutesGiveEmptyProgram) {
+  const auto program = compile_routes({});
+  EXPECT_EQ(program.cycle_count(), 0);
+  EXPECT_EQ(program.activation_count(), 0);
+}
+
+TEST(Actuation, SingleRouteOneActivationPerHop) {
+  const auto array = open_array();
+  const auto route = straight_route(array, 2, 0, 5, 0);
+  const auto program = compile_routes({route});
+  EXPECT_EQ(program.cycle_count(), 5);  // 5 hops for 6 cells
+  EXPECT_EQ(program.activation_count(), 5);
+  // Frame t energises the droplet's t+1 position.
+  for (std::int64_t t = 0; t < program.cycle_count(); ++t) {
+    ASSERT_EQ(program.frames[static_cast<std::size_t>(t)].energized.size(),
+              1u);
+    EXPECT_EQ(program.frames[static_cast<std::size_t>(t)].energized[0],
+              route.at(t + 1));
+  }
+}
+
+TEST(Actuation, ParkedDropletNeedsNoDrive) {
+  const auto array = open_array();
+  auto route = straight_route(array, 2, 0, 2, 0);  // arrives at t=2
+  auto longer = straight_route(array, 5, 0, 5, 1);  // arrives at t=5
+  const auto program = compile_routes({route, longer});
+  EXPECT_EQ(program.cycle_count(), 5);
+  // After t=2 only the second droplet is driven.
+  for (std::int64_t t = 2; t < 5; ++t) {
+    EXPECT_EQ(program.frames[static_cast<std::size_t>(t)].energized.size(),
+              1u);
+  }
+}
+
+TEST(Actuation, ValidatesCleanProgram) {
+  const auto array = open_array();
+  const std::vector<TimedRoute> routes = {
+      straight_route(array, 1, 0, 5, 0),
+      straight_route(array, 5, 0, 5, 1),
+  };
+  const auto program = compile_routes(routes);
+  EXPECT_EQ(validate_program(program, routes, array), ActuationFault::kNone);
+}
+
+TEST(Actuation, DetectsDoubleDrive) {
+  const auto array = open_array();
+  const std::vector<TimedRoute> routes = {straight_route(array, 1, 0, 3, 0)};
+  auto program = compile_routes(routes);
+  // Corrupt: duplicate the first frame's electrode.
+  program.frames[0].energized.push_back(program.frames[0].energized[0]);
+  EXPECT_EQ(validate_program(program, routes, array),
+            ActuationFault::kDoubleDrive);
+}
+
+TEST(Actuation, DetectsDeadActivation) {
+  const auto array = open_array();
+  const std::vector<TimedRoute> routes = {straight_route(array, 1, 0, 3, 0)};
+  auto program = compile_routes(routes);
+  // Corrupt: energise an electrode far from any droplet.
+  program.frames[0].energized = {array.region().index_of({7, 7})};
+  EXPECT_EQ(validate_program(program, routes, array),
+            ActuationFault::kDeadActivation);
+}
+
+TEST(Actuation, DisassemblyMentionsEveryFrame) {
+  const auto array = open_array();
+  const std::vector<TimedRoute> routes = {straight_route(array, 1, 0, 4, 0)};
+  const auto program = compile_routes(routes, 72.0);
+  std::ostringstream out;
+  disassemble(program, array, out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("72"), std::string::npos);
+  EXPECT_NE(text.find("t=0:"), std::string::npos);
+  EXPECT_NE(text.find("t=3:"), std::string::npos);
+}
+
+TEST(Actuation, FaultNames) {
+  EXPECT_STREQ(to_string(ActuationFault::kNone), "none");
+  EXPECT_STREQ(to_string(ActuationFault::kDoubleDrive), "double-drive");
+  EXPECT_STREQ(to_string(ActuationFault::kDeadActivation), "dead-activation");
+}
+
+TEST(Actuation, CompiledFromRealRouterOutput) {
+  const auto array = open_array();
+  const UsableCells usable(array);
+  const MultiDropletRouter router(usable);
+  const auto routes = router.route({
+      {0, array.region().index_of({0, 3}), array.region().index_of({7, 3}), {}},
+      {1, array.region().index_of({3, 0}), array.region().index_of({3, 7}), {}},
+  });
+  ASSERT_TRUE(routes.has_value());
+  const auto program = compile_routes(*routes);
+  EXPECT_EQ(validate_program(program, *routes, array), ActuationFault::kNone);
+  EXPECT_GT(program.activation_count(), 0);
+}
+
+TEST(Actuation, RejectsBadVoltage) {
+  EXPECT_THROW(compile_routes({}, 0.0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace dmfb::fluidics

@@ -1,0 +1,204 @@
+// Tests for the array models (HexArray, SquareArray) and cell state.
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "biochip/hex_array.hpp"
+#include "biochip/redundancy.hpp"
+#include "biochip/square_array.hpp"
+#include "common/contracts.hpp"
+#include "graph/graph.hpp"
+
+namespace dmfb::biochip {
+namespace {
+
+HexArray checkerboard_array() {
+  // 4x4 parallelogram; spare iff q == r (just a role mix for state tests).
+  return HexArray(hex::Region::parallelogram(4, 4), [](hex::HexCoord at) {
+    return at.q == at.r ? CellRole::kSpare : CellRole::kPrimary;
+  });
+}
+
+TEST(HexArray, CountsMatchRoles) {
+  const HexArray array = checkerboard_array();
+  EXPECT_EQ(array.cell_count(), 16);
+  EXPECT_EQ(array.spare_count(), 4);
+  EXPECT_EQ(array.primary_count(), 12);
+  EXPECT_EQ(array.primaries().size(), 12u);
+  EXPECT_EQ(array.spares().size(), 4u);
+}
+
+TEST(HexArray, RoleVectorConstructor) {
+  std::vector<CellRole> roles(6, CellRole::kPrimary);
+  roles[2] = CellRole::kSpare;
+  const HexArray array(hex::Region::parallelogram(3, 2), std::move(roles));
+  EXPECT_EQ(array.spare_count(), 1);
+  EXPECT_EQ(array.role(2), CellRole::kSpare);
+}
+
+TEST(HexArray, RoleVectorSizeMismatchRejected) {
+  std::vector<CellRole> roles(5, CellRole::kPrimary);
+  EXPECT_THROW(HexArray(hex::Region::parallelogram(3, 2), std::move(roles)),
+               ContractViolation);
+}
+
+TEST(HexArray, NeighborsPartitionByRole) {
+  const HexArray array = checkerboard_array();
+  for (hex::CellIndex cell = 0; cell < array.cell_count(); ++cell) {
+    const auto all = array.neighbors_of(cell);
+    const auto spares = array.spare_neighbors_of(cell);
+    const auto primaries = array.primary_neighbors_of(cell);
+    EXPECT_EQ(all.size(), spares.size() + primaries.size());
+    for (const auto nb : spares) EXPECT_EQ(array.role(nb), CellRole::kSpare);
+    for (const auto nb : primaries) {
+      EXPECT_EQ(array.role(nb), CellRole::kPrimary);
+    }
+  }
+}
+
+TEST(HexArray, NeighborsMatchRegion) {
+  const HexArray array = checkerboard_array();
+  for (hex::CellIndex cell = 0; cell < array.cell_count(); ++cell) {
+    const auto from_array = array.neighbors_of(cell);
+    const auto from_region = array.region().neighbors_of(cell);
+    const std::set<hex::CellIndex> a(from_array.begin(), from_array.end());
+    const std::set<hex::CellIndex> b(from_region.begin(), from_region.end());
+    EXPECT_EQ(a, b);
+  }
+}
+
+TEST(HexArray, HealthLifecycle) {
+  HexArray array = checkerboard_array();
+  EXPECT_EQ(array.faulty_count(), 0);
+  array.set_health(3, CellHealth::kFaulty);
+  array.set_health(5, CellHealth::kFaulty);
+  EXPECT_EQ(array.faulty_count(), 2);
+  array.set_health(3, CellHealth::kFaulty);  // idempotent
+  EXPECT_EQ(array.faulty_count(), 2);
+  array.set_health(3, CellHealth::kHealthy);
+  EXPECT_EQ(array.faulty_count(), 1);
+  array.reset_health();
+  EXPECT_EQ(array.faulty_count(), 0);
+  for (hex::CellIndex cell = 0; cell < array.cell_count(); ++cell) {
+    EXPECT_EQ(array.health(cell), CellHealth::kHealthy);
+  }
+}
+
+TEST(HexArray, FaultyCellsByRole) {
+  HexArray array = checkerboard_array();
+  // cell with q==r is spare; find one of each role.
+  const hex::CellIndex spare = array.spares().front();
+  const hex::CellIndex primary = array.primaries().front();
+  array.set_health(spare, CellHealth::kFaulty);
+  array.set_health(primary, CellHealth::kFaulty);
+  EXPECT_EQ(array.faulty_cells(CellRole::kSpare),
+            std::vector<hex::CellIndex>{spare});
+  EXPECT_EQ(array.faulty_cells(CellRole::kPrimary),
+            std::vector<hex::CellIndex>{primary});
+}
+
+TEST(HexArray, UsageLifecycle) {
+  HexArray array = checkerboard_array();
+  EXPECT_EQ(array.used_count(), 0);
+  array.set_usage(1, CellUsage::kAssayUsed);
+  array.set_usage(2, CellUsage::kAssayUsed);
+  EXPECT_EQ(array.used_count(), 2);
+  EXPECT_EQ(array.used_cells(), (std::vector<hex::CellIndex>{1, 2}));
+  array.set_usage(1, CellUsage::kUnused);
+  EXPECT_EQ(array.used_count(), 1);
+}
+
+TEST(HexArray, InteriorDetection) {
+  const HexArray array = checkerboard_array();
+  const hex::CellIndex center = array.region().index_of({2, 1});
+  EXPECT_TRUE(array.is_interior(center));
+  EXPECT_FALSE(array.is_interior(array.region().index_of({0, 0})));
+}
+
+TEST(HexArray, AdjacencyGraphMatchesFigure3Model) {
+  const HexArray array = checkerboard_array();
+  const graph::Graph g = array.adjacency_graph();
+  EXPECT_EQ(g.node_count(), array.cell_count());
+  // Every region adjacency appears exactly once as an undirected edge.
+  std::int32_t half_degree_sum = 0;
+  for (hex::CellIndex cell = 0; cell < array.cell_count(); ++cell) {
+    half_degree_sum +=
+        static_cast<std::int32_t>(array.neighbors_of(cell).size());
+  }
+  EXPECT_EQ(g.edge_count(), half_degree_sum / 2);
+  EXPECT_TRUE(graph::is_connected(g));
+}
+
+TEST(HexArray, ContractsOnBadIndices) {
+  HexArray array = checkerboard_array();
+  EXPECT_THROW(array.role(-1), ContractViolation);
+  EXPECT_THROW(array.role(16), ContractViolation);
+  EXPECT_THROW(array.set_health(99, CellHealth::kFaulty), ContractViolation);
+}
+
+TEST(Redundancy, MeasuredRatioAndOverhead) {
+  const HexArray array = checkerboard_array();
+  EXPECT_NEAR(measured_redundancy_ratio(array), 4.0 / 12.0, 1e-12);
+  EXPECT_NEAR(area_overhead(array), 16.0 / 12.0, 1e-12);
+}
+
+// ------------------------------------------------------------ SquareArray
+
+TEST(SquareArray, ConstructionDefaults) {
+  const SquareArray array(5, 4);
+  EXPECT_EQ(array.cell_count(), 20);
+  EXPECT_EQ(array.primary_count(), 20);
+  EXPECT_EQ(array.spare_count(), 0);
+  EXPECT_EQ(array.faulty_count(), 0);
+}
+
+TEST(SquareArray, IndexRoundTrip) {
+  const SquareArray array(7, 3);
+  for (SquareArray::CellIndex cell = 0; cell < array.cell_count(); ++cell) {
+    EXPECT_EQ(array.index_of(array.coord_at(cell)), cell);
+  }
+}
+
+TEST(SquareArray, NeighborCounts) {
+  const SquareArray array(3, 3);
+  EXPECT_EQ(array.neighbors_of(array.index_of({1, 1})).size(), 4u);  // centre
+  EXPECT_EQ(array.neighbors_of(array.index_of({0, 0})).size(), 2u);  // corner
+  EXPECT_EQ(array.neighbors_of(array.index_of({1, 0})).size(), 3u);  // edge
+}
+
+TEST(SquareArray, SpareRowMarking) {
+  SquareArray array(4, 3);
+  array.mark_spare_row(2);
+  EXPECT_EQ(array.spare_count(), 4);
+  for (std::int32_t x = 0; x < 4; ++x) {
+    EXPECT_EQ(array.role(array.index_of({x, 2})), CellRole::kSpare);
+    EXPECT_EQ(array.role(array.index_of({x, 0})), CellRole::kPrimary);
+  }
+}
+
+TEST(SquareArray, HealthBookkeeping) {
+  SquareArray array(3, 3);
+  array.set_health(4, CellHealth::kFaulty);
+  EXPECT_EQ(array.faulty_count(), 1);
+  array.reset_health();
+  EXPECT_EQ(array.faulty_count(), 0);
+}
+
+TEST(SquareArray, BoundsChecking) {
+  SquareArray array(3, 3);
+  EXPECT_FALSE(array.in_bounds({3, 0}));
+  EXPECT_FALSE(array.in_bounds({0, -1}));
+  EXPECT_THROW(array.index_of({3, 0}), ContractViolation);
+  EXPECT_THROW(array.coord_at(9), ContractViolation);
+}
+
+TEST(CellNames, ToStringCoverage) {
+  EXPECT_STREQ(to_string(CellRole::kPrimary), "primary");
+  EXPECT_STREQ(to_string(CellRole::kSpare), "spare");
+  EXPECT_STREQ(to_string(CellHealth::kFaulty), "faulty");
+  EXPECT_STREQ(to_string(CellUsage::kAssayUsed), "assay-used");
+}
+
+}  // namespace
+}  // namespace dmfb::biochip

@@ -1,0 +1,306 @@
+// Tests for the common kernel: contracts, RNG, statistics.
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace dmfb {
+namespace {
+
+// ---------------------------------------------------------------- contracts
+
+TEST(Contracts, ExpectsThrowsOnViolation) {
+  EXPECT_THROW(DMFB_EXPECTS(1 == 2), ContractViolation);
+}
+
+TEST(Contracts, ExpectsPassesOnSatisfied) {
+  EXPECT_NO_THROW(DMFB_EXPECTS(2 + 2 == 4));
+}
+
+TEST(Contracts, EnsuresThrowsOnViolation) {
+  EXPECT_THROW(DMFB_ENSURES(false), ContractViolation);
+}
+
+TEST(Contracts, MessageNamesKindAndCondition) {
+  try {
+    DMFB_ASSERT(1 < 0);
+    FAIL() << "should have thrown";
+  } catch (const ContractViolation& violation) {
+    const std::string what = violation.what();
+    EXPECT_NE(what.find("invariant"), std::string::npos);
+    EXPECT_NE(what.find("1 < 0"), std::string::npos);
+  }
+}
+
+// ----------------------------------------------------------------------- rng
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ZeroSeedIsUsable) {
+  Rng rng(0);
+  std::set<std::uint64_t> values;
+  for (int i = 0; i < 50; ++i) values.insert(rng());
+  EXPECT_GT(values.size(), 45u);  // not stuck
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01MeanIsHalf) {
+  Rng rng(7);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) stats.add(rng.uniform01());
+  EXPECT_NEAR(stats.mean(), 0.5, 0.01);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliFrequencyMatchesProbability) {
+  Rng rng(11);
+  int hits = 0;
+  const int trials = 200000;
+  for (int i = 0; i < trials; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.01);
+}
+
+TEST(Rng, UniformBelowStaysBelow) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.uniform_below(17), 17u);
+  }
+}
+
+TEST(Rng, UniformBelowCoversAllValues) {
+  Rng rng(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const int v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformIntDegenerateRange) {
+  Rng rng(1);
+  EXPECT_EQ(rng.uniform_int(5, 5), 5);
+}
+
+TEST(Rng, SplitStreamsAreDecorrelated) {
+  Rng parent(1234);
+  Rng child = parent.split();
+  RunningStats diff;
+  for (int i = 0; i < 10000; ++i) {
+    diff.add(parent.uniform01() - child.uniform01());
+  }
+  EXPECT_NEAR(diff.mean(), 0.0, 0.02);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(2);
+  std::vector<int> values{1, 2, 3, 4, 5, 6, 7, 8};
+  auto shuffled = values;
+  rng.shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, values);
+}
+
+TEST(Rng, SampleWithoutReplacementIsDistinct) {
+  Rng rng(6);
+  const auto sample = rng.sample_without_replacement(100, 30);
+  EXPECT_EQ(sample.size(), 30u);
+  std::set<std::int32_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (const auto v : sample) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 100);
+  }
+}
+
+TEST(Rng, SampleWithoutReplacementFullRange) {
+  Rng rng(6);
+  auto sample = rng.sample_without_replacement(10, 10);
+  std::sort(sample.begin(), sample.end());
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(sample[static_cast<size_t>(i)], i);
+}
+
+TEST(Rng, SampleWithoutReplacementUniformMarginals) {
+  Rng rng(8);
+  std::vector<int> counts(10, 0);
+  const int trials = 30000;
+  for (int t = 0; t < trials; ++t) {
+    for (const auto v : rng.sample_without_replacement(10, 3)) {
+      ++counts[static_cast<size_t>(v)];
+    }
+  }
+  // Each element appears with probability 3/10.
+  for (const int count : counts) {
+    EXPECT_NEAR(static_cast<double>(count) / trials, 0.3, 0.02);
+  }
+}
+
+TEST(Rng, SampleRejectsBadArguments) {
+  Rng rng(1);
+  EXPECT_THROW(rng.sample_without_replacement(5, 6), ContractViolation);
+  EXPECT_THROW(rng.sample_without_replacement(-1, 0), ContractViolation);
+}
+
+// --------------------------------------------------------------------- stats
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0);
+  EXPECT_EQ(stats.mean(), 0.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats stats;
+  stats.add(4.5);
+  EXPECT_EQ(stats.count(), 1);
+  EXPECT_DOUBLE_EQ(stats.mean(), 4.5);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 4.5);
+  EXPECT_DOUBLE_EQ(stats.max(), 4.5);
+}
+
+TEST(RunningStats, KnownMoments) {
+  RunningStats stats;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    stats.add(x);
+  }
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+}
+
+TEST(Wilson, DegenerateNoTrials) {
+  const Interval interval = wilson_interval(0, 0);
+  EXPECT_EQ(interval.lo, 0.0);
+  EXPECT_EQ(interval.hi, 1.0);
+}
+
+TEST(Wilson, ContainsPointEstimate) {
+  const Interval interval = wilson_interval(73, 100);
+  EXPECT_TRUE(interval.contains(0.73));
+}
+
+TEST(Wilson, ShrinksWithMoreTrials) {
+  const Interval small = wilson_interval(50, 100);
+  const Interval large = wilson_interval(5000, 10000);
+  EXPECT_LT(large.width(), small.width());
+}
+
+TEST(Wilson, AllSuccessesStillBelowOne) {
+  const Interval interval = wilson_interval(100, 100);
+  EXPECT_LT(interval.lo, 1.0);
+  EXPECT_DOUBLE_EQ(interval.hi, 1.0);
+}
+
+TEST(Wilson, SymmetricAroundHalf) {
+  const Interval a = wilson_interval(30, 100);
+  const Interval b = wilson_interval(70, 100);
+  EXPECT_NEAR(a.lo, 1.0 - b.hi, 1e-12);
+  EXPECT_NEAR(a.hi, 1.0 - b.lo, 1e-12);
+}
+
+TEST(Wilson, RejectsBadInput) {
+  EXPECT_THROW(wilson_interval(5, 4), ContractViolation);
+  EXPECT_THROW(wilson_interval(-1, 4), ContractViolation);
+  EXPECT_THROW(wilson_interval(1, 4, 0.0), ContractViolation);
+}
+
+TEST(BernoulliEstimate, CountsAndProportion) {
+  BernoulliEstimate estimate;
+  for (int i = 0; i < 10; ++i) estimate.add(i < 7);
+  EXPECT_EQ(estimate.trials(), 10);
+  EXPECT_EQ(estimate.successes(), 7);
+  EXPECT_DOUBLE_EQ(estimate.proportion(), 0.7);
+}
+
+TEST(Binomial, CoefficientKnownValues) {
+  EXPECT_DOUBLE_EQ(binomial_coefficient(7, 0), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_coefficient(7, 1), 7.0);
+  EXPECT_DOUBLE_EQ(binomial_coefficient(7, 3), 35.0);
+  EXPECT_DOUBLE_EQ(binomial_coefficient(7, 7), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_coefficient(7, 8), 0.0);
+}
+
+TEST(Binomial, PmfSumsToOne) {
+  double sum = 0.0;
+  for (int k = 0; k <= 20; ++k) sum += binomial_pmf(20, k, 0.37);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(Binomial, CdfMonotoneAndComplete) {
+  double prev = 0.0;
+  for (int k = 0; k <= 15; ++k) {
+    const double cdf = binomial_cdf(15, k, 0.6);
+    EXPECT_GE(cdf, prev);
+    prev = cdf;
+  }
+  EXPECT_NEAR(prev, 1.0, 1e-12);
+}
+
+TEST(Binomial, PaperClusterTerm) {
+  // P(at most one of 7 cells fails) at p = 0.95 — the DTMB(1,6) cluster.
+  const double p = 0.95;
+  const double direct = std::pow(p, 7) + 7.0 * std::pow(p, 6) * (1.0 - p);
+  const double via_cdf = binomial_cdf(7, 1, 1.0 - p);
+  EXPECT_NEAR(direct, via_cdf, 1e-12);
+}
+
+TEST(SplitMix, KnownSequenceIsStable) {
+  std::uint64_t state = 0;
+  const std::uint64_t first = splitmix64(state);
+  const std::uint64_t second = splitmix64(state);
+  EXPECT_NE(first, second);
+  std::uint64_t state2 = 0;
+  EXPECT_EQ(splitmix64(state2), first);
+}
+
+}  // namespace
+}  // namespace dmfb

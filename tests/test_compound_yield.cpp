@@ -1,0 +1,147 @@
+// Tests for the compound yield models (defect-count statistics composed
+// with Monte-Carlo repairability).
+#include <cmath>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "biochip/dtmb.hpp"
+#include "common/contracts.hpp"
+#include "yield/analytic.hpp"
+#include "yield/compound.hpp"
+#include "yield/monte_carlo.hpp"
+
+namespace dmfb::yield {
+namespace {
+
+double pmf_sum(const DefectCountPmf& pmf) {
+  return std::accumulate(pmf.begin(), pmf.end(), 0.0);
+}
+
+double pmf_mean(const DefectCountPmf& pmf) {
+  double mean = 0.0;
+  for (std::size_t m = 0; m < pmf.size(); ++m) {
+    mean += static_cast<double>(m) * pmf[m];
+  }
+  return mean;
+}
+
+TEST(DefectPmf, AllModelsNormalised) {
+  EXPECT_NEAR(pmf_sum(binomial_defect_pmf(100, 0.03)), 1.0, 1e-12);
+  EXPECT_NEAR(pmf_sum(poisson_defect_pmf(100, 3.0)), 1.0, 1e-12);
+  EXPECT_NEAR(pmf_sum(negative_binomial_defect_pmf(100, 3.0, 2.0)), 1.0,
+              1e-12);
+}
+
+TEST(DefectPmf, MeansMatchParameters) {
+  EXPECT_NEAR(pmf_mean(binomial_defect_pmf(200, 0.02)), 4.0, 1e-9);
+  EXPECT_NEAR(pmf_mean(poisson_defect_pmf(200, 4.0)), 4.0, 1e-6);
+  EXPECT_NEAR(pmf_mean(negative_binomial_defect_pmf(300, 4.0, 2.0)), 4.0,
+              1e-3);
+}
+
+TEST(DefectPmf, NegativeBinomialHasFatterTailThanPoisson) {
+  const auto poisson = poisson_defect_pmf(200, 5.0);
+  const auto nb = negative_binomial_defect_pmf(200, 5.0, 1.5);
+  // More mass at zero *and* in the deep tail — the clustering signature.
+  EXPECT_GT(nb[0], poisson[0]);
+  double nb_tail = 0.0, poisson_tail = 0.0;
+  for (std::size_t m = 15; m < poisson.size(); ++m) {
+    nb_tail += nb[m];
+    poisson_tail += poisson[m];
+  }
+  EXPECT_GT(nb_tail, poisson_tail);
+}
+
+TEST(DefectPmf, NegativeBinomialConvergesToPoisson) {
+  const auto poisson = poisson_defect_pmf(100, 3.0);
+  const auto nb = negative_binomial_defect_pmf(100, 3.0, 1e6);
+  for (std::size_t m = 0; m < 20; ++m) {
+    EXPECT_NEAR(nb[m], poisson[m], 1e-4) << "m = " << m;
+  }
+}
+
+TEST(ZeroDefectYields, ClosedForms) {
+  EXPECT_NEAR(poisson_zero_defect_yield(2.0), std::exp(-2.0), 1e-12);
+  EXPECT_NEAR(stapper_zero_defect_yield(2.0, 1.0), 1.0 / 3.0, 1e-12);
+  // Clustering raises the zero-defect yield at equal defect density (the
+  // classical Stapper result).
+  EXPECT_GT(stapper_zero_defect_yield(2.0, 1.0),
+            poisson_zero_defect_yield(2.0));
+  // alpha -> infinity recovers Poisson.
+  EXPECT_NEAR(stapper_zero_defect_yield(2.0, 1e9),
+              poisson_zero_defect_yield(2.0), 1e-6);
+}
+
+TEST(CompoundYield, BinomialPmfReproducesBernoulliMc) {
+  auto array = biochip::make_dtmb_array(biochip::DtmbKind::kDtmb2_6, 10, 10);
+  const double p = 0.95;
+  McOptions options;
+  options.runs = 4000;
+  const auto direct = mc_yield_bernoulli(array, p, options);
+  const auto composed = compound_yield(
+      array, binomial_defect_pmf(array.cell_count(), 1.0 - p), options);
+  EXPECT_NEAR(composed.value, direct.value, 0.02);
+  EXPECT_LT(composed.truncated_mass, 1e-3);
+}
+
+TEST(CompoundYield, ZeroMeanIsPerfect) {
+  auto array = biochip::make_dtmb_array(biochip::DtmbKind::kDtmb2_6, 8, 8);
+  McOptions options;
+  options.runs = 200;
+  const auto composed =
+      compound_yield(array, poisson_defect_pmf(array.cell_count(), 0.0),
+                     options);
+  EXPECT_NEAR(composed.value, 1.0, 1e-9);
+}
+
+TEST(CompoundYield, RedundancyBeatsBareChipUnderAnyCountModel) {
+  auto redundant =
+      biochip::make_dtmb_array(biochip::DtmbKind::kDtmb2_6, 12, 12);
+  McOptions options;
+  options.runs = 3000;
+  const double mean_defects = 4.0;
+  for (const auto& pmf :
+       {poisson_defect_pmf(redundant.cell_count(), mean_defects),
+        negative_binomial_defect_pmf(redundant.cell_count(), mean_defects,
+                                     2.0)}) {
+    const auto composed = compound_yield(redundant, pmf, options);
+    // A redundancy-free chip succeeds only with zero defects: pmf[0].
+    EXPECT_GT(composed.value, pmf[0] + 0.1);
+  }
+}
+
+TEST(CompoundYield, ClusteringSignFlipsWithRedundancy) {
+  // Classic result: die-to-die clustering *raises* the yield of a
+  // redundancy-free chip (more zero-defect dies). But a redundant chip's
+  // repairability curve f(m) is concave over the operating range, so by
+  // Jensen the extra count variance *lowers* its expected yield — the
+  // benefit of clustering is absorbed by the redundancy itself.
+  auto array = biochip::make_dtmb_array(biochip::DtmbKind::kDtmb2_6, 12, 12);
+  McOptions options;
+  options.runs = 3000;
+  const double mean_defects = 8.0;
+  const auto poisson_pmf_v =
+      poisson_defect_pmf(array.cell_count(), mean_defects);
+  const auto nb_pmf =
+      negative_binomial_defect_pmf(array.cell_count(), mean_defects, 1.0);
+  // Redundancy-free view: yield = P(zero defects). Clustering helps.
+  EXPECT_GT(nb_pmf[0], poisson_pmf_v[0]);
+  // Redundant chip: clustering hurts at this operating point.
+  const auto poisson = compound_yield(array, poisson_pmf_v, options);
+  const auto clustered = compound_yield(array, nb_pmf, options);
+  EXPECT_LT(clustered.value, poisson.value);
+}
+
+TEST(CompoundYield, ValidatesInput) {
+  auto array = biochip::make_dtmb_array(biochip::DtmbKind::kDtmb2_6, 6, 6);
+  McOptions options;
+  options.runs = 10;
+  EXPECT_THROW(compound_yield(array, DefectCountPmf{0.5, 0.5}, options),
+               ContractViolation);
+  EXPECT_THROW(negative_binomial_defect_pmf(10, 1.0, 0.0), ContractViolation);
+  EXPECT_THROW(poisson_defect_pmf(-1, 1.0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace dmfb::yield

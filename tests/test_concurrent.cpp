@@ -1,0 +1,102 @@
+// Tests for concurrent testing (stimulus droplet sharing the array with
+// running assay droplets).
+#include <gtest/gtest.h>
+
+#include "biochip/dtmb.hpp"
+#include "common/contracts.hpp"
+#include "fluidics/router.hpp"
+#include "testplan/concurrent_test.hpp"
+
+namespace dmfb::testplan {
+namespace {
+
+biochip::HexArray open_array(std::int32_t side = 8) {
+  return biochip::HexArray(hex::Region::parallelogram(side, side),
+                           [](hex::HexCoord) {
+                             return biochip::CellRole::kPrimary;
+                           });
+}
+
+fluidics::TimedRoute parked(const biochip::HexArray& array, hex::HexCoord at,
+                            fluidics::DropletId id) {
+  fluidics::TimedRoute route;
+  route.droplet = id;
+  route.cells = {array.region().index_of(at)};
+  return route;
+}
+
+TEST(ConcurrentTest, FullCoverageWithoutAssays) {
+  const auto array = open_array();
+  const auto report = run_concurrent_test(array, 0, {}, 1000);
+  EXPECT_FALSE(report.deadline_hit);
+  EXPECT_TRUE(report.untested.empty());
+  EXPECT_NEAR(report.coverage(array), 1.0, 1e-12);
+}
+
+TEST(ConcurrentTest, ParkedDropletShadowsItsNeighbourhood) {
+  const auto array = open_array();
+  // An assay droplet parked mid-array for the whole session.
+  const auto report = run_concurrent_test(
+      array, 0, {parked(array, {4, 4}, 0)}, 2000);
+  // The droplet cell and its six neighbours are permanently excluded.
+  EXPECT_EQ(report.untested.size(), 7u);
+  for (const auto cell : report.untested) {
+    EXPECT_LE(hex::distance(array.region().coord_at(cell), {4, 4}), 1);
+  }
+}
+
+TEST(ConcurrentTest, TestedCellsNeverViolateConstraints) {
+  const auto array = open_array();
+  // A droplet crossing row 4 slowly.
+  fluidics::TimedRoute crossing;
+  crossing.droplet = 0;
+  for (std::int32_t q = 0; q < 8; ++q) {
+    crossing.cells.push_back(array.region().index_of({q, 4}));
+    crossing.cells.push_back(array.region().index_of({q, 4}));  // half speed
+  }
+  const auto report = run_concurrent_test(array, 0, {crossing}, 4000);
+  // Whatever was tested, the walk was constraint-clean by construction;
+  // verify the report's bookkeeping is consistent.
+  EXPECT_EQ(report.tested.size() + report.untested.size(),
+            static_cast<std::size_t>(array.cell_count()));
+  EXPECT_GT(report.coverage(array), 0.5);
+}
+
+TEST(ConcurrentTest, DeadlineLimitsCoverage) {
+  const auto array = open_array();
+  const auto report = run_concurrent_test(array, 0, {}, 10);
+  EXPECT_TRUE(report.deadline_hit);
+  EXPECT_FALSE(report.untested.empty());
+  EXPECT_LE(report.cycles_used, 10);
+}
+
+TEST(ConcurrentTest, BlockedSourceReportsEverythingUntested) {
+  const auto array = open_array();
+  // Assay droplet parked right next to the test source (cell 0 = (0,0)).
+  const auto report = run_concurrent_test(
+      array, 0, {parked(array, {1, 0}, 0)}, 50);
+  EXPECT_TRUE(report.deadline_hit);
+  EXPECT_EQ(report.untested.size(),
+            static_cast<std::size_t>(array.cell_count()));
+}
+
+TEST(ConcurrentTest, MoreAssayTrafficLowersCoverage) {
+  const auto array = open_array();
+  const auto light = run_concurrent_test(
+      array, 0, {parked(array, {6, 6}, 0)}, 600);
+  const auto heavy = run_concurrent_test(
+      array, 0,
+      {parked(array, {6, 6}, 0), parked(array, {2, 5}, 1),
+       parked(array, {5, 2}, 2)},
+      600);
+  EXPECT_LE(heavy.coverage(array), light.coverage(array) + 1e-12);
+}
+
+TEST(ConcurrentTest, ValidatesArguments) {
+  const auto array = open_array();
+  EXPECT_THROW(run_concurrent_test(array, -1, {}, 100), ContractViolation);
+  EXPECT_THROW(run_concurrent_test(array, 0, {}, 0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace dmfb::testplan

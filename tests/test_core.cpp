@@ -1,0 +1,161 @@
+// Tests for the core facade and the design advisor.
+#include <gtest/gtest.h>
+
+#include "biochip/redundancy.hpp"
+#include "common/contracts.hpp"
+#include "core/defect_tolerant_biochip.hpp"
+#include "core/design_advisor.hpp"
+#include "core/version.hpp"
+#include "yield/analytic.hpp"
+
+namespace dmfb::core {
+namespace {
+
+using biochip::DtmbKind;
+
+TEST(Version, IsConsistent) {
+  EXPECT_EQ(kVersionMajor, 1);
+  EXPECT_STREQ(kVersionString, "1.0.0");
+}
+
+TEST(Facade, BuildFromKind) {
+  DefectTolerantBiochip chip(DtmbKind::kDtmb2_6, 10, 10);
+  ASSERT_TRUE(chip.kind().has_value());
+  EXPECT_EQ(*chip.kind(), DtmbKind::kDtmb2_6);
+  EXPECT_EQ(chip.array().cell_count(), 100);
+  EXPECT_NEAR(chip.redundancy_ratio(),
+              biochip::measured_redundancy_ratio(chip.array()), 1e-15);
+}
+
+TEST(Facade, BuildFromArray) {
+  DefectTolerantBiochip chip(biochip::make_dtmb_array(DtmbKind::kDtmb3_6, 8, 8));
+  EXPECT_FALSE(chip.kind().has_value());
+  EXPECT_GT(chip.array().spare_count(), 0);
+}
+
+TEST(Facade, InjectAndHeal) {
+  DefectTolerantBiochip chip(DtmbKind::kDtmb2_6, 10, 10);
+  Rng rng(5);
+  const auto map = chip.inject_fixed(7, rng);
+  EXPECT_EQ(map.size(), 7u);
+  EXPECT_EQ(chip.array().faulty_count(), 7);
+  chip.heal();
+  EXPECT_EQ(chip.array().faulty_count(), 0);
+  const auto bernoulli = chip.inject_bernoulli(0.5, rng);
+  EXPECT_GT(bernoulli.size(), 0u);
+}
+
+TEST(Facade, ReconfigureMatchesRepairable) {
+  DefectTolerantBiochip chip(DtmbKind::kDtmb2_6, 10, 10);
+  Rng rng(6);
+  for (int trial = 0; trial < 30; ++trial) {
+    chip.heal();
+    chip.inject_bernoulli(0.92, rng);
+    EXPECT_EQ(chip.reconfigure().success, chip.repairable());
+  }
+}
+
+TEST(Facade, TestChipLocalisesInjectedFaults) {
+  DefectTolerantBiochip chip(DtmbKind::kDtmb2_6, 8, 8);
+  Rng rng(7);
+  chip.inject_fixed(3, rng);
+  if (chip.array().health(0) == biochip::CellHealth::kFaulty) {
+    GTEST_SKIP() << "source faulty in this draw";
+  }
+  const auto session = chip.test_chip();
+  for (const auto cell : session.faults_found) {
+    EXPECT_EQ(chip.array().health(cell), biochip::CellHealth::kFaulty);
+  }
+}
+
+TEST(Facade, EstimateYieldHealsFirst) {
+  DefectTolerantBiochip chip(DtmbKind::kDtmb2_6, 8, 8);
+  Rng rng(8);
+  chip.inject_fixed(10, rng);
+  yield::McOptions options;
+  options.runs = 500;
+  const auto estimate = chip.estimate_yield(0.99, options);
+  EXPECT_GT(estimate.value, 0.5);
+  EXPECT_EQ(chip.array().faulty_count(), 0);
+}
+
+TEST(Facade, FixedFaultYieldDecreasesInM) {
+  DefectTolerantBiochip chip(DtmbKind::kDtmb2_6, 10, 10);
+  yield::McOptions options;
+  options.runs = 1500;
+  const double y5 = chip.estimate_yield_fixed_faults(5, options).value;
+  const double y25 = chip.estimate_yield_fixed_faults(25, options).value;
+  EXPECT_GT(y5, y25);
+}
+
+// -------------------------------------------------------------- advisor
+
+TEST(Advisor, AssessesFiveDesigns) {
+  yield::McOptions options;
+  options.runs = 800;
+  const DesignAdvisor advisor(100, options);
+  const Advice advice = advisor.assess(0.95);
+  ASSERT_EQ(advice.assessments.size(), 5u);  // none + 4 DTMB levels
+  EXPECT_EQ(advice.assessments.front().name, "no-redundancy");
+  for (const auto& assessment : advice.assessments) {
+    EXPECT_GE(assessment.primaries, 100);
+    EXPECT_GE(assessment.yield, 0.0);
+    EXPECT_LE(assessment.yield, 1.0);
+    EXPECT_NEAR(assessment.effective_yield,
+                yield::effective_yield(assessment.yield,
+                                       assessment.redundancy_ratio),
+                1e-12);
+  }
+}
+
+TEST(Advisor, RedundancyWinsAtLowSurvival) {
+  yield::McOptions options;
+  options.runs = 800;
+  const DesignAdvisor advisor(100, options);
+  const Advice advice = advisor.assess(0.90);
+  // At p = 0.90 the bare 100-cell array yields ~2.7e-5; any redundancy wins.
+  EXPECT_NE(advice.best_yield().name, "no-redundancy");
+  EXPECT_NE(advice.best_effective_yield().name, "no-redundancy");
+}
+
+TEST(Advisor, HighRedundancyBestAtVeryLowSurvival) {
+  yield::McOptions options;
+  options.runs = 800;
+  const DesignAdvisor advisor(100, options);
+  const Advice advice = advisor.assess(0.85);
+  ASSERT_TRUE(advice.best_yield().kind.has_value());
+  EXPECT_EQ(*advice.best_yield().kind, DtmbKind::kDtmb4_4);
+}
+
+TEST(Advisor, CheapestMeetingTarget) {
+  yield::McOptions options;
+  options.runs = 800;
+  const DesignAdvisor advisor(100, options);
+  const Advice advice = advisor.assess(0.99);
+  const DesignAssessment* pick = advice.cheapest_meeting(0.9);
+  ASSERT_NE(pick, nullptr);
+  EXPECT_GE(pick->yield, 0.9);
+  // Nothing cheaper meets the bar.
+  for (const auto& assessment : advice.assessments) {
+    if (assessment.redundancy_ratio < pick->redundancy_ratio) {
+      EXPECT_LT(assessment.yield, 0.9);
+    }
+  }
+}
+
+TEST(Advisor, ImpossibleTargetGivesNull) {
+  yield::McOptions options;
+  options.runs = 300;
+  const DesignAdvisor advisor(200, options);
+  const Advice advice = advisor.assess(0.5);
+  EXPECT_EQ(advice.cheapest_meeting(0.99), nullptr);
+}
+
+TEST(Advisor, ValidatesInput) {
+  EXPECT_THROW(DesignAdvisor(0), ContractViolation);
+  const DesignAdvisor advisor(50);
+  EXPECT_THROW(advisor.assess(1.5), ContractViolation);
+}
+
+}  // namespace
+}  // namespace dmfb::core

@@ -1,0 +1,194 @@
+// Tests proving the DTMB(s, p) interstitial patterns (paper Definition 1,
+// Figs 3-6, Table 1): the (s, p) promise on interior cells, spare
+// non-adjacency, redundancy-ratio convergence, and the cluster-exact
+// DTMB(1,6) builder.
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "biochip/dtmb.hpp"
+#include "biochip/redundancy.hpp"
+#include "common/contracts.hpp"
+
+namespace dmfb::biochip {
+namespace {
+
+struct PatternCase {
+  DtmbKind kind;
+  std::int32_t s;
+  std::int32_t p;
+  double rr;
+  bool spares_nonadjacent;
+};
+
+constexpr PatternCase kPatternCases[] = {
+    {DtmbKind::kDtmb1_6, 1, 6, 1.0 / 6.0, true},
+    {DtmbKind::kDtmb2_6, 2, 6, 1.0 / 3.0, true},
+    {DtmbKind::kDtmb2_6B, 2, 6, 1.0 / 3.0, true},
+    {DtmbKind::kDtmb3_6, 3, 6, 1.0 / 2.0, true},
+    {DtmbKind::kDtmb4_4, 4, 4, 1.0, false},  // spare rows touch laterally
+};
+
+class DtmbPatternTest : public ::testing::TestWithParam<PatternCase> {};
+
+TEST_P(DtmbPatternTest, InfoMatchesTable1) {
+  const PatternCase pattern = GetParam();
+  const DtmbInfo info = dtmb_info(pattern.kind);
+  EXPECT_EQ(info.s, pattern.s);
+  EXPECT_EQ(info.p, pattern.p);
+  EXPECT_NEAR(info.redundancy_ratio, pattern.rr, 1e-12);
+}
+
+TEST_P(DtmbPatternTest, InteriorPrimariesSeeExactlySSpares) {
+  const PatternCase pattern = GetParam();
+  for (const std::int32_t size : {8, 13, 21}) {
+    const HexArray array = make_dtmb_array(pattern.kind, size, size);
+    const InterstitialProperty prop = measure_interstitial_property(array);
+    ASSERT_GT(prop.interior_primary_count, 0);
+    EXPECT_EQ(prop.s_min, pattern.s) << "size " << size;
+    EXPECT_EQ(prop.s_max, pattern.s) << "size " << size;
+  }
+}
+
+TEST_P(DtmbPatternTest, InteriorSparesSeeExactlyPPrimaries) {
+  const PatternCase pattern = GetParam();
+  for (const std::int32_t size : {8, 13, 21}) {
+    const HexArray array = make_dtmb_array(pattern.kind, size, size);
+    const InterstitialProperty prop = measure_interstitial_property(array);
+    ASSERT_GT(prop.interior_spare_count, 0);
+    EXPECT_EQ(prop.p_min, pattern.p) << "size " << size;
+    EXPECT_EQ(prop.p_max, pattern.p) << "size " << size;
+  }
+}
+
+TEST_P(DtmbPatternTest, SpareAdjacencyStructure) {
+  const PatternCase pattern = GetParam();
+  const HexArray array = make_dtmb_array(pattern.kind, 12, 12);
+  const InterstitialProperty prop = measure_interstitial_property(array);
+  EXPECT_EQ(prop.spares_mutually_nonadjacent, pattern.spares_nonadjacent);
+}
+
+TEST_P(DtmbPatternTest, RedundancyRatioConvergesToTable1) {
+  const PatternCase pattern = GetParam();
+  // Growing arrays: measured RR -> asymptotic s/p (boundary effects decay;
+  // allow small parity wiggle between consecutive sizes).
+  double previous_error = 1e9;
+  for (const std::int32_t size : {12, 24, 48}) {
+    const HexArray array = make_dtmb_array(pattern.kind, size, size);
+    const double error =
+        std::abs(measured_redundancy_ratio(array) - pattern.rr);
+    EXPECT_LT(error, previous_error + 5e-3) << "size " << size;
+    previous_error = error;
+  }
+  const HexArray large = make_dtmb_array(pattern.kind, 60, 60);
+  EXPECT_NEAR(measured_redundancy_ratio(large), pattern.rr, 0.01);
+}
+
+TEST_P(DtmbPatternTest, SpareSitePredicateMatchesArrayRoles) {
+  const PatternCase pattern = GetParam();
+  const HexArray array = make_dtmb_array(pattern.kind, 9, 9);
+  for (hex::CellIndex cell = 0; cell < array.cell_count(); ++cell) {
+    const bool spare_site =
+        is_spare_site(pattern.kind, array.region().coord_at(cell));
+    EXPECT_EQ(array.role(cell) == CellRole::kSpare, spare_site);
+  }
+}
+
+TEST_P(DtmbPatternTest, PatternIsPeriodicUnderLatticeTranslation) {
+  const PatternCase pattern = GetParam();
+  // (84, 0) and (0, 84) are lattice vectors of every spare sublattice:
+  // 84 is divisible by 7 (DTMB(1,6)), by 2 (2,6-A and 4,4), by 4 (2,6-B's
+  // (0,4) period) and by 3 (3,6).
+  for (std::int32_t q = -10; q <= 10; ++q) {
+    for (std::int32_t r = -10; r <= 10; ++r) {
+      const hex::HexCoord at{q, r};
+      EXPECT_EQ(is_spare_site(pattern.kind, at),
+                is_spare_site(pattern.kind, at + hex::HexCoord{84, 0}));
+      EXPECT_EQ(is_spare_site(pattern.kind, at),
+                is_spare_site(pattern.kind, at + hex::HexCoord{0, 84}));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDesigns, DtmbPatternTest,
+                         ::testing::ValuesIn(kPatternCases),
+                         [](const auto& info) {
+                           switch (info.param.kind) {
+                             case DtmbKind::kDtmb1_6: return "Dtmb1x6";
+                             case DtmbKind::kDtmb2_6: return "Dtmb2x6A";
+                             case DtmbKind::kDtmb2_6B: return "Dtmb2x6B";
+                             case DtmbKind::kDtmb3_6: return "Dtmb3x6";
+                             case DtmbKind::kDtmb4_4: return "Dtmb4x4";
+                           }
+                           return "Unknown";
+                         });
+
+TEST(Dtmb, VariantBDiffersFromVariantA) {
+  // Same density and (s,p), different spare sites.
+  bool differs = false;
+  for (std::int32_t q = 0; q < 8 && !differs; ++q) {
+    for (std::int32_t r = 0; r < 8 && !differs; ++r) {
+      differs = is_spare_site(DtmbKind::kDtmb2_6, {q, r}) !=
+                is_spare_site(DtmbKind::kDtmb2_6B, {q, r});
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Dtmb, Dtmb16IsPerfectCode) {
+  // Every primary site has exactly one spare neighbour across a large patch
+  // (index-7 perfect code on the triangular lattice).
+  for (std::int32_t q = -12; q <= 12; ++q) {
+    for (std::int32_t r = -12; r <= 12; ++r) {
+      const hex::HexCoord at{q, r};
+      if (is_spare_site(DtmbKind::kDtmb1_6, at)) continue;
+      int spare_neighbors = 0;
+      for (const hex::HexCoord nb : hex::neighbors(at)) {
+        if (is_spare_site(DtmbKind::kDtmb1_6, nb)) ++spare_neighbors;
+      }
+      EXPECT_EQ(spare_neighbors, 1) << "at " << at;
+    }
+  }
+}
+
+TEST(Dtmb, MakeWithPrimariesMeetsFloor) {
+  for (const DtmbKind kind : {DtmbKind::kDtmb1_6, DtmbKind::kDtmb2_6,
+                              DtmbKind::kDtmb3_6, DtmbKind::kDtmb4_4}) {
+    for (const std::int32_t target : {50, 100, 250}) {
+      const HexArray array = make_dtmb_array_with_primaries(kind, target);
+      EXPECT_GE(array.primary_count(), target);
+      // Not wildly oversized: within one extra row/column band.
+      EXPECT_LT(array.primary_count(), target + 4 * 60);
+    }
+  }
+}
+
+TEST(Dtmb, ClusterArrayExactCounts) {
+  for (const std::int32_t clusters : {1, 4, 17, 50}) {
+    const HexArray array = make_dtmb16_cluster_array(clusters);
+    EXPECT_EQ(array.primary_count(), 6 * clusters);
+    EXPECT_EQ(array.spare_count(), clusters);
+  }
+}
+
+TEST(Dtmb, ClusterArrayEveryPrimaryHasItsSpare) {
+  const HexArray array = make_dtmb16_cluster_array(20);
+  for (const hex::CellIndex primary : array.primaries()) {
+    EXPECT_EQ(array.spare_neighbors_of(primary).size(), 1u);
+  }
+  for (const hex::CellIndex spare : array.spares()) {
+    EXPECT_EQ(array.primary_neighbors_of(spare).size(), 6u);
+  }
+}
+
+TEST(Dtmb, ClusterArrayRejectsNonPositive) {
+  EXPECT_THROW(make_dtmb16_cluster_array(0), ContractViolation);
+}
+
+TEST(Dtmb, NamesAreHuman) {
+  EXPECT_EQ(dtmb_info(DtmbKind::kDtmb1_6).name, "DTMB(1,6)");
+  EXPECT_EQ(dtmb_info(DtmbKind::kDtmb2_6B).name, "DTMB(2,6)-B");
+}
+
+}  // namespace
+}  // namespace dmfb::biochip

@@ -1,0 +1,328 @@
+// Tests for the fault taxonomy and the three defect injectors.
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "biochip/dtmb.hpp"
+#include "common/contracts.hpp"
+#include "common/stats.hpp"
+#include "fault/fault_model.hpp"
+#include "fault/injector.hpp"
+#include "fault/parametric.hpp"
+
+namespace dmfb::fault {
+namespace {
+
+biochip::HexArray test_array() {
+  return biochip::make_dtmb_array(biochip::DtmbKind::kDtmb2_6, 10, 10);
+}
+
+// ------------------------------------------------------------- fault model
+
+TEST(FaultModel, Names) {
+  EXPECT_STREQ(to_string(CatastrophicDefect::kDielectricBreakdown),
+               "dielectric-breakdown");
+  EXPECT_STREQ(to_string(CatastrophicDefect::kElectrodeShort),
+               "electrode-short");
+  EXPECT_STREQ(to_string(CatastrophicDefect::kOpenConnection),
+               "open-connection");
+  EXPECT_STREQ(to_string(ParametricDefect::kInsulatorThickness),
+               "insulator-thickness");
+  EXPECT_STREQ(to_string(FaultClass::kCatastrophic), "catastrophic");
+  EXPECT_STREQ(to_string(FaultClass::kParametric), "parametric");
+}
+
+TEST(FaultModel, RecordStreamFormat) {
+  FaultRecord record;
+  record.cell = 7;
+  record.fault_class = FaultClass::kCatastrophic;
+  record.catastrophic = CatastrophicDefect::kElectrodeShort;
+  std::ostringstream out;
+  out << record;
+  EXPECT_NE(out.str().find("cell 7"), std::string::npos);
+  EXPECT_NE(out.str().find("electrode-short"), std::string::npos);
+}
+
+TEST(FaultModel, MapCountsByClass) {
+  FaultMap map;
+  FaultRecord catastrophic;
+  catastrophic.cell = 1;
+  catastrophic.fault_class = FaultClass::kCatastrophic;
+  FaultRecord parametric;
+  parametric.cell = 2;
+  parametric.fault_class = FaultClass::kParametric;
+  map.records = {catastrophic, parametric, catastrophic};
+  EXPECT_EQ(map.count_of(FaultClass::kCatastrophic), 2);
+  EXPECT_EQ(map.count_of(FaultClass::kParametric), 1);
+  EXPECT_EQ(map.cells(), (std::vector<hex::CellIndex>{1, 2, 1}));
+}
+
+TEST(FaultModel, DefectSamplerCoversAllKinds) {
+  Rng rng(42);
+  std::set<CatastrophicDefect> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(sample_catastrophic_defect(rng));
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+// ------------------------------------------------------ BernoulliInjector
+
+TEST(BernoulliInjector, RejectsBadProbability) {
+  EXPECT_THROW(BernoulliInjector(-0.1), ContractViolation);
+  EXPECT_THROW(BernoulliInjector(1.1), ContractViolation);
+}
+
+TEST(BernoulliInjector, PerfectSurvivalInjectsNothing) {
+  auto array = test_array();
+  Rng rng(1);
+  const FaultMap map = BernoulliInjector(1.0).inject(array, rng);
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(array.faulty_count(), 0);
+}
+
+TEST(BernoulliInjector, ZeroSurvivalKillsEverything) {
+  auto array = test_array();
+  Rng rng(1);
+  const FaultMap map = BernoulliInjector(0.0).inject(array, rng);
+  EXPECT_EQ(static_cast<std::int32_t>(map.size()), array.cell_count());
+  EXPECT_EQ(array.faulty_count(), array.cell_count());
+}
+
+TEST(BernoulliInjector, RateMatchesProbability) {
+  auto array = test_array();
+  const BernoulliInjector injector(0.9);
+  Rng rng(7);
+  RunningStats stats;
+  for (int trial = 0; trial < 400; ++trial) {
+    const FaultMap map = injector.inject(array, rng);
+    stats.add(static_cast<double>(map.size()) / array.cell_count());
+    array.reset_health();
+  }
+  EXPECT_NEAR(stats.mean(), 0.1, 0.01);
+}
+
+TEST(BernoulliInjector, MarksExactlyTheReportedCells) {
+  auto array = test_array();
+  Rng rng(3);
+  const FaultMap map = BernoulliInjector(0.8).inject(array, rng);
+  const auto cells = map.cells();
+  const std::set<hex::CellIndex> reported(cells.begin(), cells.end());
+  for (hex::CellIndex cell = 0; cell < array.cell_count(); ++cell) {
+    EXPECT_EQ(array.health(cell) == biochip::CellHealth::kFaulty,
+              reported.contains(cell));
+  }
+}
+
+TEST(BernoulliInjector, RequiresHealthyArray) {
+  auto array = test_array();
+  array.set_health(0, biochip::CellHealth::kFaulty);
+  Rng rng(1);
+  EXPECT_THROW(BernoulliInjector(0.5).inject(array, rng), ContractViolation);
+}
+
+// ----------------------------------------------------- FixedCountInjector
+
+TEST(FixedCountInjector, ExactCount) {
+  auto array = test_array();
+  Rng rng(11);
+  for (const std::int32_t m : {0, 1, 10, 35}) {
+    const FaultMap map = FixedCountInjector(m).inject(array, rng);
+    EXPECT_EQ(static_cast<std::int32_t>(map.size()), m);
+    EXPECT_EQ(array.faulty_count(), m);
+    array.reset_health();
+  }
+}
+
+TEST(FixedCountInjector, CellsAreDistinct) {
+  auto array = test_array();
+  Rng rng(13);
+  const FaultMap map = FixedCountInjector(30).inject(array, rng);
+  const auto cells = map.cells();
+  const std::set<hex::CellIndex> unique(cells.begin(), cells.end());
+  EXPECT_EQ(unique.size(), cells.size());
+}
+
+TEST(FixedCountInjector, UniformOverCells) {
+  auto array = test_array();
+  const FixedCountInjector injector(5);
+  Rng rng(17);
+  std::vector<int> hits(static_cast<std::size_t>(array.cell_count()), 0);
+  const int trials = 20000;
+  for (int trial = 0; trial < trials; ++trial) {
+    for (const auto cell : injector.inject(array, rng).cells()) {
+      ++hits[static_cast<std::size_t>(cell)];
+    }
+    array.reset_health();
+  }
+  const double expected = 5.0 / array.cell_count();
+  for (const int count : hits) {
+    EXPECT_NEAR(static_cast<double>(count) / trials, expected,
+                0.012);
+  }
+}
+
+TEST(FixedCountInjector, CountBeyondCellsRejected) {
+  auto array = test_array();
+  Rng rng(1);
+  EXPECT_THROW(FixedCountInjector(array.cell_count() + 1).inject(array, rng),
+               ContractViolation);
+}
+
+// ------------------------------------------------------------------ Poisson
+
+TEST(Poisson, ZeroMeanIsZero) {
+  Rng rng(5);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(sample_poisson(0.0, rng), 0);
+}
+
+TEST(Poisson, MeanAndVarianceMatch) {
+  Rng rng(19);
+  RunningStats stats;
+  for (int i = 0; i < 50000; ++i) {
+    stats.add(static_cast<double>(sample_poisson(2.5, rng)));
+  }
+  EXPECT_NEAR(stats.mean(), 2.5, 0.05);
+  EXPECT_NEAR(stats.variance(), 2.5, 0.12);
+}
+
+// -------------------------------------------------------- ClusteredInjector
+
+TEST(ClusteredInjector, ValidatesArguments) {
+  EXPECT_THROW(ClusteredInjector(-1.0, 1, 0.5, 0.1), ContractViolation);
+  EXPECT_THROW(ClusteredInjector(1.0, -1, 0.5, 0.1), ContractViolation);
+  EXPECT_THROW(ClusteredInjector(1.0, 1, 0.5, 0.9), ContractViolation);
+}
+
+TEST(ClusteredInjector, NoSpotsNoFaults) {
+  auto array = test_array();
+  Rng rng(23);
+  const FaultMap map = ClusteredInjector(0.0, 2, 0.9, 0.2).inject(array, rng);
+  EXPECT_TRUE(map.empty());
+}
+
+TEST(ClusteredInjector, FaultsAreSpatiallyClustered) {
+  auto array = biochip::make_dtmb_array(biochip::DtmbKind::kDtmb2_6, 30, 30);
+  const ClusteredInjector injector(1.0, 2, 1.0, 0.8);
+  Rng rng(29);
+  // Mean pairwise distance of clustered faults must be well below that of
+  // the same number of uniformly placed faults.
+  RunningStats clustered;
+  RunningStats uniform;
+  for (int trial = 0; trial < 200; ++trial) {
+    const FaultMap map = injector.inject(array, rng);
+    const auto cells = map.cells();
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      for (std::size_t j = i + 1; j < cells.size(); ++j) {
+        clustered.add(hex::distance(array.region().coord_at(cells[i]),
+                                    array.region().coord_at(cells[j])));
+      }
+    }
+    array.reset_health();
+    // Uniform baseline with the same fault count.
+    const auto baseline = rng.sample_without_replacement(
+        array.cell_count(), static_cast<std::int32_t>(cells.size()));
+    for (std::size_t i = 0; i < baseline.size(); ++i) {
+      for (std::size_t j = i + 1; j < baseline.size(); ++j) {
+        uniform.add(hex::distance(array.region().coord_at(baseline[i]),
+                                  array.region().coord_at(baseline[j])));
+      }
+    }
+  }
+  ASSERT_GT(clustered.count(), 100);
+  EXPECT_LT(clustered.mean(), 0.6 * uniform.mean());
+}
+
+TEST(ClusteredInjector, ExpectedFailuresPerSpotFormula) {
+  const ClusteredInjector injector(1.0, 2, 1.0, 1.0);
+  // All cells of a radius-2 disk fail with probability 1: 1 + 6 + 12 = 19.
+  EXPECT_NEAR(injector.expected_failures_per_spot(), 19.0, 1e-12);
+}
+
+TEST(ClusteredInjector, MeanFailuresTracksFormulaInInterior) {
+  auto array = biochip::make_dtmb_array(biochip::DtmbKind::kDtmb2_6, 40, 40);
+  const ClusteredInjector injector(3.0, 1, 0.8, 0.4);
+  Rng rng(31);
+  RunningStats stats;
+  for (int trial = 0; trial < 2000; ++trial) {
+    stats.add(static_cast<double>(injector.inject(array, rng).size()));
+    array.reset_health();
+  }
+  // Boundary clipping loses a little; allow 10% slack below the interior
+  // expectation 3 * (0.8 + 6*0.4).
+  const double interior_expectation =
+      3.0 * injector.expected_failures_per_spot();
+  EXPECT_LT(stats.mean(), interior_expectation * 1.02);
+  EXPECT_GT(stats.mean(), interior_expectation * 0.85);
+}
+
+// ---------------------------------------------------------- parametric
+
+TEST(Parametric, StandardNormalMoments) {
+  Rng rng(37);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) stats.add(sample_standard_normal(rng));
+  EXPECT_NEAR(stats.mean(), 0.0, 0.02);
+  EXPECT_NEAR(stats.variance(), 1.0, 0.03);
+}
+
+TEST(Parametric, UpperTailKnownValues) {
+  EXPECT_NEAR(normal_upper_tail(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_upper_tail(1.96), 0.025, 5e-4);
+  EXPECT_NEAR(normal_upper_tail(-1.0), 0.8413, 5e-4);
+}
+
+TEST(Parametric, CellFaultProbabilityClosedForm) {
+  const ProcessSpec spec = ProcessSpec::typical();
+  const double p_fault = spec.cell_fault_probability();
+  EXPECT_GT(p_fault, 0.0);
+  EXPECT_LT(p_fault, 0.01);  // tolerances are > 3 sigma in typical()
+}
+
+TEST(Parametric, InjectionRateMatchesClosedForm) {
+  // Tighten tolerances so the rate is large enough to measure quickly.
+  ProcessSpec spec = ProcessSpec::typical();
+  for (auto& param : spec.parameters) param.tolerance = 2.0 * param.sigma;
+  const double expected = spec.cell_fault_probability();
+
+  auto array = biochip::make_dtmb_array(biochip::DtmbKind::kDtmb2_6, 20, 20);
+  const ParametricInjector injector(spec);
+  Rng rng(41);
+  std::int64_t faults = 0;
+  std::int64_t cells = 0;
+  for (int trial = 0; trial < 100; ++trial) {
+    faults += static_cast<std::int64_t>(injector.inject(array, rng).size());
+    cells += array.cell_count();
+    array.reset_health();
+  }
+  const double measured = static_cast<double>(faults) / cells;
+  EXPECT_NEAR(measured, expected, 0.1 * expected + 0.005);
+}
+
+TEST(Parametric, RecordsCarryDeviationAndParameter) {
+  ProcessSpec spec = ProcessSpec::typical();
+  for (auto& param : spec.parameters) param.tolerance = 0.5 * param.sigma;
+  auto array = biochip::make_dtmb_array(biochip::DtmbKind::kDtmb2_6, 6, 6);
+  const ParametricInjector injector(spec);
+  Rng rng(43);
+  const FaultMap map = injector.inject(array, rng);
+  ASSERT_FALSE(map.empty());
+  for (const FaultRecord& record : map.records) {
+    EXPECT_EQ(record.fault_class, FaultClass::kParametric);
+    ASSERT_TRUE(record.parametric.has_value());
+    EXPECT_NE(record.deviation, 0.0);
+  }
+}
+
+TEST(Parametric, SampleCellReportsOutOfTolerance) {
+  ProcessSpec spec = ProcessSpec::typical();
+  for (auto& param : spec.parameters) param.tolerance = 1e-9;  // everything out
+  const ParametricInjector injector(spec);
+  Rng rng(47);
+  for (const Deviation& deviation : injector.sample_cell(rng)) {
+    EXPECT_TRUE(deviation.out_of_tolerance);
+  }
+}
+
+}  // namespace
+}  // namespace dmfb::fault

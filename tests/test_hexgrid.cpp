@@ -1,0 +1,314 @@
+// Tests for hexagonal and square lattice geometry.
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+#include "hexgrid/hex_coord.hpp"
+#include "hexgrid/region.hpp"
+#include "hexgrid/square_coord.hpp"
+
+namespace dmfb::hex {
+namespace {
+
+// ----------------------------------------------------------------- HexCoord
+
+TEST(HexCoord, CubeInvariantHolds) {
+  const HexCoord a{3, -5};
+  EXPECT_EQ(a.q + a.r + a.s(), 0);
+}
+
+TEST(HexCoord, Arithmetic) {
+  const HexCoord a{2, 3}, b{-1, 4};
+  EXPECT_EQ(a + b, (HexCoord{1, 7}));
+  EXPECT_EQ(a - b, (HexCoord{3, -1}));
+  EXPECT_EQ(a * 3, (HexCoord{6, 9}));
+}
+
+TEST(HexCoord, SixDistinctNeighbors) {
+  const auto nbrs = neighbors({0, 0});
+  const std::set<HexCoord> unique(nbrs.begin(), nbrs.end());
+  EXPECT_EQ(unique.size(), 6u);
+  for (const HexCoord nb : nbrs) {
+    EXPECT_EQ(distance({0, 0}, nb), 1);
+  }
+}
+
+TEST(HexCoord, NeighborsAreInvolutions) {
+  // Stepping E then W (and every direction with its opposite) returns home.
+  const HexCoord origin{4, -2};
+  EXPECT_EQ(neighbor(neighbor(origin, Direction::kEast), Direction::kWest),
+            origin);
+  EXPECT_EQ(
+      neighbor(neighbor(origin, Direction::kNorthEast), Direction::kSouthWest),
+      origin);
+  EXPECT_EQ(
+      neighbor(neighbor(origin, Direction::kNorthWest), Direction::kSouthEast),
+      origin);
+}
+
+TEST(HexCoord, DistanceExamples) {
+  EXPECT_EQ(distance({0, 0}, {0, 0}), 0);
+  EXPECT_EQ(distance({0, 0}, {3, 0}), 3);
+  EXPECT_EQ(distance({0, 0}, {0, 3}), 3);
+  EXPECT_EQ(distance({0, 0}, {3, -3}), 3);
+  EXPECT_EQ(distance({0, 0}, {2, 2}), 4);   // mixed axis
+  EXPECT_EQ(distance({-1, -1}, {1, 1}), 4);
+}
+
+TEST(HexCoord, DistanceIsSymmetric) {
+  Rng rng(17);
+  for (int i = 0; i < 200; ++i) {
+    const HexCoord a{rng.uniform_int(-20, 20), rng.uniform_int(-20, 20)};
+    const HexCoord b{rng.uniform_int(-20, 20), rng.uniform_int(-20, 20)};
+    EXPECT_EQ(distance(a, b), distance(b, a));
+  }
+}
+
+TEST(HexCoord, DistanceTriangleInequality) {
+  Rng rng(23);
+  for (int i = 0; i < 500; ++i) {
+    const HexCoord a{rng.uniform_int(-15, 15), rng.uniform_int(-15, 15)};
+    const HexCoord b{rng.uniform_int(-15, 15), rng.uniform_int(-15, 15)};
+    const HexCoord c{rng.uniform_int(-15, 15), rng.uniform_int(-15, 15)};
+    EXPECT_LE(distance(a, c), distance(a, b) + distance(b, c));
+  }
+}
+
+TEST(HexCoord, DistanceIsTranslationInvariant) {
+  Rng rng(29);
+  for (int i = 0; i < 200; ++i) {
+    const HexCoord a{rng.uniform_int(-10, 10), rng.uniform_int(-10, 10)};
+    const HexCoord b{rng.uniform_int(-10, 10), rng.uniform_int(-10, 10)};
+    const HexCoord t{rng.uniform_int(-10, 10), rng.uniform_int(-10, 10)};
+    EXPECT_EQ(distance(a, b), distance(a + t, b + t));
+  }
+}
+
+TEST(HexCoord, AdjacentMatchesDistanceOne) {
+  for (const HexCoord nb : neighbors({5, 5})) {
+    EXPECT_TRUE(adjacent({5, 5}, nb));
+  }
+  EXPECT_FALSE(adjacent({5, 5}, {5, 5}));
+  EXPECT_FALSE(adjacent({5, 5}, {7, 5}));
+}
+
+TEST(HexCoord, DirectionOfUnitOffsets) {
+  for (const Direction direction : kAllDirections) {
+    EXPECT_EQ(direction_of(offset(direction)), direction);
+  }
+  EXPECT_THROW(direction_of({2, 0}), ContractViolation);
+}
+
+TEST(HexCoord, DirectionNames) {
+  EXPECT_STREQ(to_string(Direction::kEast), "E");
+  EXPECT_STREQ(to_string(Direction::kSouthWest), "SW");
+}
+
+// ------------------------------------------------------------- ring / disk
+
+TEST(Ring, SizesMatchFormula) {
+  EXPECT_EQ(ring({0, 0}, 0).size(), 1u);
+  for (int radius = 1; radius <= 5; ++radius) {
+    EXPECT_EQ(ring({2, -1}, radius).size(),
+              static_cast<std::size_t>(6 * radius));
+  }
+}
+
+TEST(Ring, AllAtExactDistance) {
+  const HexCoord center{3, 4};
+  for (int radius = 1; radius <= 4; ++radius) {
+    for (const HexCoord at : ring(center, radius)) {
+      EXPECT_EQ(distance(center, at), radius);
+    }
+  }
+}
+
+TEST(Ring, ConsecutiveCellsAdjacent) {
+  const auto cells = ring({0, 0}, 3);
+  for (std::size_t i = 1; i < cells.size(); ++i) {
+    EXPECT_TRUE(adjacent(cells[i - 1], cells[i]));
+  }
+  EXPECT_TRUE(adjacent(cells.back(), cells.front()));
+}
+
+TEST(Disk, SizeIsCenteredHexNumber) {
+  for (int radius = 0; radius <= 5; ++radius) {
+    EXPECT_EQ(disk({0, 0}, radius).size(),
+              static_cast<std::size_t>(3 * radius * (radius + 1) + 1));
+  }
+}
+
+TEST(Disk, ContainsExactlyCellsWithinRadius) {
+  const HexCoord center{-2, 5};
+  const auto cells = disk(center, 3);
+  const std::set<HexCoord> unique(cells.begin(), cells.end());
+  EXPECT_EQ(unique.size(), cells.size());
+  for (const HexCoord at : cells) {
+    EXPECT_LE(distance(center, at), 3);
+  }
+}
+
+// ----------------------------------------------------------------- line
+
+TEST(Line, EndpointsIncluded) {
+  const auto cells = line({0, 0}, {5, -2});
+  EXPECT_EQ(cells.front(), (HexCoord{0, 0}));
+  EXPECT_EQ(cells.back(), (HexCoord{5, -2}));
+}
+
+TEST(Line, LengthIsDistancePlusOne) {
+  Rng rng(31);
+  for (int i = 0; i < 100; ++i) {
+    const HexCoord a{rng.uniform_int(-10, 10), rng.uniform_int(-10, 10)};
+    const HexCoord b{rng.uniform_int(-10, 10), rng.uniform_int(-10, 10)};
+    EXPECT_EQ(line(a, b).size(),
+              static_cast<std::size_t>(distance(a, b)) + 1);
+  }
+}
+
+TEST(Line, ConsecutiveCellsAdjacentProperty) {
+  Rng rng(37);
+  for (int i = 0; i < 100; ++i) {
+    const HexCoord a{rng.uniform_int(-12, 12), rng.uniform_int(-12, 12)};
+    const HexCoord b{rng.uniform_int(-12, 12), rng.uniform_int(-12, 12)};
+    const auto cells = line(a, b);
+    for (std::size_t j = 1; j < cells.size(); ++j) {
+      EXPECT_TRUE(adjacent(cells[j - 1], cells[j]))
+          << "segment " << cells[j - 1] << " -> " << cells[j];
+    }
+  }
+}
+
+TEST(Line, DegenerateSingleCell) {
+  const auto cells = line({4, 4}, {4, 4});
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_EQ(cells[0], (HexCoord{4, 4}));
+}
+
+TEST(HexCoord, StreamFormat) {
+  std::ostringstream out;
+  out << HexCoord{3, -7};
+  EXPECT_EQ(out.str(), "(3,-7)");
+}
+
+// --------------------------------------------------------------- Region
+
+TEST(Region, ParallelogramSizeAndMembership) {
+  const Region region = Region::parallelogram(4, 3);
+  EXPECT_EQ(region.size(), 12);
+  EXPECT_TRUE(region.contains({0, 0}));
+  EXPECT_TRUE(region.contains({3, 2}));
+  EXPECT_FALSE(region.contains({4, 0}));
+  EXPECT_FALSE(region.contains({0, 3}));
+  EXPECT_FALSE(region.contains({-1, 0}));
+}
+
+TEST(Region, IndexRoundTrip) {
+  const Region region = Region::parallelogram(5, 7);
+  for (CellIndex i = 0; i < region.size(); ++i) {
+    EXPECT_EQ(region.index_of(region.coord_at(i)), i);
+  }
+}
+
+TEST(Region, IndexOfAbsentIsInvalid) {
+  const Region region = Region::parallelogram(2, 2);
+  EXPECT_EQ(region.index_of({9, 9}), kInvalidCell);
+}
+
+TEST(Region, HexagonSize) {
+  const Region region = Region::hexagon({0, 0}, 3);
+  EXPECT_EQ(region.size(), 37);  // 3*3*4+1
+}
+
+TEST(Region, NeighborsRespectBoundary) {
+  const Region region = Region::parallelogram(3, 3);
+  const CellIndex corner = region.index_of({0, 0});
+  const auto nbrs = region.neighbors_of(corner);
+  // (0,0) has in-region neighbours (1,0) and (0,1) only ((-1,1) is outside).
+  EXPECT_EQ(nbrs.size(), 2u);
+}
+
+TEST(Region, InteriorCellHasSixNeighbors) {
+  const Region region = Region::parallelogram(5, 5);
+  const CellIndex center = region.index_of({2, 2});
+  EXPECT_EQ(region.neighbors_of(center).size(), 6u);
+  EXPECT_FALSE(region.is_boundary(center));
+  EXPECT_TRUE(region.is_boundary(region.index_of({0, 0})));
+}
+
+TEST(Region, DuplicateAddRejected) {
+  Region region = Region::parallelogram(2, 2);
+  EXPECT_THROW(region.add({0, 0}), ContractViolation);
+}
+
+TEST(Region, AddExtendsRegion) {
+  Region region = Region::parallelogram(2, 2);
+  const CellIndex added = region.add({5, 5});
+  EXPECT_EQ(added, 4);
+  EXPECT_TRUE(region.contains({5, 5}));
+  EXPECT_EQ(region.coord_at(added), (HexCoord{5, 5}));
+}
+
+TEST(Region, BoundsCoverAllCells) {
+  Region region = Region::parallelogram(4, 6);
+  region.add({-3, 10});
+  const auto bounds = region.bounds();
+  EXPECT_EQ(bounds.min_q, -3);
+  EXPECT_EQ(bounds.max_q, 3);
+  EXPECT_EQ(bounds.min_r, 0);
+  EXPECT_EQ(bounds.max_r, 10);
+}
+
+TEST(Region, EmptyRegionBehaviour) {
+  const Region region;
+  EXPECT_TRUE(region.empty());
+  EXPECT_EQ(region.size(), 0);
+  EXPECT_THROW(region.bounds(), ContractViolation);
+}
+
+TEST(Region, ConstructorRejectsDuplicates) {
+  EXPECT_THROW(Region({{0, 0}, {1, 0}, {0, 0}}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace dmfb::hex
+
+namespace dmfb::sq {
+namespace {
+
+TEST(SquareCoord, FourDistinctNeighbors) {
+  const auto nbrs = neighbors({3, 3});
+  const std::set<SquareCoord> unique(nbrs.begin(), nbrs.end());
+  EXPECT_EQ(unique.size(), 4u);
+  for (const SquareCoord nb : nbrs) {
+    EXPECT_EQ(distance({3, 3}, nb), 1);
+  }
+}
+
+TEST(SquareCoord, ManhattanDistance) {
+  EXPECT_EQ(distance({0, 0}, {3, 4}), 7);
+  EXPECT_EQ(distance({-2, 1}, {2, -1}), 6);
+}
+
+TEST(SquareCoord, AdjacencyExcludesDiagonals) {
+  EXPECT_TRUE(adjacent({2, 2}, {3, 2}));
+  EXPECT_FALSE(adjacent({2, 2}, {3, 3}));
+  EXPECT_FALSE(adjacent({2, 2}, {2, 2}));
+}
+
+TEST(SquareCoord, DirectionNames) {
+  EXPECT_STREQ(to_string(Direction::kNorth), "N");
+  EXPECT_STREQ(to_string(Direction::kSouth), "S");
+}
+
+TEST(SquareCoord, NorthDecreasesY) {
+  EXPECT_EQ(neighbor({5, 5}, Direction::kNorth), (SquareCoord{5, 4}));
+  EXPECT_EQ(neighbor({5, 5}, Direction::kSouth), (SquareCoord{5, 6}));
+}
+
+}  // namespace
+}  // namespace dmfb::sq

@@ -1,0 +1,141 @@
+// Tests for rendering (ASCII + SVG) and table formatting.
+#include <gtest/gtest.h>
+
+#include "biochip/dtmb.hpp"
+#include "common/contracts.hpp"
+#include "io/ascii_render.hpp"
+#include "io/svg_render.hpp"
+#include "io/table.hpp"
+#include "reconfig/local_reconfig.hpp"
+
+namespace dmfb::io {
+namespace {
+
+using biochip::CellHealth;
+using biochip::DtmbKind;
+
+std::size_t count_occurrences(const std::string& text,
+                              const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t pos = text.find(needle); pos != std::string::npos;
+       pos = text.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+// ------------------------------------------------------------------ ASCII
+
+TEST(AsciiRender, GlyphCountsMatchArray) {
+  const auto array = biochip::make_dtmb_array(DtmbKind::kDtmb2_6, 6, 6);
+  const std::string picture = render_hex(array);
+  std::size_t spares = 0, primaries = 0;
+  for (const char glyph : picture) {
+    if (glyph == 'o') ++spares;
+    if (glyph == '.') ++primaries;
+  }
+  EXPECT_EQ(spares, static_cast<std::size_t>(array.spare_count()));
+  EXPECT_EQ(primaries, static_cast<std::size_t>(array.primary_count()));
+}
+
+TEST(AsciiRender, FaultGlyphsByRole) {
+  auto array = biochip::make_dtmb_array(DtmbKind::kDtmb2_6, 6, 6);
+  array.set_health(array.primaries().front(), CellHealth::kFaulty);
+  array.set_health(array.spares().front(), CellHealth::kFaulty);
+  const std::string picture = render_hex(array);
+  EXPECT_EQ(count_occurrences(picture, "X"), 1u);
+  EXPECT_EQ(count_occurrences(picture, "x"), 1u);
+}
+
+TEST(AsciiRender, StaggerIndentsRows) {
+  const auto array = biochip::make_dtmb_array(DtmbKind::kDtmb2_6, 4, 3);
+  const std::string staggered = render_hex(array);
+  RenderOptions options;
+  options.stagger_rows = false;
+  const std::string flat = render_hex(array, nullptr, options);
+  EXPECT_NE(staggered, flat);
+  EXPECT_EQ(flat.find(' '), 1u);  // no leading indent on flat rendering
+}
+
+TEST(AsciiRender, LegendOnDemand) {
+  const auto array = biochip::make_dtmb_array(DtmbKind::kDtmb2_6, 4, 3);
+  RenderOptions options;
+  options.legend = true;
+  EXPECT_NE(render_hex(array, nullptr, options).find("legend:"),
+            std::string::npos);
+  EXPECT_EQ(render_hex(array).find("legend:"), std::string::npos);
+}
+
+// -------------------------------------------------------------------- SVG
+
+TEST(SvgRender, OnePolygonPerCell) {
+  const auto array = biochip::make_dtmb_array(DtmbKind::kDtmb2_6, 7, 5);
+  const std::string svg = render_svg(array);
+  EXPECT_EQ(count_occurrences(svg, "<polygon"),
+            static_cast<std::size_t>(array.cell_count()));
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+}
+
+TEST(SvgRender, FaultColourAppearsOnlyWithFaults) {
+  auto array = biochip::make_dtmb_array(DtmbKind::kDtmb2_6, 7, 5);
+  EXPECT_EQ(render_svg(array).find("#d62728"), std::string::npos);
+  array.set_health(array.primaries().front(), CellHealth::kFaulty);
+  EXPECT_NE(render_svg(array).find("#d62728"), std::string::npos);
+}
+
+TEST(SvgRender, PlanDrawsReplacementArrows) {
+  auto array = biochip::make_dtmb_array(DtmbKind::kDtmb2_6, 9, 9);
+  array.set_health(array.region().index_of({3, 3}), CellHealth::kFaulty);
+  const auto plan = reconfig::LocalReconfigurer().plan(array);
+  ASSERT_TRUE(plan.success);
+  const std::string svg = render_svg(array, &plan);
+  EXPECT_EQ(count_occurrences(svg, "<line"), plan.replacements.size());
+}
+
+TEST(SvgRender, CoordinateLabelsOnDemand) {
+  const auto array = biochip::make_dtmb_array(DtmbKind::kDtmb2_6, 3, 3);
+  SvgOptions options;
+  options.show_coordinates = true;
+  EXPECT_EQ(count_occurrences(render_svg(array, nullptr, options), "<text"),
+            static_cast<std::size_t>(array.cell_count()));
+  EXPECT_EQ(count_occurrences(render_svg(array), "<text"), 0u);
+}
+
+TEST(SvgRender, RejectsBadRadius) {
+  const auto array = biochip::make_dtmb_array(DtmbKind::kDtmb2_6, 3, 3);
+  SvgOptions options;
+  options.cell_radius_px = 0.0;
+  EXPECT_THROW(render_svg(array, nullptr, options), ContractViolation);
+}
+
+// ------------------------------------------------------------------ Table
+
+TEST(Table, AlignedTextOutput) {
+  Table table({"a", "long-header"});
+  table.row(2).cell("x").cell(3.14159);
+  const std::string text = table.to_text();
+  EXPECT_NE(text.find("long-header"), std::string::npos);
+  EXPECT_NE(text.find("3.14"), std::string::npos);
+  EXPECT_NE(text.find("+--"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  Table table({"x", "y"});
+  table.row(1).cell(static_cast<std::int32_t>(7)).cell(0.5);
+  EXPECT_EQ(table.to_csv(), "x,y\n7,0.5\n");
+}
+
+TEST(Table, RowArityEnforced) {
+  Table table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), ContractViolation);
+  EXPECT_THROW(Table({}), ContractViolation);
+}
+
+TEST(Table, FormatDoublePrecision) {
+  EXPECT_EQ(format_double(1.0 / 3.0, 2), "0.33");
+  EXPECT_EQ(format_double(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace dmfb::io

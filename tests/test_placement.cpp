@@ -1,0 +1,143 @@
+// Tests for module placement / re-placement (category-1 reconfiguration).
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "biochip/dtmb.hpp"
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+#include "fault/injector.hpp"
+#include "fluidics/placement.hpp"
+
+namespace dmfb::fluidics {
+namespace {
+
+biochip::HexArray open_array(std::int32_t side = 12) {
+  return biochip::HexArray(hex::Region::parallelogram(side, side),
+                           [](hex::HexCoord) {
+                             return biochip::CellRole::kPrimary;
+                           });
+}
+
+TEST(Shapes, StandardShapesWellFormed) {
+  EXPECT_EQ(mixer_shape().cell_count(), 4);
+  EXPECT_EQ(detector_shape().cell_count(), 1);
+  EXPECT_EQ(linear_shape(5).cell_count(), 5);
+  EXPECT_EQ(mixer_shape().offsets.front(), (hex::HexCoord{0, 0}));
+  EXPECT_THROW(linear_shape(0), ContractViolation);
+}
+
+TEST(Placement, PlacesAllRequestedModules) {
+  const auto array = open_array();
+  const ModulePlacer placer(array);
+  const auto placed = placer.place(
+      {mixer_shape(), mixer_shape(), detector_shape(), linear_shape(4)});
+  ASSERT_TRUE(placed.has_value());
+  EXPECT_EQ(placed->size(), 4u);
+}
+
+TEST(Placement, ModulesUseHealthyPrimaryCellsOnly) {
+  auto array = biochip::make_dtmb_array(biochip::DtmbKind::kDtmb2_6, 12, 12);
+  Rng rng(88);
+  fault::FixedCountInjector(10).inject(array, rng);
+  const ModulePlacer placer(array);
+  const auto placed = placer.place({mixer_shape(), mixer_shape()});
+  ASSERT_TRUE(placed.has_value());
+  for (const auto& module : *placed) {
+    for (const auto cell : module.cells(array)) {
+      EXPECT_EQ(array.role(cell), biochip::CellRole::kPrimary);
+      EXPECT_EQ(array.health(cell), biochip::CellHealth::kHealthy);
+    }
+  }
+}
+
+TEST(Placement, SegregationMarginBetweenModules) {
+  const auto array = open_array();
+  const ModulePlacer placer(array);
+  const auto placed = placer.place({mixer_shape(), mixer_shape()});
+  ASSERT_TRUE(placed.has_value());
+  const auto cells_a = (*placed)[0].cells(array);
+  const auto cells_b = (*placed)[1].cells(array);
+  for (const auto a : cells_a) {
+    for (const auto b : cells_b) {
+      EXPECT_GE(hex::distance(array.region().coord_at(a),
+                              array.region().coord_at(b)),
+                2)
+          << "modules must keep one-cell fluidic clearance";
+    }
+  }
+}
+
+TEST(Placement, FailsWhenArrayTooSmall) {
+  const auto array = open_array(3);
+  const ModulePlacer placer(array);
+  // A 3x3 array cannot hold three segregated mixers.
+  EXPECT_FALSE(placer.place({mixer_shape(), mixer_shape(), mixer_shape()})
+                   .has_value());
+}
+
+TEST(Placement, DeterministicAnchors) {
+  const auto array = open_array();
+  const ModulePlacer placer(array);
+  const auto first = placer.place({mixer_shape(), detector_shape()});
+  const auto second = placer.place({mixer_shape(), detector_shape()});
+  ASSERT_TRUE(first && second);
+  EXPECT_EQ((*first)[0].anchor, (*second)[0].anchor);
+  EXPECT_EQ((*first)[1].anchor, (*second)[1].anchor);
+}
+
+TEST(Replacement, FaultUnderModuleForcesMove) {
+  auto array = open_array();
+  const ModulePlacer placer(array);
+  const auto before = placer.place({mixer_shape()});
+  ASSERT_TRUE(before.has_value());
+  // Break the module's anchor cell; re-place.
+  array.set_health((*before)[0].cells(array)[0],
+                   biochip::CellHealth::kFaulty);
+  const auto after = placer.place({mixer_shape()});
+  ASSERT_TRUE(after.has_value());
+  EXPECT_NE((*after)[0].anchor, (*before)[0].anchor);
+  EXPECT_GT(total_displacement(*before, *after), 0);
+}
+
+TEST(Replacement, UnaffectedLayoutIsStable) {
+  auto array = open_array();
+  const ModulePlacer placer(array);
+  const auto before = placer.place({mixer_shape(), detector_shape()});
+  ASSERT_TRUE(before.has_value());
+  // A fault far away from both modules must not move anything.
+  array.set_health(array.region().index_of({11, 11}),
+                   biochip::CellHealth::kFaulty);
+  const auto after = placer.place({mixer_shape(), detector_shape()});
+  ASSERT_TRUE(after.has_value());
+  EXPECT_EQ(total_displacement(*before, *after), 0);
+}
+
+TEST(Replacement, SaturatedArrayBecomesUnplaceable) {
+  auto array = open_array(5);
+  const ModulePlacer placer(array);
+  ASSERT_TRUE(placer.place({mixer_shape()}).has_value());
+  // Kill enough cells and no mixer fits anywhere.
+  Rng rng(4);
+  fault::BernoulliInjector(0.4).inject(array, rng);
+  const auto after = placer.place({mixer_shape()});
+  // (With 60% of cells dead on a 25-cell array a 4-cell module with margin
+  // almost surely cannot fit; accept either outcome but verify validity.)
+  if (after.has_value()) {
+    for (const auto cell : (*after)[0].cells(array)) {
+      EXPECT_EQ(array.health(cell), biochip::CellHealth::kHealthy);
+    }
+  }
+}
+
+TEST(Replacement, DisplacementRequiresMatchingLists) {
+  const auto array = open_array();
+  const ModulePlacer placer(array);
+  const auto a = placer.place({mixer_shape()});
+  const auto b = placer.place({mixer_shape(), detector_shape()});
+  ASSERT_TRUE(a && b);
+  EXPECT_THROW(total_displacement(*a, *b), ContractViolation);
+}
+
+}  // namespace
+}  // namespace dmfb::fluidics

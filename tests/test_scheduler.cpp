@@ -1,0 +1,168 @@
+// Tests for sequencing graphs and the resource-constrained list scheduler.
+#include <gtest/gtest.h>
+
+#include "assay/list_scheduler.hpp"
+#include "assay/sequencing_graph.hpp"
+#include "common/contracts.hpp"
+
+namespace dmfb::assay {
+namespace {
+
+// -------------------------------------------------------- SequencingGraph
+
+TEST(SequencingGraph, SingleAssayStructure) {
+  const auto graph = SequencingGraph::single_assay("glucose", 6.0, 10.0);
+  EXPECT_EQ(graph.op_count(), 4);
+  EXPECT_EQ(graph.op(0).kind, OpKind::kDispense);
+  EXPECT_EQ(graph.op(2).kind, OpKind::kMix);
+  EXPECT_EQ(graph.op(3).kind, OpKind::kDetect);
+  EXPECT_TRUE(graph.is_terminal(3));
+  EXPECT_FALSE(graph.is_terminal(2));
+}
+
+TEST(SequencingGraph, ArityEnforced) {
+  SequencingGraph graph;
+  const auto d = graph.add(OpKind::kDispense, "d", 1.0);
+  EXPECT_THROW(graph.add(OpKind::kMix, "bad-mix", 1.0, {d}),
+               ContractViolation);
+  EXPECT_THROW(graph.add(OpKind::kDispense, "bad-dispense", 1.0, {d}),
+               ContractViolation);
+  EXPECT_THROW(graph.add(OpKind::kDetect, "bad-input", 1.0, {42}),
+               ContractViolation);
+}
+
+TEST(SequencingGraph, SingleConsumerRuleExceptSplit) {
+  SequencingGraph graph;
+  const auto d1 = graph.add(OpKind::kDispense, "d1", 1.0);
+  graph.add(OpKind::kStore, "s1", 1.0, {d1});
+  // d1's droplet is consumed; a second consumer is a bug.
+  EXPECT_THROW(graph.add(OpKind::kDetect, "again", 1.0, {d1}),
+               ContractViolation);
+  // Splits fan out to exactly two consumers.
+  const auto d2 = graph.add(OpKind::kDispense, "d2", 1.0);
+  const auto split = graph.add(OpKind::kSplit, "split", 1.0, {d2});
+  graph.add(OpKind::kDetect, "left", 1.0, {split});
+  graph.add(OpKind::kStore, "right", 1.0, {split});
+  EXPECT_THROW(graph.add(OpKind::kStore, "third", 1.0, {split}),
+               ContractViolation);
+}
+
+TEST(SequencingGraph, CriticalPathSingleChain) {
+  const auto graph = SequencingGraph::single_assay("glucose", 6.0, 10.0);
+  // dispense(2) -> mix(6) -> detect(10) = 18.
+  EXPECT_NEAR(graph.critical_path(), 18.0, 1e-12);
+  EXPECT_NEAR(graph.total_work(), 2.0 + 2.0 + 6.0 + 10.0, 1e-12);
+}
+
+TEST(SequencingGraph, MultiplexedIvdShape) {
+  const auto graph = SequencingGraph::multiplexed_ivd();
+  EXPECT_EQ(graph.op_count(), 16);  // 4 chains x (2 dispense + mix + detect)
+  // Longest chain: dispense 2 + mix 8 + detect 12 = 22.
+  EXPECT_NEAR(graph.critical_path(), 22.0, 1e-12);
+}
+
+TEST(SequencingGraph, DilutionLadderUsesSplits) {
+  const auto graph = SequencingGraph::dilution_ladder(3);
+  std::int32_t splits = 0;
+  for (const auto& operation : graph.ops()) {
+    if (operation.kind == OpKind::kSplit) ++splits;
+  }
+  EXPECT_EQ(splits, 3);
+  EXPECT_GT(graph.critical_path(), 3 * (4.0 + 1.0));  // mixes + splits chain
+}
+
+TEST(SequencingGraph, OpKindNames) {
+  EXPECT_STREQ(to_string(OpKind::kDispense), "dispense");
+  EXPECT_STREQ(to_string(OpKind::kSplit), "split");
+}
+
+// ----------------------------------------------------------- ListScheduler
+
+TEST(ListScheduler, ScheduleIsValidatedByConstruction) {
+  const auto graph = SequencingGraph::multiplexed_ivd();
+  const ListScheduler scheduler({4, 2, 2});
+  const Schedule schedule = scheduler.schedule(graph);
+  EXPECT_TRUE(schedule.respects_dependencies(graph));
+  EXPECT_TRUE(schedule.respects_resources(graph, scheduler.pool()));
+}
+
+TEST(ListScheduler, MakespanBracketedByTheory) {
+  const auto graph = SequencingGraph::multiplexed_ivd();
+  for (const std::int32_t mixers : {1, 2, 4}) {
+    const ListScheduler scheduler({4, mixers, 4});
+    const double makespan = scheduler.schedule(graph).makespan();
+    EXPECT_GE(makespan, graph.critical_path() - 1e-9);
+    EXPECT_LE(makespan, graph.total_work() + 1e-9);
+  }
+}
+
+TEST(ListScheduler, MoreMixersNeverSlower) {
+  const auto graph = SequencingGraph::multiplexed_ivd();
+  double previous = 1e18;
+  for (const std::int32_t mixers : {1, 2, 3, 4}) {
+    const ListScheduler scheduler({4, mixers, 4});
+    const double makespan = scheduler.schedule(graph).makespan();
+    EXPECT_LE(makespan, previous + 1e-9) << mixers << " mixers";
+    previous = makespan;
+  }
+}
+
+TEST(ListScheduler, AmpleResourcesReachCriticalPath) {
+  const auto graph = SequencingGraph::multiplexed_ivd();
+  const ListScheduler scheduler({8, 8, 8});
+  EXPECT_NEAR(scheduler.schedule(graph).makespan(), graph.critical_path(),
+              1e-9);
+}
+
+TEST(ListScheduler, SingleMixerSerialisesMixes) {
+  const auto graph = SequencingGraph::multiplexed_ivd();
+  const ListScheduler scheduler({4, 1, 4});
+  const Schedule schedule = scheduler.schedule(graph);
+  // Total mix time = 6+6+8+8 = 28; one mixer cannot beat that.
+  double mix_end = 0.0;
+  for (const auto& operation : graph.ops()) {
+    if (operation.kind == OpKind::kMix) {
+      mix_end = std::max(mix_end, schedule.of(operation.id).end_s);
+    }
+  }
+  EXPECT_GE(mix_end, 28.0 - 1e-9);
+}
+
+TEST(ListScheduler, StoreNeedsNoResource) {
+  SequencingGraph graph;
+  const auto d = graph.add(OpKind::kDispense, "d", 2.0);
+  const auto s = graph.add(OpKind::kStore, "park", 5.0, {d});
+  const ListScheduler scheduler({1, 1, 1});
+  const Schedule schedule = scheduler.schedule(graph);
+  EXPECT_EQ(schedule.of(s).resource_index, -1);
+  EXPECT_NEAR(schedule.of(s).start_s, 2.0, 1e-12);
+}
+
+TEST(ListScheduler, DilutionLadderSchedules) {
+  const auto graph = SequencingGraph::dilution_ladder(4);
+  const ListScheduler scheduler({2, 2, 1});
+  const Schedule schedule = scheduler.schedule(graph);
+  EXPECT_TRUE(schedule.respects_dependencies(graph));
+  EXPECT_TRUE(schedule.respects_resources(graph, scheduler.pool()));
+  EXPECT_GE(schedule.makespan(), graph.critical_path() - 1e-9);
+}
+
+TEST(ListScheduler, MissingResourceClassRejected) {
+  const auto graph = SequencingGraph::single_assay("glucose", 6.0, 10.0);
+  const ListScheduler no_detector({2, 2, 0});
+  EXPECT_THROW(no_detector.schedule(graph), ContractViolation);
+}
+
+TEST(ListScheduler, Deterministic) {
+  const auto graph = SequencingGraph::multiplexed_ivd();
+  const ListScheduler scheduler({4, 2, 2});
+  const auto first = scheduler.schedule(graph);
+  const auto second = scheduler.schedule(graph);
+  for (std::int32_t id = 0; id < graph.op_count(); ++id) {
+    EXPECT_EQ(first.of(id).start_s, second.of(id).start_s);
+    EXPECT_EQ(first.of(id).resource_index, second.of(id).resource_index);
+  }
+}
+
+}  // namespace
+}  // namespace dmfb::assay

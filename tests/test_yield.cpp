@@ -1,0 +1,315 @@
+// Tests for the yield engines: closed forms (paper Section 6 formulas, the
+// 0.99^108 = 0.3378 headline), Monte-Carlo machinery, and agreement between
+// the two on the cluster-exact DTMB(1,6) arrays.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "biochip/dtmb.hpp"
+#include "biochip/redundancy.hpp"
+#include "common/contracts.hpp"
+#include "yield/analytic.hpp"
+#include "yield/monte_carlo.hpp"
+
+namespace dmfb::yield {
+namespace {
+
+using biochip::DtmbKind;
+
+// ---------------------------------------------------------------- analytic
+
+TEST(Analytic, NoRedundancyExactValues) {
+  EXPECT_DOUBLE_EQ(no_redundancy_yield(0, 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(no_redundancy_yield(1, 0.37), 0.37);
+  EXPECT_NEAR(no_redundancy_yield(10, 0.9), std::pow(0.9, 10), 1e-15);
+}
+
+TEST(Analytic, PaperHeadline108Cells) {
+  // Section 7: the redundancy-free fabricated chip with 108 assay cells has
+  // yield 0.3378 even at p = 0.99.
+  EXPECT_NEAR(no_redundancy_yield(108, 0.99), 0.3378, 2e-4);
+  EXPECT_NEAR(used_cells_yield(108, 0.99), 0.3378, 2e-4);
+}
+
+TEST(Analytic, ClusterYieldFormula) {
+  // Yc = p^7 + 7 p^6 (1-p), exactly as printed in the paper.
+  for (const double p : {0.5, 0.8, 0.9, 0.95, 0.99}) {
+    EXPECT_NEAR(dtmb16_cluster_yield(p),
+                std::pow(p, 7) + 7.0 * std::pow(p, 6) * (1.0 - p), 1e-15);
+  }
+}
+
+TEST(Analytic, ClusterYieldBounds) {
+  EXPECT_DOUBLE_EQ(dtmb16_cluster_yield(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(dtmb16_cluster_yield(0.0), 0.0);
+  for (const double p : {0.1, 0.5, 0.9}) {
+    const double yc = dtmb16_cluster_yield(p);
+    EXPECT_GT(yc, 0.0);
+    EXPECT_LT(yc, 1.0);
+    // Redundancy helps: cluster yield beats 7 bare cells.
+    EXPECT_GT(yc, std::pow(p, 7));
+  }
+}
+
+TEST(Analytic, Dtmb16YieldComposesClusters) {
+  const double p = 0.95;
+  EXPECT_NEAR(dtmb16_yield(60, p), std::pow(dtmb16_cluster_yield(p), 10.0),
+              1e-12);
+  EXPECT_DOUBLE_EQ(dtmb16_yield(0, p), 1.0);
+}
+
+TEST(Analytic, Dtmb16BeatsNoRedundancy) {
+  for (const double p : {0.90, 0.95, 0.99}) {
+    for (const std::int32_t n : {60, 120, 300}) {
+      EXPECT_GT(dtmb16_yield(n, p), no_redundancy_yield(n, p));
+    }
+  }
+}
+
+TEST(Analytic, YieldMonotoneInP) {
+  double previous = -1.0;
+  for (double p = 0.0; p <= 1.0; p += 0.05) {
+    const double y = dtmb16_yield(120, p);
+    EXPECT_GE(y, previous - 1e-12);
+    previous = y;
+  }
+}
+
+TEST(Analytic, YieldDecreasesWithArraySize) {
+  for (const double p : {0.9, 0.95}) {
+    EXPECT_GT(dtmb16_yield(60, p), dtmb16_yield(120, p));
+    EXPECT_GT(no_redundancy_yield(60, p), no_redundancy_yield(120, p));
+  }
+}
+
+TEST(Analytic, EffectiveYieldDefinition) {
+  // EY = Y / (1 + RR) = Y * n / N.
+  EXPECT_NEAR(effective_yield(0.9, 1.0 / 3.0), 0.9 * 0.75, 1e-12);
+  EXPECT_DOUBLE_EQ(effective_yield(0.8, 0.0), 0.8);
+  EXPECT_NEAR(effective_yield(1.0, 1.0), 0.5, 1e-12);
+}
+
+TEST(Analytic, InputValidation) {
+  EXPECT_THROW(no_redundancy_yield(-1, 0.5), ContractViolation);
+  EXPECT_THROW(no_redundancy_yield(5, 1.5), ContractViolation);
+  EXPECT_THROW(dtmb16_cluster_yield(-0.1), ContractViolation);
+  EXPECT_THROW(effective_yield(2.0, 0.1), ContractViolation);
+  EXPECT_THROW(effective_yield(0.5, -0.1), ContractViolation);
+}
+
+// ------------------------------------------------------------- Monte-Carlo
+
+TEST(MonteCarlo, PerfectSurvivalYieldsOne) {
+  auto array = biochip::make_dtmb_array(DtmbKind::kDtmb2_6, 8, 8);
+  McOptions options;
+  options.runs = 200;
+  const YieldEstimate estimate = mc_yield_bernoulli(array, 1.0, options);
+  EXPECT_DOUBLE_EQ(estimate.value, 1.0);
+  EXPECT_EQ(estimate.successes, estimate.runs);
+}
+
+TEST(MonteCarlo, ZeroSurvivalYieldsZero) {
+  auto array = biochip::make_dtmb_array(DtmbKind::kDtmb2_6, 8, 8);
+  McOptions options;
+  options.runs = 50;
+  const YieldEstimate estimate = mc_yield_bernoulli(array, 0.0, options);
+  EXPECT_DOUBLE_EQ(estimate.value, 0.0);
+}
+
+TEST(MonteCarlo, DeterministicForSameSeed) {
+  auto array = biochip::make_dtmb_array(DtmbKind::kDtmb2_6, 8, 8);
+  McOptions options;
+  options.runs = 500;
+  options.seed = 777;
+  const double first = mc_yield_bernoulli(array, 0.95, options).value;
+  const double second = mc_yield_bernoulli(array, 0.95, options).value;
+  EXPECT_DOUBLE_EQ(first, second);
+}
+
+TEST(MonteCarlo, LeavesArrayHealthy) {
+  auto array = biochip::make_dtmb_array(DtmbKind::kDtmb2_6, 8, 8);
+  McOptions options;
+  options.runs = 100;
+  mc_yield_bernoulli(array, 0.9, options);
+  EXPECT_EQ(array.faulty_count(), 0);
+}
+
+TEST(MonteCarlo, WilsonIntervalContainsEstimate) {
+  auto array = biochip::make_dtmb_array(DtmbKind::kDtmb2_6, 8, 8);
+  McOptions options;
+  options.runs = 2000;
+  const YieldEstimate estimate = mc_yield_bernoulli(array, 0.97, options);
+  EXPECT_TRUE(estimate.ci95.contains(estimate.value));
+  EXPECT_GT(estimate.ci95.width(), 0.0);
+}
+
+TEST(MonteCarlo, MatchesAnalyticOnClusterArray) {
+  // On cluster-complete DTMB(1,6) arrays the closed form is exact; MC must
+  // agree within its confidence interval (plus numeric slack).
+  auto array = biochip::make_dtmb16_cluster_array(20);  // n = 120 primaries
+  McOptions options;
+  options.runs = 20000;
+  for (const double p : {0.95, 0.98, 0.99}) {
+    const double analytic = dtmb16_yield(array.primary_count(), p);
+    const YieldEstimate mc = mc_yield_bernoulli(array, p, options);
+    EXPECT_NEAR(mc.value, analytic, 3.0 * mc.ci95.width() / 2.0 + 0.005)
+        << "p = " << p;
+  }
+}
+
+TEST(MonteCarlo, MatchesAnalyticForNoRedundancyOracle) {
+  // With an oracle requiring zero faults, MC must reproduce p^N exactly
+  // (within sampling error) — a direct check of the Bernoulli injector.
+  auto array = biochip::make_dtmb_array(DtmbKind::kDtmb4_4, 10, 10);
+  McOptions options;
+  options.runs = 20000;
+  const double p = 0.995;
+  const YieldEstimate estimate = mc_yield_with_oracle(
+      array,
+      [p](biochip::HexArray& a, Rng& rng) {
+        fault::BernoulliInjector(p).inject(a, rng);
+      },
+      [](const biochip::HexArray& a) { return a.faulty_count() == 0; },
+      options);
+  EXPECT_NEAR(estimate.value, std::pow(p, array.cell_count()), 0.01);
+}
+
+TEST(MonteCarlo, HigherRedundancyHigherYield) {
+  McOptions options;
+  options.runs = 4000;
+  const double p = 0.93;
+  double previous = -1.0;
+  for (const DtmbKind kind :
+       {DtmbKind::kDtmb1_6, DtmbKind::kDtmb2_6, DtmbKind::kDtmb3_6,
+        DtmbKind::kDtmb4_4}) {
+    auto array = biochip::make_dtmb_array_with_primaries(kind, 100);
+    const double yield = mc_yield_bernoulli(array, p, options).value;
+    EXPECT_GT(yield, previous - 0.03)
+        << biochip::dtmb_info(kind).name << " should not lose to the "
+        << "previous (lower-redundancy) design";
+    previous = yield;
+  }
+}
+
+TEST(MonteCarlo, YieldMonotoneInPStatistically) {
+  auto array = biochip::make_dtmb_array(DtmbKind::kDtmb2_6, 10, 10);
+  McOptions options;
+  options.runs = 4000;
+  double previous = -1.0;
+  for (const double p : {0.85, 0.90, 0.95, 0.99}) {
+    const double yield = mc_yield_bernoulli(array, p, options).value;
+    EXPECT_GT(yield, previous - 0.02);
+    previous = yield;
+  }
+}
+
+TEST(MonteCarlo, FixedFaultsZeroIsCertain) {
+  auto array = biochip::make_dtmb_array(DtmbKind::kDtmb2_6, 8, 8);
+  McOptions options;
+  options.runs = 100;
+  EXPECT_DOUBLE_EQ(mc_yield_fixed_faults(array, 0, options).value, 1.0);
+}
+
+TEST(MonteCarlo, FixedFaultsMonotoneDecreasing) {
+  auto array = biochip::make_dtmb_array(DtmbKind::kDtmb2_6, 10, 10);
+  McOptions options;
+  options.runs = 3000;
+  double previous = 2.0;
+  for (const std::int32_t m : {1, 5, 10, 20}) {
+    const double yield = mc_yield_fixed_faults(array, m, options).value;
+    EXPECT_LT(yield, previous + 0.02);
+    previous = yield;
+  }
+}
+
+TEST(MonteCarlo, SingleFixedFaultAnalytic) {
+  // With exactly one fault, all spares except possibly the faulty cell are
+  // healthy, so the chip is repairable iff every primary has at least one
+  // spare neighbour. On an 11x11 DTMB(2,6) array (odd side, so the pattern
+  // covers every boundary primary) the single-fault yield is exactly 1.
+  auto array = biochip::make_dtmb_array(DtmbKind::kDtmb2_6, 11, 11);
+  bool all_covered = true;
+  for (const auto primary : array.primaries()) {
+    if (array.spare_neighbors_of(primary).empty()) all_covered = false;
+  }
+  ASSERT_TRUE(all_covered);
+  McOptions options;
+  options.runs = 2000;
+  EXPECT_DOUBLE_EQ(mc_yield_fixed_faults(array, 1, options).value, 1.0);
+}
+
+TEST(MonteCarlo, OptionsValidation) {
+  auto array = biochip::make_dtmb_array(DtmbKind::kDtmb2_6, 6, 6);
+  McOptions options;
+  options.runs = 0;
+  EXPECT_THROW(mc_yield_bernoulli(array, 0.9, options), ContractViolation);
+  options.runs = 10;
+  EXPECT_THROW(mc_yield_bernoulli(array, 1.5, options), ContractViolation);
+  EXPECT_THROW(mc_yield_fixed_faults(array, -1, options), ContractViolation);
+}
+
+TEST(MonteCarlo, UsedPolicyYieldAtLeastAllPolicy) {
+  auto array = biochip::make_dtmb_array(DtmbKind::kDtmb2_6, 10, 10);
+  // Mark a quarter of the primaries used.
+  std::int32_t marked = 0;
+  for (const auto primary : array.primaries()) {
+    if (marked >= array.primary_count() / 4) break;
+    array.set_usage(primary, biochip::CellUsage::kAssayUsed);
+    ++marked;
+  }
+  McOptions all;
+  all.runs = 3000;
+  McOptions used = all;
+  used.policy = reconfig::CoveragePolicy::kUsedFaultyPrimaries;
+  const double p = 0.93;
+  const double yield_all = mc_yield_bernoulli(array, p, all).value;
+  const double yield_used = mc_yield_bernoulli(array, p, used).value;
+  EXPECT_GE(yield_used, yield_all - 0.01);
+}
+
+}  // namespace
+}  // namespace dmfb::yield
+
+// Appended: boundary spare-row yield (Fig. 2 architecture).
+namespace dmfb::yield {
+namespace {
+
+TEST(SpareRow, ColumnFormulaBasics) {
+  EXPECT_DOUBLE_EQ(spare_row_yield(5, 7, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(spare_row_yield(5, 7, 0.0), 0.0);
+  // One column, two cells: survives unless both fail = 1 - q^2.
+  const double p = 0.9;
+  EXPECT_NEAR(spare_row_yield(1, 2, p), 1.0 - 0.1 * 0.1, 1e-12);
+}
+
+TEST(SpareRow, EqualsDtmb16AtEqualRedundancy) {
+  // A 7-row column (6 primaries + 1 spare) is exactly a DTMB(1,6) cluster;
+  // W columns = n/6 clusters with n = 6W primaries. The two architectures
+  // have IDENTICAL yield — the paper's argument against spare rows is the
+  // shifted-replacement cost, not the yield.
+  for (const double p : {0.90, 0.95, 0.99}) {
+    for (const std::int32_t columns : {5, 10, 20}) {
+      EXPECT_NEAR(spare_row_yield(columns, 7, p),
+                  dtmb16_yield(6 * columns, p), 1e-12)
+          << "p=" << p << " W=" << columns;
+    }
+  }
+}
+
+TEST(SpareRow, MonotoneInP) {
+  double previous = -1.0;
+  for (double p = 0.0; p <= 1.0; p += 0.1) {
+    const double y = spare_row_yield(8, 7, p);
+    EXPECT_GE(y, previous - 1e-12);
+    previous = y;
+  }
+}
+
+TEST(SpareRow, ValidatesInput) {
+  EXPECT_THROW(spare_row_yield(0, 7, 0.9), ContractViolation);
+  EXPECT_THROW(spare_row_yield(5, 1, 0.9), ContractViolation);
+  EXPECT_THROW(spare_row_yield(5, 7, 1.5), ContractViolation);
+}
+
+}  // namespace
+}  // namespace dmfb::yield
