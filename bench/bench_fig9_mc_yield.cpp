@@ -3,6 +3,7 @@
 // probabilities p and array sizes n. Every cell — primary and spare — fails
 // independently with probability 1-p; a run succeeds iff maximal bipartite
 // matching repairs every faulty primary.
+#include <cstdlib>
 #include <iostream>
 
 #include "biochip/dtmb.hpp"
@@ -10,13 +11,29 @@
 #include "io/table.hpp"
 #include "yield/monte_carlo.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dmfb;
   using biochip::DtmbKind;
 
+  // Usage: bench_fig9_mc_yield [threads]; 0 = one per hardware thread.
+  // The numbers are identical for every thread count (per-run Rng streams);
+  // only the wall-clock changes.
+  std::int32_t threads = 0;
+  if (argc > 1) {
+    char* end = nullptr;
+    const long parsed = std::strtol(argv[1], &end, 10);
+    if (end == argv[1] || *end != '\0' || parsed < 0 || parsed > 4096) {
+      std::cerr << "usage: " << argv[0]
+                << " [threads]   (threads >= 0; 0 = hardware concurrency)\n";
+      return 2;
+    }
+    threads = static_cast<std::int32_t>(parsed);
+  }
+
   const int kRuns = 10000;
   std::cout << "Figure 9 - Monte-Carlo yield estimation (" << kRuns
-            << " runs per point)\n\n";
+            << " runs per point, threads="
+            << (threads == 0 ? "auto" : std::to_string(threads)) << ")\n\n";
 
   for (const std::int32_t n : {60, 120, 240}) {
     io::Table table({"p", "DTMB(2,6)", "DTMB(3,6)", "DTMB(4,4)"});
@@ -27,6 +44,7 @@ int main() {
          {0.80, 0.85, 0.88, 0.90, 0.92, 0.94, 0.96, 0.98, 0.99}) {
       yield::McOptions options;
       options.runs = kRuns;
+      options.threads = threads;
       table.row(4)
           .cell(p)
           .cell(yield::mc_yield_bernoulli(a26, p, options).value)

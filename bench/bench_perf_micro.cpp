@@ -51,6 +51,23 @@ void BM_McYieldRun(benchmark::State& state) {
   }
 }
 
+void BM_McYieldThreads(benchmark::State& state) {
+  // Full mc_yield_bernoulli experiment (2000 runs on a ~250-primary
+  // DTMB(2,6) array) under the threaded engine. Successes are identical for
+  // every thread count; items/s is the MC-run throughput, so the 4-thread
+  // row should show >= 2x the 1-thread rate on a multi-core host.
+  auto array = biochip::make_dtmb_array_with_primaries(
+      biochip::DtmbKind::kDtmb2_6, 250);
+  yield::McOptions options;
+  options.runs = 2000;
+  options.threads = static_cast<std::int32_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        yield::mc_yield_bernoulli(array, 0.93, options).successes);
+  }
+  state.SetItemsProcessed(state.iterations() * options.runs);
+}
+
 void BM_SingleDropletRoute(benchmark::State& state) {
   const auto side = static_cast<std::int32_t>(state.range(0));
   const biochip::HexArray array(
@@ -87,5 +104,12 @@ BENCHMARK_CAPTURE(BM_Matching, dinic, dmfb::graph::MatchingEngine::kDinic)
     ->Range(64, 1024)
     ->Complexity();
 BENCHMARK(BM_McYieldRun)->Arg(100)->Arg(250)->Arg(500);
+BENCHMARK(BM_McYieldThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->UseRealTime()
+    ->MeasureProcessCPUTime()
+    ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_SingleDropletRoute)->Arg(16)->Arg(32)->Arg(64);
 BENCHMARK(BM_CoveringWalk)->Arg(16)->Arg(32);

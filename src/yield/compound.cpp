@@ -91,7 +91,7 @@ CompoundYield compound_yield(biochip::HexArray& array,
     double repairable = 1.0;
     if (m > 0) {
       McOptions per_m = options;
-      per_m.seed = options.seed + static_cast<std::uint64_t>(m) * 0x9E37ULL;
+      per_m.seed = options.seed + static_cast<std::uint64_t>(m) * std::uint64_t{0x9E37};
       repairable = mc_yield_fixed_faults(array, m, per_m).value;
     }
     result.value += mass * repairable;

@@ -1,29 +1,119 @@
 #include "yield/monte_carlo.hpp"
 
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
 #include "common/contracts.hpp"
 
 namespace dmfb::yield {
+
+namespace {
+
+// Runs handed to a worker per queue pop. Large enough to amortise the
+// atomic fetch_add, small enough that 10000-run experiments still spread
+// evenly over a handful of threads. Partitioning never affects results:
+// every run draws from its own (seed, run)-derived stream.
+constexpr std::int32_t kBatchRuns = 64;
+
+std::int32_t resolve_threads(std::int32_t requested) noexcept {
+  if (requested == 0) {
+    const auto hw = static_cast<std::int32_t>(std::thread::hardware_concurrency());
+    return std::max(hw, 1);
+  }
+  return requested;
+}
+
+// Counts successes over runs [begin, end) on `array`, which must arrive
+// healthy and is left healthy.
+std::int64_t run_range(biochip::HexArray& array, const InjectFn& inject,
+                       const RepairableFn& repairable, std::uint64_t seed,
+                       std::int32_t begin, std::int32_t end) {
+  std::int64_t successes = 0;
+  for (std::int32_t run = begin; run < end; ++run) {
+    Rng rng = mc_run_stream(seed, run);
+    inject(array, rng);
+    if (repairable(array)) ++successes;
+    array.reset_health();
+  }
+  return successes;
+}
+
+std::int64_t run_parallel(const biochip::HexArray& array,
+                          const InjectFn& inject,
+                          const RepairableFn& repairable,
+                          const McOptions& options, std::int32_t threads) {
+  const std::int32_t batch_count =
+      (options.runs + kBatchRuns - 1) / kBatchRuns;
+  std::atomic<std::int32_t> next_batch{0};
+  std::atomic<std::int64_t> total_successes{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  auto worker = [&] {
+    try {
+      biochip::HexArray local = array;  // per-thread clone, arrives healthy
+      std::int64_t successes = 0;
+      for (;;) {
+        const std::int32_t batch =
+            next_batch.fetch_add(1, std::memory_order_relaxed);
+        if (batch >= batch_count) break;
+        const std::int32_t begin = batch * kBatchRuns;
+        const std::int32_t end = std::min(options.runs, begin + kBatchRuns);
+        successes +=
+            run_range(local, inject, repairable, options.seed, begin, end);
+      }
+      total_successes.fetch_add(successes, std::memory_order_relaxed);
+    } catch (...) {
+      const std::scoped_lock lock(error_mutex);
+      if (!first_error) first_error = std::current_exception();
+      // Park the queue so the other workers drain quickly.
+      next_batch.store(batch_count, std::memory_order_relaxed);
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(threads));
+  for (std::int32_t t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (auto& thread : pool) thread.join();
+  if (first_error) std::rethrow_exception(first_error);
+  return total_successes.load();
+}
+
+}  // namespace
+
+Rng mc_run_stream(std::uint64_t seed, std::int32_t run) noexcept {
+  // One splitmix64 step over (seed, run) picks the stream seed; the Rng
+  // constructor's own splitmix64 pass then decorrelates the 256-bit state.
+  std::uint64_t s =
+      seed + 0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(run) + 1);
+  return Rng(splitmix64(s));
+}
 
 YieldEstimate mc_yield_with_oracle(biochip::HexArray& array,
                                    const InjectFn& inject,
                                    const RepairableFn& repairable,
                                    const McOptions& options) {
   DMFB_EXPECTS(options.runs > 0);
+  DMFB_EXPECTS(options.threads >= 0);
   DMFB_EXPECTS(static_cast<bool>(inject));
   DMFB_EXPECTS(static_cast<bool>(repairable));
   array.reset_health();
-  Rng rng(options.seed);
-  BernoulliEstimate estimate;
-  for (std::int32_t run = 0; run < options.runs; ++run) {
-    inject(array, rng);
-    estimate.add(repairable(array));
-    array.reset_health();
-  }
+  const std::int32_t threads =
+      std::min(resolve_threads(options.threads),
+               (options.runs + kBatchRuns - 1) / kBatchRuns);
+  const std::int64_t successes =
+      threads <= 1
+          ? run_range(array, inject, repairable, options.seed, 0, options.runs)
+          : run_parallel(array, inject, repairable, options, threads);
   YieldEstimate result;
-  result.value = estimate.proportion();
-  result.ci95 = estimate.wilson();
-  result.runs = estimate.trials();
-  result.successes = estimate.successes();
+  result.runs = options.runs;
+  result.successes = successes;
+  result.value = static_cast<double>(successes) / options.runs;
+  result.ci95 = wilson_interval(successes, options.runs);
   return result;
 }
 

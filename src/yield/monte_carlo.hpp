@@ -30,9 +30,17 @@ struct YieldEstimate {
 
 /// Simulation knobs. Defaults mirror the paper: 10000 runs,
 /// all-faulty-primaries coverage, Hopcroft-Karp matching.
+///
+/// Determinism: run i always draws from an Rng stream derived from
+/// (seed, i) alone, so the estimate depends only on `seed` and `runs` —
+/// never on `threads` or on how runs are partitioned across workers.
 struct McOptions {
   std::int32_t runs = 10000;
   std::uint64_t seed = 0xD0E5A11ULL;
+  /// Worker threads: 1 = serial loop (no thread spawned), 0 = one per
+  /// hardware thread, N > 1 = exactly N workers. Any value produces results
+  /// bit-identical to the serial engine.
+  std::int32_t threads = 1;
   reconfig::CoveragePolicy policy =
       reconfig::CoveragePolicy::kAllFaultyPrimaries;
   graph::MatchingEngine engine = graph::MatchingEngine::kHopcroftKarp;
@@ -41,9 +49,13 @@ struct McOptions {
 
 /// Injects faults into `array` for one run. The array arrives healthy and
 /// may be left in any fault state; the engine resets it between runs.
+/// With McOptions::threads != 1 the callable is invoked concurrently on
+/// per-thread HexArray clones, so it must be safe to call from multiple
+/// threads (stateless functors such as the fault::*Injector family are).
 using InjectFn = std::function<void(biochip::HexArray&, Rng&)>;
 
 /// Repairability oracle for one run; defaults to matching feasibility.
+/// Same thread-safety requirement as InjectFn under threads != 1.
 using RepairableFn = std::function<bool(const biochip::HexArray&)>;
 
 /// Generic Monte-Carlo loop: inject -> check repairable -> reset.
@@ -56,6 +68,10 @@ YieldEstimate mc_yield_with_oracle(biochip::HexArray& array,
                                    const InjectFn& inject,
                                    const RepairableFn& repairable,
                                    const McOptions& options);
+
+/// The Rng stream run `run` draws from, derived from the experiment seed
+/// alone. Exposed so tests can pin the engine's per-run determinism.
+Rng mc_run_stream(std::uint64_t seed, std::int32_t run) noexcept;
 
 /// Paper model: iid cell survival probability p.
 YieldEstimate mc_yield_bernoulli(biochip::HexArray& array, double p,

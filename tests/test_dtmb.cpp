@@ -112,8 +112,8 @@ TEST_P(DtmbPatternTest, PatternIsPeriodicUnderLatticeTranslation) {
 
 INSTANTIATE_TEST_SUITE_P(AllDesigns, DtmbPatternTest,
                          ::testing::ValuesIn(kPatternCases),
-                         [](const auto& info) {
-                           switch (info.param.kind) {
+                         [](const auto& test_info) {
+                           switch (test_info.param.kind) {
                              case DtmbKind::kDtmb1_6: return "Dtmb1x6";
                              case DtmbKind::kDtmb2_6: return "Dtmb2x6A";
                              case DtmbKind::kDtmb2_6B: return "Dtmb2x6B";

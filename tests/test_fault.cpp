@@ -295,7 +295,8 @@ TEST(Parametric, InjectionRateMatchesClosedForm) {
     cells += array.cell_count();
     array.reset_health();
   }
-  const double measured = static_cast<double>(faults) / cells;
+  const double measured =
+      static_cast<double>(faults) / static_cast<double>(cells);
   EXPECT_NEAR(measured, expected, 0.1 * expected + 0.005);
 }
 

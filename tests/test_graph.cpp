@@ -167,11 +167,11 @@ TEST_P(MatchingEngineTest, ParityWithOtherEnginesOnLargerGraphs) {
 
 INSTANTIATE_TEST_SUITE_P(AllEngines, MatchingEngineTest,
                          ::testing::ValuesIn(kEngines),
-                         [](const auto& info) {
-                           return std::string(to_string(info.param)) ==
+                         [](const auto& test_info) {
+                           return std::string(to_string(test_info.param)) ==
                                           "hopcroft-karp"
                                       ? std::string("HopcroftKarp")
-                                      : std::string(to_string(info.param)) ==
+                                      : std::string(to_string(test_info.param)) ==
                                                 "kuhn"
                                             ? std::string("Kuhn")
                                             : std::string("Dinic");

@@ -126,6 +126,81 @@ TEST(MonteCarlo, DeterministicForSameSeed) {
   EXPECT_DOUBLE_EQ(first, second);
 }
 
+TEST(MonteCarlo, ThreadsProduceBitIdenticalResults) {
+  // The acceptance bar for the parallel engine: any thread count (including
+  // 0 = auto) reproduces the serial successes count exactly.
+  auto array = biochip::make_dtmb_array(DtmbKind::kDtmb2_6, 10, 10);
+  McOptions options;
+  options.runs = 2000;
+  options.seed = 20260730;
+  options.threads = 1;
+  const YieldEstimate serial = mc_yield_bernoulli(array, 0.93, options);
+  for (const std::int32_t threads : {0, 2, 3, 4, 7}) {
+    options.threads = threads;
+    const YieldEstimate parallel = mc_yield_bernoulli(array, 0.93, options);
+    EXPECT_EQ(parallel.successes, serial.successes) << "threads = " << threads;
+    EXPECT_DOUBLE_EQ(parallel.value, serial.value) << "threads = " << threads;
+    EXPECT_DOUBLE_EQ(parallel.ci95.lo, serial.ci95.lo);
+    EXPECT_DOUBLE_EQ(parallel.ci95.hi, serial.ci95.hi);
+  }
+}
+
+TEST(MonteCarlo, ThreadsIdenticalForFixedFaultModel) {
+  auto array = biochip::make_dtmb_array(DtmbKind::kDtmb3_6, 8, 8);
+  McOptions options;
+  options.runs = 1500;
+  options.threads = 1;
+  const YieldEstimate serial = mc_yield_fixed_faults(array, 5, options);
+  options.threads = 4;
+  const YieldEstimate parallel = mc_yield_fixed_faults(array, 5, options);
+  EXPECT_EQ(parallel.successes, serial.successes);
+}
+
+TEST(MonteCarlo, ThreadsExceedingRunsStillCorrect) {
+  auto array = biochip::make_dtmb_array(DtmbKind::kDtmb2_6, 6, 6);
+  McOptions options;
+  options.runs = 10;  // fewer runs than one batch: collapses to serial
+  options.threads = 16;
+  const YieldEstimate estimate = mc_yield_bernoulli(array, 1.0, options);
+  EXPECT_EQ(estimate.successes, 10);
+  EXPECT_EQ(estimate.runs, 10);
+}
+
+TEST(MonteCarlo, RunStreamDependsOnlyOnSeedAndRunIndex) {
+  Rng a = mc_run_stream(42, 7);
+  Rng b = mc_run_stream(42, 7);
+  EXPECT_EQ(a(), b());
+  Rng c = mc_run_stream(42, 8);
+  Rng d = mc_run_stream(43, 7);
+  const auto first = mc_run_stream(42, 7)();
+  EXPECT_NE(c(), first);
+  EXPECT_NE(d(), first);
+}
+
+TEST(MonteCarlo, ThreadedOracleErrorPropagates) {
+  auto array = biochip::make_dtmb_array(DtmbKind::kDtmb2_6, 6, 6);
+  McOptions options;
+  options.runs = 1000;
+  options.threads = 4;
+  EXPECT_THROW(mc_yield_with_oracle(
+                   array,
+                   [](biochip::HexArray& a, Rng& rng) {
+                     fault::BernoulliInjector(0.9).inject(a, rng);
+                   },
+                   [](const biochip::HexArray&) -> bool {
+                     throw ContractViolation("oracle failure");
+                   },
+                   options),
+               ContractViolation);
+}
+
+TEST(MonteCarlo, RejectsNegativeThreads) {
+  auto array = biochip::make_dtmb_array(DtmbKind::kDtmb2_6, 6, 6);
+  McOptions options;
+  options.threads = -1;
+  EXPECT_THROW(mc_yield_bernoulli(array, 0.9, options), ContractViolation);
+}
+
 TEST(MonteCarlo, LeavesArrayHealthy) {
   auto array = biochip::make_dtmb_array(DtmbKind::kDtmb2_6, 8, 8);
   McOptions options;
