@@ -1,44 +1,48 @@
 // Regenerates paper Figure 10: effective yield EY = Y / (1 + RR) for the
 // different redundancy levels, with n = 100 primary cells (the paper's
-// setting). Reports the measured crossover: DTMB(4,4) is the right choice
-// at small p, lighter redundancy (DTMB(1,6)/(2,6)) at high p.
+// setting). Thin wrapper over the campaign engine: the sweep lives in
+// campaigns/effective_yield.campaign (= builtin:effective_yield); the
+// no-redundancy baseline runs as a plain all-primary array through the same
+// Monte-Carlo engine as every other design.
+//
+// Reports the measured crossover: DTMB(4,4) is the right choice at small p,
+// lighter redundancy (DTMB(1,6)/(2,6)) at high p.
 #include <iostream>
 #include <map>
 #include <string>
-#include <vector>
 
-#include "core/design_advisor.hpp"
-#include "io/table.hpp"
+#include "campaign/builtin.hpp"
+#include "campaign/runner.hpp"
+#include "campaign/sink.hpp"
 
 int main() {
   using namespace dmfb;
 
-  yield::McOptions options;
-  options.runs = 10000;
-  const core::DesignAdvisor advisor(100, options);
-
-  const std::vector<double> ps = {0.80, 0.84, 0.88, 0.90,
-                                  0.92, 0.94, 0.96, 0.98, 0.99};
-  io::Table table({"p", "no-redundancy", "DTMB(1,6)", "DTMB(2,6)",
-                   "DTMB(3,6)", "DTMB(4,4)", "best (EY)"});
-  std::map<double, std::string> best_at_p;
-  for (const double p : ps) {
-    const auto advice = advisor.assess(p);
-    auto row = table.row(4);
-    row.cell(p);
-    for (const auto& assessment : advice.assessments) {
-      row.cell(assessment.effective_yield);
-    }
-    const auto& best = advice.best_effective_yield();
-    row.cell(best.name);
-    best_at_p[p] = best.name;
+  auto parsed_spec = campaign::parse_campaign_spec(
+      campaign::builtin_campaign("effective_yield"));
+  if (!parsed_spec.ok()) {
+    std::cerr << "builtin effective_yield spec is invalid:\n"
+              << parsed_spec.error_text();
+    return 1;
   }
-  table.print(std::cout,
-              "Figure 10 - effective yield EY = Y/(1+RR), n = 100 primaries "
-              "(10000 MC runs)");
+  campaign::CampaignRunner runner(std::move(*parsed_spec.spec));
+  campaign::ConsoleSink console(std::cout);
+  runner.add_sink(console);
+  const auto results = runner.run();
 
+  // Best effective yield per p (grid order: design outer, p inner).
+  std::map<double, const campaign::PointResult*> best_at_p;
+  for (const campaign::PointResult& result : results) {
+    auto& best = best_at_p[result.point.param];
+    if (best == nullptr || result.effective_yield > best->effective_yield) {
+      best = &result;
+    }
+  }
   std::cout << "Crossover summary: ";
-  for (const double p : ps) std::cout << "p=" << p << "->" << best_at_p[p] << "  ";
+  for (const auto& [p, best] : best_at_p) {
+    std::cout << "p=" << p << "->" << campaign::to_string(best->point.design)
+              << "  ";
+  }
   std::cout << "\nShape check (paper): high redundancy (DTMB(4,4)) wins at "
                "small p; low redundancy (DTMB(1,6)/(2,6)) wins at high p.\n";
   return 0;

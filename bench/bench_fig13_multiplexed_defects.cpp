@@ -1,53 +1,43 @@
 // Regenerates paper Figure 13: yield of the DTMB(2,6)-based multiplexed
 // diagnostics chip in the presence of m random cell failures (Monte-Carlo,
-// 10000 runs per point, as in the paper).
+// 10000 runs per point, as in the paper). Thin wrapper over the campaign
+// engine: the grid lives in campaigns/fig13.campaign (= builtin:fig13).
 //
-// Paper claim: yield >= 0.90 for up to 35 faults. We print two replacement
-// models that bracket the (not fully specified) paper semantics:
-//   * spares-only        — faulty assay cells replaced by adjacent spares;
-//   * spares + unused    — category-1 reconfiguration added: healthy unused
-//                          primary cells may also take over (Fig. 12's
-//                          legend distinguishes unused primaries).
+// Paper claim: yield >= 0.90 for up to 35 faults. The campaign sweeps both
+// replacement models that bracket the (not fully specified) paper
+// semantics: spares-only, and spares + healthy unused primaries
+// (category-1 reconfiguration, Fig. 12's legend).
+#include <algorithm>
 #include <iostream>
 
-#include "assay/multiplexed_chip.hpp"
-#include "io/table.hpp"
-#include "yield/monte_carlo.hpp"
+#include "campaign/builtin.hpp"
+#include "campaign/runner.hpp"
+#include "campaign/sink.hpp"
 
 int main() {
   using namespace dmfb;
 
-  auto chip = assay::make_multiplexed_chip();
-  const int kRuns = 10000;
+  auto parsed_spec =
+      campaign::parse_campaign_spec(campaign::builtin_campaign("fig13"));
+  if (!parsed_spec.ok()) {
+    std::cerr << "builtin fig13 spec is invalid:\n" << parsed_spec.error_text();
+    return 1;
+  }
+  campaign::CampaignRunner runner(std::move(*parsed_spec.spec));
+  campaign::ConsoleSink console(std::cout);
+  runner.add_sink(console);
+  const auto results = runner.run();
 
-  io::Table table({"m (faults)", "yield (spares only)", "95% CI",
-                   "yield (spares + unused primaries)", "95% CI "});
   double spares_cross90 = -1;
   double combined_cross90 = -1;
-  for (const std::int32_t m :
-       {0, 5, 10, 15, 20, 25, 30, 35, 40, 45, 50, 60}) {
-    yield::McOptions options;
-    options.runs = kRuns;
-    options.policy = reconfig::CoveragePolicy::kUsedFaultyPrimaries;
-    options.pool = reconfig::ReplacementPool::kSparesOnly;
-    const auto spares = yield::mc_yield_fixed_faults(chip.array, m, options);
-    options.pool = reconfig::ReplacementPool::kSparesAndUnusedPrimaries;
-    const auto combined = yield::mc_yield_fixed_faults(chip.array, m, options);
-    table.row(4)
-        .cell(m)
-        .cell(spares.value)
-        .cell("[" + io::format_double(spares.ci95.lo, 3) + ", " +
-              io::format_double(spares.ci95.hi, 3) + "]")
-        .cell(combined.value)
-        .cell("[" + io::format_double(combined.ci95.lo, 3) + ", " +
-              io::format_double(combined.ci95.hi, 3) + "]");
-    if (spares.value >= 0.90) spares_cross90 = m;
-    if (combined.value >= 0.90) combined_cross90 = m;
+  for (const campaign::PointResult& result : results) {
+    if (result.estimate.value < 0.90) continue;
+    if (result.point.pool == reconfig::ReplacementPool::kSparesOnly) {
+      spares_cross90 = std::max(spares_cross90, result.point.param);
+    } else {
+      combined_cross90 = std::max(combined_cross90, result.point.param);
+    }
   }
-  table.print(std::cout,
-              "Figure 13 - yield vs number of random cell failures m "
-              "(252+91-cell chip, 108 assay cells, " +
-                  std::to_string(kRuns) + " runs)");
   std::cout << "Largest m with yield >= 0.90: spares-only = "
             << spares_cross90 << ", spares+unused = " << combined_cross90
             << "  (paper: >= 0.90 up to m = 35)\n";

@@ -1,62 +1,46 @@
 // Regenerates paper Figure 9: Monte-Carlo yield (10000 runs, as in the
 // paper) for DTMB(2,6), DTMB(3,6) and DTMB(4,4) across survival
-// probabilities p and array sizes n. Every cell — primary and spare — fails
-// independently with probability 1-p; a run succeeds iff maximal bipartite
-// matching repairs every faulty primary.
-#include <cstdlib>
+// probabilities p and array sizes n. Thin wrapper over the campaign engine:
+// the grid lives in campaigns/fig9.campaign (= builtin:fig9).
 #include <iostream>
 
-#include "biochip/dtmb.hpp"
-#include "biochip/redundancy.hpp"
-#include "io/table.hpp"
-#include "yield/monte_carlo.hpp"
+#include "campaign/builtin.hpp"
+#include "campaign/runner.hpp"
+#include "campaign/sink.hpp"
+#include "common/parse.hpp"
 
 int main(int argc, char** argv) {
   using namespace dmfb;
-  using biochip::DtmbKind;
 
   // Usage: bench_fig9_mc_yield [threads]; 0 = one per hardware thread.
   // The numbers are identical for every thread count (per-run Rng streams);
   // only the wall-clock changes.
   std::int32_t threads = 0;
   if (argc > 1) {
-    char* end = nullptr;
-    const long parsed = std::strtol(argv[1], &end, 10);
-    if (end == argv[1] || *end != '\0' || parsed < 0 || parsed > 4096) {
+    const auto parsed = common::parse_int_in(argv[1], 0, 4096);
+    if (!parsed) {
       std::cerr << "usage: " << argv[0]
                 << " [threads]   (threads >= 0; 0 = hardware concurrency)\n";
       return 2;
     }
-    threads = static_cast<std::int32_t>(parsed);
+    threads = static_cast<std::int32_t>(*parsed);
   }
 
-  const int kRuns = 10000;
-  std::cout << "Figure 9 - Monte-Carlo yield estimation (" << kRuns
-            << " runs per point, threads="
-            << (threads == 0 ? "auto" : std::to_string(threads)) << ")\n\n";
-
-  for (const std::int32_t n : {60, 120, 240}) {
-    io::Table table({"p", "DTMB(2,6)", "DTMB(3,6)", "DTMB(4,4)"});
-    auto a26 = biochip::make_dtmb_array_with_primaries(DtmbKind::kDtmb2_6, n);
-    auto a36 = biochip::make_dtmb_array_with_primaries(DtmbKind::kDtmb3_6, n);
-    auto a44 = biochip::make_dtmb_array_with_primaries(DtmbKind::kDtmb4_4, n);
-    for (const double p :
-         {0.80, 0.85, 0.88, 0.90, 0.92, 0.94, 0.96, 0.98, 0.99}) {
-      yield::McOptions options;
-      options.runs = kRuns;
-      options.threads = threads;
-      table.row(4)
-          .cell(p)
-          .cell(yield::mc_yield_bernoulli(a26, p, options).value)
-          .cell(yield::mc_yield_bernoulli(a36, p, options).value)
-          .cell(yield::mc_yield_bernoulli(a44, p, options).value);
-    }
-    table.print(std::cout,
-                "n ~ " + std::to_string(n) + " primary cells (" +
-                    std::to_string(a26.primary_count()) + "/" +
-                    std::to_string(a36.primary_count()) + "/" +
-                    std::to_string(a44.primary_count()) + " exact)");
+  auto parsed_spec =
+      campaign::parse_campaign_spec(campaign::builtin_campaign("fig9"));
+  if (!parsed_spec.ok()) {
+    std::cerr << "builtin fig9 spec is invalid:\n" << parsed_spec.error_text();
+    return 1;
   }
+  campaign::CampaignSpec spec = std::move(*parsed_spec.spec);
+  spec.threads = threads;
+
+  std::cout << "Figure 9 - Monte-Carlo yield estimation (" << spec.runs
+            << " runs per point, campaigns/fig9.campaign)\n\n";
+  campaign::CampaignRunner runner(std::move(spec));
+  campaign::ConsoleSink console(std::cout);
+  runner.add_sink(console);
+  runner.run();
   std::cout << "Shape check (paper): higher redundancy level => higher "
                "yield at every p.\n";
   return 0;

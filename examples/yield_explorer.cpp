@@ -8,22 +8,33 @@
 //
 // Usage:  yield_explorer [primaries] [p] [target_yield]
 // e.g.:   ./build/examples/yield_explorer 108 0.99 0.90
-#include <cstdlib>
 #include <iostream>
 
+#include "common/parse.hpp"
 #include "core/design_advisor.hpp"
 #include "io/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace dmfb;
 
-  const std::int32_t primaries = argc > 1 ? std::atoi(argv[1]) : 108;
-  const double p = argc > 2 ? std::atof(argv[2]) : 0.99;
-  const double target = argc > 3 ? std::atof(argv[3]) : 0.90;
-  if (primaries <= 0 || p < 0.0 || p > 1.0) {
-    std::cerr << "usage: yield_explorer [primaries>0] [p in 0..1] [target]\n";
+  // Strict parsing (common::parse_*): garbage like "abc" or "0.9x" is
+  // rejected instead of silently truncating the way atoi/atof would.
+  const auto primaries_arg =
+      argc > 1 ? common::parse_int_in(argv[1], 1, 1'000'000)
+               : std::optional<std::int64_t>(108);
+  const auto p_arg = argc > 2 ? common::parse_double_in(argv[2], 0.0, 1.0)
+                              : std::optional<double>(0.99);
+  const auto target_arg = argc > 3
+                              ? common::parse_double_in(argv[3], 0.0, 1.0)
+                              : std::optional<double>(0.90);
+  if (!primaries_arg || !p_arg || !target_arg) {
+    std::cerr << "usage: yield_explorer [primaries>0] [p in 0..1] "
+                 "[target in 0..1]\n";
     return 2;
   }
+  const auto primaries = static_cast<std::int32_t>(*primaries_arg);
+  const double p = *p_arg;
+  const double target = *target_arg;
 
   yield::McOptions options;
   options.runs = 10000;

@@ -1,0 +1,95 @@
+#include "campaign/builtin.hpp"
+
+namespace dmfb::campaign {
+
+namespace {
+
+// Paper Figure 9: Monte-Carlo yield for DTMB(2,6)/(3,6)/(4,4) across
+// survival probabilities p and array sizes n (10000 runs per point).
+constexpr std::string_view kFig9 =
+    R"(# Paper Figure 9: Monte-Carlo yield vs cell survival probability p
+# for DTMB(2,6), DTMB(3,6), DTMB(4,4) at n ~ 60 / 120 / 240 primaries.
+name = fig9
+runs = 10000
+seed = 0xD0E5A11
+design = dtmb2_6, dtmb3_6, dtmb4_4
+primaries = 60, 120, 240
+injector = bernoulli
+p = 0.80, 0.85, 0.88, 0.90, 0.92, 0.94, 0.96, 0.98, 0.99
+sink = console, csv, jsonl
+)";
+
+// Reduced-runs Fig. 9 for CI smoke and the golden-file test: same grid,
+// 200 runs per point.
+constexpr std::string_view kFig9Smoke =
+    R"(# Reduced-runs Figure 9 grid for CI smoke / golden-file testing.
+name = fig9_smoke
+runs = 200
+seed = 0xD0E5A11
+design = dtmb2_6, dtmb3_6, dtmb4_4
+primaries = 60, 120, 240
+injector = bernoulli
+p = 0.80, 0.85, 0.88, 0.90, 0.92, 0.94, 0.96, 0.98, 0.99
+sink = console, csv, jsonl
+)";
+
+// Paper Figure 13: the multiplexed diagnostics chip under exactly m random
+// cell failures, for both replacement pools that bracket the paper's
+// semantics (spares-only vs spares + unused primaries).
+constexpr std::string_view kFig13 =
+    R"(# Paper Figure 13: multiplexed diagnostics chip yield vs m random
+# cell failures, under both replacement-pool readings of the paper.
+name = fig13
+runs = 10000
+seed = 0xD0E5A11
+design = multiplexed
+injector = fixed_count
+m = 0, 5, 10, 15, 20, 25, 30, 35, 40, 45, 50, 60
+policy = used_faulty_primaries
+pool = spares_only, spares_and_unused_primaries
+sink = console, csv, jsonl
+)";
+
+// Paper Figure 10: effective yield EY = Y/(1+RR) across redundancy levels
+// at n = 100 primaries (the no-redundancy baseline runs as a plain
+// all-primary array through the same Monte-Carlo engine).
+constexpr std::string_view kEffectiveYield =
+    R"(# Paper Figure 10: effective-yield sweep EY = Y/(1+RR), n = 100.
+name = effective_yield
+runs = 10000
+seed = 0xD0E5A11
+design = none, dtmb1_6, dtmb2_6, dtmb3_6, dtmb4_4
+primaries = 100
+injector = bernoulli
+p = 0.80, 0.84, 0.88, 0.90, 0.92, 0.94, 0.96, 0.98, 0.99
+sink = console, csv, jsonl
+)";
+
+struct BuiltinEntry {
+  std::string_view name;
+  std::string_view text;
+};
+
+constexpr BuiltinEntry kBuiltins[] = {
+    {"fig9", kFig9},
+    {"fig9_smoke", kFig9Smoke},
+    {"fig13", kFig13},
+    {"effective_yield", kEffectiveYield},
+};
+
+}  // namespace
+
+std::string_view builtin_campaign(std::string_view name) noexcept {
+  for (const BuiltinEntry& entry : kBuiltins) {
+    if (entry.name == name) return entry.text;
+  }
+  return {};
+}
+
+std::vector<std::string_view> builtin_campaign_names() {
+  std::vector<std::string_view> names;
+  for (const BuiltinEntry& entry : kBuiltins) names.push_back(entry.name);
+  return names;
+}
+
+}  // namespace dmfb::campaign

@@ -1,0 +1,21 @@
+// Built-in campaign specs for the paper figures.
+//
+// The same text is checked in under campaigns/*.campaign (a test keeps the
+// two in sync); the ported bench drivers run these directly so they cannot
+// drift from the files, and `dmfb_campaign builtin:<name>` works without a
+// source checkout.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+namespace dmfb::campaign {
+
+/// Spec source text for a built-in campaign ("fig9", "fig9_smoke", "fig13",
+/// "effective_yield"); empty view for unknown names.
+std::string_view builtin_campaign(std::string_view name) noexcept;
+
+/// All built-in campaign names, in documentation order.
+std::vector<std::string_view> builtin_campaign_names();
+
+}  // namespace dmfb::campaign

@@ -1,0 +1,87 @@
+#include "campaign/grid.hpp"
+
+#include <sstream>
+
+#include "common/contracts.hpp"
+
+namespace dmfb::campaign {
+
+const char* param_name(InjectorKind kind) noexcept {
+  switch (kind) {
+    case InjectorKind::kBernoulli: return "p";
+    case InjectorKind::kFixedCount: return "m";
+    case InjectorKind::kClustered: return "mean_spots";
+  }
+  return "?";
+}
+
+const char* CampaignPoint::param_name() const noexcept {
+  return campaign::param_name(injector);
+}
+
+std::vector<CampaignPoint> expand_grid(const CampaignSpec& spec) {
+  std::vector<double> params;
+  switch (spec.injector) {
+    case InjectorKind::kBernoulli:
+      params = spec.p_grid;
+      break;
+    case InjectorKind::kFixedCount:
+      params.reserve(spec.m_grid.size());
+      for (const std::int32_t m : spec.m_grid) params.push_back(m);
+      break;
+    case InjectorKind::kClustered:
+      params = spec.mean_spots_grid;
+      break;
+  }
+  DMFB_EXPECTS(!params.empty());
+  DMFB_EXPECTS(!spec.designs.empty());
+
+  // The multiplexed chip has a fixed size; collapse the primaries dimension
+  // so a mixed design list does not duplicate its points.
+  static const std::vector<std::int32_t> kFixedSize = {0};
+
+  std::vector<CampaignPoint> points;
+  for (const Design design : spec.designs) {
+    const std::vector<std::int32_t>& sizes =
+        design == Design::kMultiplexed ? kFixedSize : spec.primaries;
+    DMFB_EXPECTS(!sizes.empty());
+    for (const std::int32_t min_primaries : sizes) {
+      for (const double param : params) {
+        for (const reconfig::CoveragePolicy policy : spec.policies) {
+          for (const graph::MatchingEngine engine : spec.engines) {
+            for (const reconfig::ReplacementPool pool : spec.pools) {
+              CampaignPoint point;
+              point.design = design;
+              point.min_primaries = min_primaries;
+              point.injector = spec.injector;
+              point.param = param;
+              point.cluster = spec.cluster;
+              point.policy = policy;
+              point.engine = engine;
+              point.pool = pool;
+              points.push_back(point);
+            }
+          }
+        }
+      }
+    }
+  }
+  return points;
+}
+
+std::string point_key(const CampaignPoint& point) {
+  std::ostringstream key;
+  key << to_string(point.design) << '/' << point.min_primaries << '/'
+      << to_string(point.injector) << '/' << std::hexfloat << point.param
+      << '/' << std::defaultfloat;
+  if (point.injector == InjectorKind::kClustered) {
+    key << point.cluster.radius << '/' << std::hexfloat
+        << point.cluster.core_kill << '/' << point.cluster.edge_kill << '/'
+        << std::defaultfloat;
+  }
+  key << spec_token(point.policy) << '/' << spec_token(point.engine) << '/'
+      << spec_token(point.pool);
+  return key.str();
+}
+
+}  // namespace dmfb::campaign

@@ -1,0 +1,47 @@
+// Sweep-grid expansion: a CampaignSpec's cross product flattened into the
+// ordered list of scenario points the runner executes.
+//
+// Expansion order is fixed (design, primaries, injector param, policy,
+// engine, pool — slowest to fastest) so artifacts are stable across runs
+// and thread counts. The fixed-size multiplexed chip collapses the
+// primaries dimension to a single entry.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "campaign/spec.hpp"
+
+namespace dmfb::campaign {
+
+/// One fully-instantiated scenario: everything needed to run mc_yield.
+struct CampaignPoint {
+  Design design = Design::kDtmb2_6;
+  /// Requested minimum primary count; 0 for the fixed-size multiplexed chip.
+  std::int32_t min_primaries = 0;
+  InjectorKind injector = InjectorKind::kBernoulli;
+  /// The swept injector parameter: p (bernoulli), m (fixed_count, integral)
+  /// or mean_spots (clustered).
+  double param = 0.0;
+  ClusterParams cluster;
+  reconfig::CoveragePolicy policy =
+      reconfig::CoveragePolicy::kAllFaultyPrimaries;
+  graph::MatchingEngine engine = graph::MatchingEngine::kHopcroftKarp;
+  reconfig::ReplacementPool pool = reconfig::ReplacementPool::kSparesOnly;
+
+  /// Name of the swept parameter column ("p" / "m" / "mean_spots").
+  const char* param_name() const noexcept;
+};
+
+/// Artifact column name of the parameter an injector sweeps.
+const char* param_name(InjectorKind kind) noexcept;
+
+/// Flattens the spec's sweep dimensions into points, in canonical order.
+std::vector<CampaignPoint> expand_grid(const CampaignSpec& spec);
+
+/// Canonical dedupe/cache key: two points with equal keys are guaranteed to
+/// produce bit-identical results under the same (runs, seed).
+std::string point_key(const CampaignPoint& point);
+
+}  // namespace dmfb::campaign

@@ -1,0 +1,260 @@
+#include "campaign/runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <exception>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <unordered_map>
+
+#include "assay/multiplexed_chip.hpp"
+#include "biochip/dtmb.hpp"
+#include "biochip/redundancy.hpp"
+#include "common/contracts.hpp"
+#include "fault/injector.hpp"
+#include "hexgrid/region.hpp"
+#include "io/table.hpp"
+#include "yield/analytic.hpp"
+
+namespace dmfb::campaign {
+
+namespace {
+
+std::int32_t resolve_threads(std::int32_t requested) noexcept {
+  if (requested == 0) {
+    const auto hw =
+        static_cast<std::int32_t>(std::thread::hardware_concurrency());
+    return std::max(hw, 1);
+  }
+  return requested;
+}
+
+biochip::HexArray build_array(Design design, std::int32_t min_primaries) {
+  switch (design) {
+    case Design::kNone: {
+      // Plain all-primary near-square parallelogram with >= min_primaries
+      // cells (exactly min_primaries when it is a perfect rectangle, e.g.
+      // the paper's n = 100 -> 10 x 10).
+      DMFB_EXPECTS(min_primaries > 0);
+      const auto side = static_cast<std::int32_t>(
+          std::ceil(std::sqrt(static_cast<double>(min_primaries))));
+      const std::int32_t height = (min_primaries + side - 1) / side;
+      return biochip::HexArray(
+          hex::Region::parallelogram(side, height),
+          [](hex::HexCoord) { return biochip::CellRole::kPrimary; });
+    }
+    case Design::kDtmb1_6:
+      return biochip::make_dtmb_array_with_primaries(
+          biochip::DtmbKind::kDtmb1_6, min_primaries);
+    case Design::kDtmb2_6:
+      return biochip::make_dtmb_array_with_primaries(
+          biochip::DtmbKind::kDtmb2_6, min_primaries);
+    case Design::kDtmb2_6B:
+      return biochip::make_dtmb_array_with_primaries(
+          biochip::DtmbKind::kDtmb2_6B, min_primaries);
+    case Design::kDtmb3_6:
+      return biochip::make_dtmb_array_with_primaries(
+          biochip::DtmbKind::kDtmb3_6, min_primaries);
+    case Design::kDtmb4_4:
+      return biochip::make_dtmb_array_with_primaries(
+          biochip::DtmbKind::kDtmb4_4, min_primaries);
+    case Design::kMultiplexed:
+      return assay::make_multiplexed_chip().array;
+  }
+  DMFB_ASSERT(false);
+  return assay::make_multiplexed_chip().array;  // unreachable
+}
+
+yield::YieldEstimate run_point(biochip::HexArray& array,
+                               const CampaignPoint& point,
+                               const yield::McOptions& options) {
+  switch (point.injector) {
+    case InjectorKind::kBernoulli:
+      return yield::mc_yield_bernoulli(array, point.param, options);
+    case InjectorKind::kFixedCount:
+      return yield::mc_yield_fixed_faults(
+          array, static_cast<std::int32_t>(point.param), options);
+    case InjectorKind::kClustered: {
+      const fault::ClusteredInjector injector(
+          point.param, point.cluster.radius, point.cluster.core_kill,
+          point.cluster.edge_kill);
+      return yield::mc_yield(
+          array,
+          [&injector](biochip::HexArray& a, Rng& rng) {
+            injector.inject(a, rng);
+          },
+          options);
+    }
+  }
+  DMFB_ASSERT(false);
+  return {};
+}
+
+}  // namespace
+
+CampaignRunner::CampaignRunner(CampaignSpec spec) : spec_(std::move(spec)) {}
+
+void CampaignRunner::add_sink(ArtifactSink& sink) { sinks_.push_back(&sink); }
+
+std::vector<std::string> CampaignRunner::header() const {
+  return {"campaign", "design", "primaries", "total_cells",
+          param_name(spec_.injector),
+          "policy",   "engine", "pool",      "runs",        "seed",
+          "yield",    "ci_lo",  "ci_hi",     "successes",   "rr",
+          "effective_yield"};
+}
+
+std::vector<std::string> CampaignRunner::format_row(
+    const PointResult& result) const {
+  const CampaignPoint& point = result.point;
+  const std::string param =
+      point.injector == InjectorKind::kFixedCount
+          ? std::to_string(static_cast<std::int32_t>(point.param))
+          : io::format_double(point.param, 4);
+  return {spec_.name,
+          to_string(point.design),
+          std::to_string(result.primaries),
+          std::to_string(result.total_cells),
+          param,
+          spec_token(point.policy),
+          spec_token(point.engine),
+          spec_token(point.pool),
+          std::to_string(spec_.runs),
+          std::to_string(spec_.seed),
+          io::format_double(result.estimate.value, 4),
+          io::format_double(result.estimate.ci95.lo, 4),
+          io::format_double(result.estimate.ci95.hi, 4),
+          std::to_string(result.estimate.successes),
+          io::format_double(result.redundancy_ratio, 4),
+          io::format_double(result.effective_yield, 4)};
+}
+
+std::string CampaignRunner::title() const {
+  std::ostringstream out;
+  out << "campaign '" << spec_.name << "' - " << spec_.runs
+      << " runs/point, seed 0x" << std::hex << spec_.seed << std::dec
+      << ", grid " << stats_.grid_points << " points ("
+      << stats_.unique_points << " unique)";
+  return out.str();
+}
+
+std::vector<PointResult> CampaignRunner::run() {
+  const std::vector<CampaignPoint> points = expand_grid(spec_);
+  stats_.grid_points = points.size();
+
+  // -- dedupe: identical points share one job --------------------------------
+  std::vector<std::size_t> job_of_point(points.size());
+  std::vector<std::size_t> job_to_point;  // representative point per job
+  {
+    std::unordered_map<std::string, std::size_t> job_by_key;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const auto [it, inserted] =
+          job_by_key.try_emplace(point_key(points[i]), job_to_point.size());
+      if (inserted) job_to_point.push_back(i);
+      job_of_point[i] = it->second;
+    }
+  }
+  stats_.unique_points = job_to_point.size();
+
+  // -- prototype arrays, one per (design, size) ------------------------------
+  // Built serially up front; workers copy their own mutable instance.
+  std::map<std::pair<Design, std::int32_t>, biochip::HexArray> prototypes;
+  for (const std::size_t point_index : job_to_point) {
+    const CampaignPoint& point = points[point_index];
+    const auto key = std::make_pair(point.design, point.min_primaries);
+    if (prototypes.find(key) == prototypes.end()) {
+      prototypes.emplace(key, build_array(point.design, point.min_primaries));
+    }
+  }
+  for (const std::size_t point_index : job_to_point) {
+    const CampaignPoint& point = points[point_index];
+    if (point.injector == InjectorKind::kFixedCount) {
+      const auto& prototype =
+          prototypes.at({point.design, point.min_primaries});
+      DMFB_EXPECTS(static_cast<std::int32_t>(point.param) <=
+                   prototype.cell_count());
+    }
+  }
+
+  // -- thread budget: point workers x inner Monte-Carlo threads --------------
+  const std::int32_t budget = resolve_threads(spec_.threads);
+  const std::int32_t job_count = static_cast<std::int32_t>(job_to_point.size());
+  const std::int32_t workers = std::max(1, std::min(budget, job_count));
+  const std::int32_t inner_threads = std::max(1, budget / workers);
+
+  std::vector<yield::YieldEstimate> estimates(job_to_point.size());
+  std::atomic<std::size_t> next_job{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  auto worker = [&] {
+    try {
+      for (;;) {
+        const std::size_t job =
+            next_job.fetch_add(1, std::memory_order_relaxed);
+        if (job >= job_to_point.size()) break;
+        const CampaignPoint& point = points[job_to_point[job]];
+        biochip::HexArray array =
+            prototypes.at({point.design, point.min_primaries});
+        yield::McOptions options;
+        options.runs = spec_.runs;
+        options.seed = spec_.seed;
+        options.threads = inner_threads;
+        options.policy = point.policy;
+        options.engine = point.engine;
+        options.pool = point.pool;
+        estimates[job] = run_point(array, point, options);
+      }
+    } catch (...) {
+      const std::scoped_lock lock(error_mutex);
+      if (!first_error) first_error = std::current_exception();
+      next_job.store(job_to_point.size(), std::memory_order_relaxed);
+    }
+  };
+
+  if (workers == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(workers));
+    for (std::int32_t t = 0; t < workers; ++t) pool.emplace_back(worker);
+    for (auto& thread : pool) thread.join();
+  }
+  if (first_error) std::rethrow_exception(first_error);
+
+  // -- fan results back out to grid order and stream to sinks ----------------
+  std::vector<PointResult> results;
+  results.reserve(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const CampaignPoint& point = points[i];
+    const biochip::HexArray& prototype =
+        prototypes.at({point.design, point.min_primaries});
+    PointResult result;
+    result.point = point;
+    result.primaries = prototype.primary_count();
+    result.total_cells = prototype.cell_count();
+    result.redundancy_ratio =
+        point.design == Design::kNone
+            ? 0.0
+            : biochip::measured_redundancy_ratio(prototype);
+    result.estimate = estimates[job_of_point[i]];
+    result.effective_yield = yield::effective_yield(result.estimate.value,
+                                                    result.redundancy_ratio);
+    results.push_back(std::move(result));
+  }
+
+  const std::vector<std::string> headers = header();
+  const std::string heading = title();
+  for (ArtifactSink* sink : sinks_) sink->begin(headers, heading);
+  for (const PointResult& result : results) {
+    const std::vector<std::string> cells = format_row(result);
+    for (ArtifactSink* sink : sinks_) sink->row(cells);
+  }
+  for (ArtifactSink* sink : sinks_) sink->finish();
+  return results;
+}
+
+}  // namespace dmfb::campaign

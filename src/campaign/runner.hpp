@@ -1,0 +1,74 @@
+// CampaignRunner: executes an expanded sweep grid on the Monte-Carlo yield
+// engine and streams result rows to the attached artifact sinks.
+//
+// Scheduling: the thread budget (spec.threads; 0 = hardware concurrency) is
+// split into point-level workers times inner Monte-Carlo threads, so a
+// campaign is parallel both across grid points and within a point. Results
+// are bit-identical for every thread count: each run draws from its own
+// (seed, run)-derived Rng stream and rows are emitted in canonical grid
+// order regardless of completion order.
+//
+// Duplicate grid points (same design/size/injector/param/policy/engine/pool)
+// are computed once and fanned out to every occurrence.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "campaign/grid.hpp"
+#include "campaign/sink.hpp"
+#include "campaign/spec.hpp"
+#include "yield/monte_carlo.hpp"
+
+namespace dmfb::campaign {
+
+/// One executed grid point with its realised chip geometry and estimate.
+struct PointResult {
+  CampaignPoint point;
+  std::int32_t primaries = 0;    ///< actual primary count of the built array
+  std::int32_t total_cells = 0;
+  double redundancy_ratio = 0.0;
+  yield::YieldEstimate estimate;
+  double effective_yield = 0.0;  ///< EY = Y / (1 + RR)
+};
+
+/// Work-dedup accounting for logs and tests.
+struct RunnerStats {
+  std::size_t grid_points = 0;
+  std::size_t unique_points = 0;
+  std::size_t cache_hits() const noexcept {
+    return grid_points - unique_points;
+  }
+};
+
+class CampaignRunner {
+ public:
+  explicit CampaignRunner(CampaignSpec spec);
+
+  /// Attaches a sink (not owned; must outlive run()).
+  void add_sink(ArtifactSink& sink);
+
+  /// Expands the grid, executes every unique point, streams rows to the
+  /// sinks and returns per-grid-point results in grid order.
+  std::vector<PointResult> run();
+
+  const CampaignSpec& spec() const noexcept { return spec_; }
+  /// Valid after run().
+  const RunnerStats& stats() const noexcept { return stats_; }
+
+  /// Artifact column headers for this campaign (param column varies with
+  /// the injector: "p" / "m" / "mean_spots").
+  std::vector<std::string> header() const;
+  /// Formats one result as artifact cells, matching header().
+  std::vector<std::string> format_row(const PointResult& result) const;
+  /// The console/markdown title line.
+  std::string title() const;
+
+ private:
+  CampaignSpec spec_;
+  std::vector<ArtifactSink*> sinks_;
+  RunnerStats stats_;
+};
+
+}  // namespace dmfb::campaign

@@ -1,0 +1,129 @@
+#include "campaign/sink.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "common/contracts.hpp"
+
+namespace dmfb::campaign {
+
+// ------------------------------------------------------------------ console
+
+ConsoleSink::ConsoleSink(std::ostream& os, Style style)
+    : os_(os), style_(style) {}
+
+void ConsoleSink::begin(const std::vector<std::string>& headers,
+                        const std::string& title) {
+  DMFB_EXPECTS(table_ == nullptr);
+  title_ = title;
+  table_ = std::make_unique<io::Table>(headers);
+}
+
+void ConsoleSink::row(const std::vector<std::string>& cells) {
+  DMFB_EXPECTS(table_ != nullptr);
+  table_->add_row(cells);
+}
+
+void ConsoleSink::finish() {
+  DMFB_EXPECTS(table_ != nullptr);
+  if (style_ == Style::kMarkdown) {
+    os_ << "## " << title_ << "\n\n" << table_->to_markdown() << '\n';
+  } else {
+    table_->print(os_, title_);
+  }
+  os_.flush();
+}
+
+// ---------------------------------------------------------------------- csv
+
+CsvSink::CsvSink(std::ostream& os) : os_(os) {}
+
+void CsvSink::begin(const std::vector<std::string>& headers,
+                    const std::string& /*title*/) {
+  DMFB_EXPECTS(!begun_ && !headers.empty());
+  begun_ = true;
+  columns_ = headers.size();
+  os_ << io::csv_line(headers) << '\n';
+}
+
+void CsvSink::row(const std::vector<std::string>& cells) {
+  DMFB_EXPECTS(begun_ && cells.size() == columns_);
+  os_ << io::csv_line(cells) << '\n';
+}
+
+void CsvSink::finish() {
+  DMFB_EXPECTS(begun_);
+  os_.flush();
+}
+
+// -------------------------------------------------------------------- jsonl
+
+JsonlSink::JsonlSink(std::ostream& os) : os_(os) {}
+
+void JsonlSink::begin(const std::vector<std::string>& headers,
+                      const std::string& /*title*/) {
+  DMFB_EXPECTS(!begun_ && !headers.empty());
+  begun_ = true;
+  headers_ = headers;
+}
+
+void JsonlSink::row(const std::vector<std::string>& cells) {
+  DMFB_EXPECTS(begun_);
+  os_ << io::jsonl_line(headers_, cells) << '\n';
+}
+
+void JsonlSink::finish() {
+  DMFB_EXPECTS(begun_);
+  os_.flush();
+}
+
+// --------------------------------------------------------------- file sinks
+
+namespace {
+
+/// Owns the ofstream an inner stream sink writes through.
+class OwningFileSink final : public ArtifactSink {
+ public:
+  OwningFileSink(std::unique_ptr<std::ofstream> file,
+                 std::unique_ptr<ArtifactSink> inner)
+      : file_(std::move(file)), inner_(std::move(inner)) {}
+
+  void begin(const std::vector<std::string>& headers,
+             const std::string& title) override {
+    inner_->begin(headers, title);
+  }
+  void row(const std::vector<std::string>& cells) override {
+    inner_->row(cells);
+  }
+  void finish() override {
+    inner_->finish();
+    file_->close();
+  }
+
+ private:
+  std::unique_ptr<std::ofstream> file_;
+  std::unique_ptr<ArtifactSink> inner_;
+};
+
+}  // namespace
+
+std::unique_ptr<ArtifactSink> make_file_sink(SinkKind kind,
+                                             const std::string& path,
+                                             std::string& error) {
+  DMFB_EXPECTS(kind == SinkKind::kCsv || kind == SinkKind::kJsonl);
+  auto file = std::make_unique<std::ofstream>(path);
+  if (!file->is_open()) {
+    error = "cannot open artifact file '" + path + "' for writing";
+    return nullptr;
+  }
+  std::unique_ptr<ArtifactSink> inner;
+  if (kind == SinkKind::kCsv) {
+    inner = std::make_unique<CsvSink>(*file);
+  } else {
+    inner = std::make_unique<JsonlSink>(*file);
+  }
+  return std::make_unique<OwningFileSink>(std::move(file), std::move(inner));
+}
+
+}  // namespace dmfb::campaign

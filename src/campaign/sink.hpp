@@ -1,0 +1,93 @@
+// Pluggable artifact sinks for campaign results.
+//
+// The runner delivers the header once, then each result row in grid order,
+// then finish(). Every sink routes through io::Table so all tabular output
+// (console box, markdown, CSV, JSON-lines) stays uniform with the rest of
+// the repo. Stream-based sinks make tests trivial (ostringstream); file
+// artifacts are the same sinks wrapped around an owned ofstream.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "campaign/spec.hpp"
+#include "io/table.hpp"
+
+namespace dmfb::campaign {
+
+class ArtifactSink {
+ public:
+  virtual ~ArtifactSink() = default;
+
+  /// Called once before any row; `title` is the campaign display title.
+  virtual void begin(const std::vector<std::string>& headers,
+                     const std::string& title) = 0;
+  /// Called once per grid point, in grid order.
+  virtual void row(const std::vector<std::string>& cells) = 0;
+  /// Called once after the last row; sinks flush here.
+  virtual void finish() = 0;
+};
+
+/// Accumulates rows into an io::Table and prints the boxed text table (or a
+/// markdown table) on finish.
+class ConsoleSink final : public ArtifactSink {
+ public:
+  enum class Style { kText, kMarkdown };
+
+  explicit ConsoleSink(std::ostream& os, Style style = Style::kText);
+
+  void begin(const std::vector<std::string>& headers,
+             const std::string& title) override;
+  void row(const std::vector<std::string>& cells) override;
+  void finish() override;
+
+ private:
+  std::ostream& os_;
+  Style style_;
+  std::string title_;
+  std::unique_ptr<io::Table> table_;
+};
+
+/// Streams CSV through io::csv_line: header line on begin, one line per
+/// row, O(1) sink state (rows are not retained).
+class CsvSink final : public ArtifactSink {
+ public:
+  explicit CsvSink(std::ostream& os);
+
+  void begin(const std::vector<std::string>& headers,
+             const std::string& title) override;
+  void row(const std::vector<std::string>& cells) override;
+  void finish() override;
+
+ private:
+  std::ostream& os_;
+  std::size_t columns_ = 0;
+  bool begun_ = false;
+};
+
+/// Streams JSON-lines through io::jsonl_line, O(1) sink state.
+class JsonlSink final : public ArtifactSink {
+ public:
+  explicit JsonlSink(std::ostream& os);
+
+  void begin(const std::vector<std::string>& headers,
+             const std::string& title) override;
+  void row(const std::vector<std::string>& cells) override;
+  void finish() override;
+
+ private:
+  std::ostream& os_;
+  std::vector<std::string> headers_;
+  bool begun_ = false;
+};
+
+/// Creates a file-backed sink of the given kind (kCsv/kJsonl only); the
+/// returned sink owns the stream and flushes/closes it on finish().
+/// Returns nullptr (and sets `error`) when the file cannot be opened.
+std::unique_ptr<ArtifactSink> make_file_sink(SinkKind kind,
+                                             const std::string& path,
+                                             std::string& error);
+
+}  // namespace dmfb::campaign

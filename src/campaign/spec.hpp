@@ -1,0 +1,136 @@
+// Declarative campaign specs: one text file describes a whole sweep grid
+// over the Monte-Carlo yield stack (design family x size x defect model x
+// coverage policy x matching engine x replacement pool).
+//
+// The format is a self-contained line-based `key = value` dialect — no
+// external parser dependency. `#` starts a comment, lists are
+// comma-separated, and every diagnostic carries the 1-based source line:
+//
+//   name    = fig9
+//   runs    = 10000
+//   seed    = 0xD0E5A11
+//   design  = dtmb2_6, dtmb3_6, dtmb4_4
+//   primaries = 60, 120, 240
+//   injector = bernoulli
+//   p       = 0.80, 0.85, 0.90
+//   sink    = console, csv, jsonl
+//
+// Scalar keys (runs/seed/threads/...) configure the engine; list keys are
+// sweep dimensions whose cross product the grid expander walks.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/matching.hpp"
+#include "reconfig/local_reconfig.hpp"
+
+namespace dmfb::campaign {
+
+/// Chip design family evaluated at a grid point.
+enum class Design : std::uint8_t {
+  kNone,         ///< plain all-primary array (no-redundancy baseline)
+  kDtmb1_6,
+  kDtmb2_6,
+  kDtmb2_6B,
+  kDtmb3_6,
+  kDtmb4_4,
+  kMultiplexed,  ///< the Section-7 multiplexed diagnostics chip (fixed size)
+};
+
+/// Defect-injection model for the sweep.
+enum class InjectorKind : std::uint8_t {
+  kBernoulli,   ///< iid survival probability p (paper Section 6)
+  kFixedCount,  ///< exactly m random cell failures (Fig. 13)
+  kClustered,   ///< Poisson spot clusters (independence ablation)
+};
+
+/// Artifact sinks a spec may request.
+enum class SinkKind : std::uint8_t {
+  kConsole,
+  kMarkdown,
+  kCsv,
+  kJsonl,
+};
+
+const char* to_string(Design design) noexcept;
+const char* to_string(InjectorKind kind) noexcept;
+const char* to_string(SinkKind kind) noexcept;
+
+std::optional<Design> parse_design(std::string_view token) noexcept;
+std::optional<InjectorKind> parse_injector(std::string_view token) noexcept;
+std::optional<SinkKind> parse_sink(std::string_view token) noexcept;
+
+/// Spec-file tokens for the reconfiguration vocabulary (round-trip safe;
+/// reconfig::to_string / graph::to_string are display strings, not tokens).
+const char* spec_token(reconfig::CoveragePolicy policy) noexcept;
+const char* spec_token(graph::MatchingEngine engine) noexcept;
+const char* spec_token(reconfig::ReplacementPool pool) noexcept;
+std::optional<reconfig::CoveragePolicy> parse_policy(
+    std::string_view token) noexcept;
+std::optional<graph::MatchingEngine> parse_engine(
+    std::string_view token) noexcept;
+std::optional<reconfig::ReplacementPool> parse_pool(
+    std::string_view token) noexcept;
+
+/// Clustered-injector knobs shared by every clustered grid point.
+struct ClusterParams {
+  std::int32_t radius = 1;
+  double core_kill = 0.9;
+  double edge_kill = 0.3;
+};
+
+/// A parsed, validated campaign description.
+struct CampaignSpec {
+  std::string name = "campaign";
+  std::int32_t runs = 10000;
+  std::uint64_t seed = 0xD0E5A11ULL;
+  /// Total worker budget: 0 = one per hardware thread.
+  std::int32_t threads = 0;
+
+  // -- sweep dimensions (cross product, in this order) ---------------------
+  std::vector<Design> designs;
+  /// Minimum primary-cell counts; ignored (collapsed to one entry) for the
+  /// fixed-size multiplexed chip.
+  std::vector<std::int32_t> primaries;
+  InjectorKind injector = InjectorKind::kBernoulli;
+  std::vector<double> p_grid;             ///< bernoulli survival probabilities
+  std::vector<std::int32_t> m_grid;       ///< fixed-count failure counts
+  std::vector<double> mean_spots_grid;    ///< clustered spot means
+  ClusterParams cluster;
+  std::vector<reconfig::CoveragePolicy> policies;
+  std::vector<graph::MatchingEngine> engines;
+  std::vector<reconfig::ReplacementPool> pools;
+
+  std::vector<SinkKind> sinks;  ///< defaults to {console} when unset
+
+  /// The parameter grid active under `injector` (p/m/mean_spots).
+  std::size_t param_count() const noexcept;
+};
+
+/// One parse/validation diagnostic; line is 1-based, 0 for whole-spec errors.
+struct SpecError {
+  int line = 0;
+  std::string message;
+};
+
+/// Outcome of parse_campaign_spec: spec is set iff errors is empty.
+struct ParseResult {
+  std::optional<CampaignSpec> spec;
+  std::vector<SpecError> errors;
+
+  bool ok() const noexcept { return spec.has_value(); }
+  /// All diagnostics joined as "line N: message" lines (for CLI stderr).
+  std::string error_text() const;
+};
+
+/// Parses and validates a spec source text.
+ParseResult parse_campaign_spec(std::string_view text);
+
+/// Serialises a spec back to the text format; parse(to_spec_text(s)) == s.
+std::string to_spec_text(const CampaignSpec& spec);
+
+}  // namespace dmfb::campaign

@@ -81,17 +81,136 @@ std::string Table::to_text() const {
   return out.str();
 }
 
+std::string csv_line(const std::vector<std::string>& cells) {
+  std::string out;
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    if (c > 0) out += ',';
+    out += cells[c];
+  }
+  return out;
+}
+
 std::string Table::to_csv() const {
+  std::string out = csv_line(headers_);
+  out += '\n';
+  for (const auto& row : rows_) {
+    out += csv_line(row);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string Table::csv_header() const { return csv_line(headers_); }
+
+std::string Table::csv_row(std::size_t i) const {
+  return csv_line(rows_.at(i));
+}
+
+std::string Table::to_markdown() const {
+  const auto escape = [](const std::string& cell) {
+    std::string out;
+    out.reserve(cell.size());
+    for (const char ch : cell) {
+      if (ch == '|') out += '\\';
+      out += ch;
+    }
+    return out;
+  };
   std::ostringstream out;
   const auto emit = [&](const std::vector<std::string>& cells) {
-    for (std::size_t c = 0; c < cells.size(); ++c) {
-      if (c > 0) out << ',';
-      out << cells[c];
-    }
+    out << '|';
+    for (const auto& cell : cells) out << ' ' << escape(cell) << " |";
     out << '\n';
   };
   emit(headers_);
+  out << '|';
+  for (std::size_t c = 0; c < headers_.size(); ++c) out << " --- |";
+  out << '\n';
   for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+namespace {
+
+// A cell is emitted bare iff it matches the exact JSON number grammar
+// (RFC 8259: -?int[.frac][e[+-]exp]). strtod is deliberately not used — it
+// also accepts non-JSON spellings (".5", "+1", "1.", "0x10", "inf",
+// leading whitespace) that would corrupt the JSON-lines artifact.
+bool is_json_number(const std::string& cell) {
+  std::size_t i = 0;
+  const std::size_t n = cell.size();
+  const auto digit = [&](std::size_t at) {
+    return at < n && cell[at] >= '0' && cell[at] <= '9';
+  };
+  if (i < n && cell[i] == '-') ++i;
+  if (!digit(i)) return false;
+  if (cell[i] == '0') {
+    ++i;  // a leading zero must stand alone ("07" is not JSON)
+  } else {
+    while (digit(i)) ++i;
+  }
+  if (i < n && cell[i] == '.') {
+    ++i;
+    if (!digit(i)) return false;
+    while (digit(i)) ++i;
+  }
+  if (i < n && (cell[i] == 'e' || cell[i] == 'E')) {
+    ++i;
+    if (i < n && (cell[i] == '+' || cell[i] == '-')) ++i;
+    if (!digit(i)) return false;
+    while (digit(i)) ++i;
+  }
+  return i == n;
+}
+
+void append_json_string(std::ostringstream& out, const std::string& text) {
+  out << '"';
+  for (const char ch : text) {
+    switch (ch) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          out << "\\u" << std::hex << std::setw(4) << std::setfill('0')
+              << static_cast<int>(ch) << std::dec << std::setfill(' ');
+        } else {
+          out << ch;
+        }
+    }
+  }
+  out << '"';
+}
+
+}  // namespace
+
+std::string jsonl_line(const std::vector<std::string>& headers,
+                       const std::vector<std::string>& cells) {
+  DMFB_EXPECTS(headers.size() == cells.size());
+  std::ostringstream out;
+  out << '{';
+  for (std::size_t c = 0; c < headers.size(); ++c) {
+    if (c > 0) out << ',';
+    append_json_string(out, headers[c]);
+    out << ':';
+    if (is_json_number(cells[c])) {
+      out << cells[c];
+    } else {
+      append_json_string(out, cells[c]);
+    }
+  }
+  out << '}';
+  return out.str();
+}
+
+std::string Table::jsonl_row(std::size_t i) const {
+  return jsonl_line(headers_, rows_.at(i));
+}
+
+std::string Table::to_jsonl() const {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < rows_.size(); ++i) out << jsonl_row(i) << '\n';
   return out.str();
 }
 

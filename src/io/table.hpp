@@ -41,12 +41,31 @@ class Table {
   RowBuilder row(int precision = 4) { return RowBuilder(*this, precision); }
 
   std::size_t row_count() const noexcept { return rows_.size(); }
+  const std::vector<std::string>& headers() const noexcept { return headers_; }
+  const std::vector<std::string>& row_cells(std::size_t i) const {
+    return rows_.at(i);
+  }
 
   /// Aligned, boxed text rendering.
   std::string to_text() const;
 
   /// RFC-4180-ish CSV (no quoting needed for our content).
   std::string to_csv() const;
+
+  /// A single CSV line: the header row, or data row `i` (both unterminated).
+  std::string csv_header() const;
+  std::string csv_row(std::size_t i) const;
+
+  /// GitHub-flavored markdown table (pipes escaped inside cells).
+  std::string to_markdown() const;
+
+  /// One JSON object per row keyed by header; cells that parse as finite
+  /// JSON numbers are emitted bare, everything else as an escaped string.
+  /// This is the row emitter the campaign JSON-lines sink streams through.
+  std::string jsonl_row(std::size_t i) const;
+
+  /// All rows as JSON-lines (one jsonl_row per line).
+  std::string to_jsonl() const;
 
   /// Prints to_text() to `os` with a title line.
   void print(std::ostream& os, const std::string& title) const;
@@ -58,5 +77,15 @@ class Table {
 
 /// Formats a double with fixed precision (helper shared by benches).
 std::string format_double(double value, int precision = 4);
+
+/// One CSV line for arbitrary cells (unterminated). Table and the streaming
+/// campaign sinks share this so all CSV output stays uniform.
+std::string csv_line(const std::vector<std::string>& cells);
+
+/// One JSON-lines object: cells keyed by headers (sizes must match). Cells
+/// matching the exact JSON number grammar are emitted bare, everything else
+/// as an escaped string.
+std::string jsonl_line(const std::vector<std::string>& headers,
+                       const std::vector<std::string>& cells);
 
 }  // namespace dmfb::io

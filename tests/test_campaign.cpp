@@ -1,0 +1,416 @@
+// Tests for the campaign engine: spec parsing and diagnostics, round-trip
+// serialisation, grid expansion, dedupe accounting, thread-count invariance
+// of the artifacts, spec/file sync, and the Fig. 9 golden CSV.
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "biochip/dtmb.hpp"
+#include "campaign/builtin.hpp"
+#include "common/contracts.hpp"
+#include "campaign/grid.hpp"
+#include "campaign/runner.hpp"
+#include "campaign/sink.hpp"
+#include "campaign/spec.hpp"
+#include "yield/monte_carlo.hpp"
+
+namespace dmfb::campaign {
+namespace {
+
+CampaignSpec parse_or_die(std::string_view text) {
+  ParseResult result = parse_campaign_spec(text);
+  EXPECT_TRUE(result.ok()) << result.error_text();
+  return std::move(*result.spec);
+}
+
+// A tiny fast campaign for runner-behaviour tests.
+constexpr std::string_view kTinySpec =
+    R"(name = tiny
+runs = 64
+seed = 42
+design = dtmb2_6
+primaries = 30
+injector = bernoulli
+p = 0.90, 0.95
+)";
+
+// ------------------------------------------------------------------ parsing
+
+TEST(CampaignSpecParse, Fig9BuiltinParses) {
+  const CampaignSpec spec = parse_or_die(builtin_campaign("fig9"));
+  EXPECT_EQ(spec.name, "fig9");
+  EXPECT_EQ(spec.runs, 10000);
+  EXPECT_EQ(spec.seed, 0xD0E5A11ULL);
+  EXPECT_EQ(spec.threads, 0);
+  EXPECT_EQ(spec.designs,
+            (std::vector<Design>{Design::kDtmb2_6, Design::kDtmb3_6,
+                                 Design::kDtmb4_4}));
+  EXPECT_EQ(spec.primaries, (std::vector<std::int32_t>{60, 120, 240}));
+  EXPECT_EQ(spec.injector, InjectorKind::kBernoulli);
+  EXPECT_EQ(spec.p_grid.size(), 9u);
+  EXPECT_DOUBLE_EQ(spec.p_grid.front(), 0.80);
+  EXPECT_DOUBLE_EQ(spec.p_grid.back(), 0.99);
+  // Unset dimensions get engine defaults.
+  EXPECT_EQ(spec.policies, (std::vector<reconfig::CoveragePolicy>{
+                               reconfig::CoveragePolicy::kAllFaultyPrimaries}));
+  EXPECT_EQ(spec.engines, (std::vector<graph::MatchingEngine>{
+                              graph::MatchingEngine::kHopcroftKarp}));
+  EXPECT_EQ(spec.pools, (std::vector<reconfig::ReplacementPool>{
+                            reconfig::ReplacementPool::kSparesOnly}));
+  EXPECT_EQ(spec.sinks,
+            (std::vector<SinkKind>{SinkKind::kConsole, SinkKind::kCsv,
+                                   SinkKind::kJsonl}));
+}
+
+TEST(CampaignSpecParse, AllBuiltinsParse) {
+  for (const std::string_view name : builtin_campaign_names()) {
+    const ParseResult result = parse_campaign_spec(builtin_campaign(name));
+    EXPECT_TRUE(result.ok()) << name << ": " << result.error_text();
+  }
+}
+
+TEST(CampaignSpecParse, RoundTripThroughSpecText) {
+  for (const std::string_view name : builtin_campaign_names()) {
+    const CampaignSpec original = parse_or_die(builtin_campaign(name));
+    const CampaignSpec reparsed = parse_or_die(to_spec_text(original));
+    EXPECT_EQ(original.name, reparsed.name);
+    EXPECT_EQ(original.runs, reparsed.runs);
+    EXPECT_EQ(original.seed, reparsed.seed);
+    EXPECT_EQ(original.threads, reparsed.threads);
+    EXPECT_EQ(original.designs, reparsed.designs);
+    EXPECT_EQ(original.primaries, reparsed.primaries);
+    EXPECT_EQ(original.injector, reparsed.injector);
+    EXPECT_EQ(original.p_grid, reparsed.p_grid);
+    EXPECT_EQ(original.m_grid, reparsed.m_grid);
+    EXPECT_EQ(original.mean_spots_grid, reparsed.mean_spots_grid);
+    EXPECT_EQ(original.policies, reparsed.policies);
+    EXPECT_EQ(original.engines, reparsed.engines);
+    EXPECT_EQ(original.pools, reparsed.pools);
+    EXPECT_EQ(original.sinks, reparsed.sinks);
+  }
+}
+
+TEST(CampaignSpecParse, UnknownKeyIsDiagnosedWithLine) {
+  const ParseResult result = parse_campaign_spec(
+      "name = x\n"
+      "frobnicate = 7\n"
+      "design = dtmb2_6\n"
+      "primaries = 10\n"
+      "p = 0.9\n");
+  ASSERT_FALSE(result.ok());
+  ASSERT_EQ(result.errors.size(), 1u);
+  EXPECT_EQ(result.errors[0].line, 2);
+  EXPECT_NE(result.errors[0].message.find("frobnicate"), std::string::npos);
+  EXPECT_NE(result.error_text().find("line 2"), std::string::npos);
+}
+
+TEST(CampaignSpecParse, BadRangeIsDiagnosedWithLine) {
+  const ParseResult result = parse_campaign_spec(
+      "design = dtmb2_6\n"
+      "primaries = 10\n"
+      "p = 0.9, 1.5\n");
+  ASSERT_FALSE(result.ok());
+  ASSERT_EQ(result.errors.size(), 1u);
+  EXPECT_EQ(result.errors[0].line, 3);
+  EXPECT_NE(result.errors[0].message.find("1.5"), std::string::npos);
+}
+
+TEST(CampaignSpecParse, GarbageNumbersRejected) {
+  // atoi-style silent truncation ("0.9x" -> 0.9) must not parse.
+  const ParseResult result = parse_campaign_spec(
+      "design = dtmb2_6\n"
+      "primaries = 10\n"
+      "p = 0.9x\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.errors[0].line, 3);
+}
+
+TEST(CampaignSpecParse, UnknownDesignListsAlternatives) {
+  const ParseResult result = parse_campaign_spec(
+      "design = dtmb9_9\n"
+      "primaries = 10\n"
+      "p = 0.9\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.errors[0].message.find("dtmb9_9"), std::string::npos);
+  EXPECT_NE(result.errors[0].message.find("multiplexed"), std::string::npos);
+}
+
+TEST(CampaignSpecParse, UnsafeNamesRejected) {
+  // Names become artifact paths (<out>/<name>.csv) and CSV cells; path
+  // separators, '..' and commas must all be rejected at parse time.
+  // ('#' needs no case here: it starts a comment, so "a#b" parses as "a".)
+  for (const char* bad : {"../../etc", "a/b", "fig9, run2", ".hidden",
+                          "-dash-first", ""}) {
+    const ParseResult result = parse_campaign_spec(
+        std::string("name = ") + bad +
+        "\ndesign = dtmb2_6\nprimaries = 10\np = 0.9\n");
+    EXPECT_FALSE(result.ok()) << "accepted name '" << bad << "'";
+  }
+  EXPECT_TRUE(parse_campaign_spec("name = fig9_v2.1-beta\n"
+                                  "design = dtmb2_6\nprimaries = 10\n"
+                                  "p = 0.9\n")
+                  .ok());
+}
+
+TEST(CampaignSpecParse, DuplicateKeyIsDiagnosed) {
+  const ParseResult result = parse_campaign_spec(
+      "runs = 10\n"
+      "runs = 20\n"
+      "design = dtmb2_6\n"
+      "primaries = 10\n"
+      "p = 0.9\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.errors[0].line, 2);
+  EXPECT_NE(result.errors[0].message.find("duplicate"), std::string::npos);
+}
+
+TEST(CampaignSpecParse, InjectorGridMismatchDiagnosed) {
+  // fixed_count injector but only a p grid given.
+  const ParseResult result = parse_campaign_spec(
+      "design = multiplexed\n"
+      "injector = fixed_count\n"
+      "p = 0.9\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error_text().find("'m'"), std::string::npos);
+}
+
+TEST(CampaignSpecParse, MissingDesignDiagnosed) {
+  const ParseResult result = parse_campaign_spec("p = 0.9\nprimaries = 5\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error_text().find("design"), std::string::npos);
+}
+
+TEST(CampaignSpecParse, CommentsAndBlankLinesIgnored) {
+  const CampaignSpec spec = parse_or_die(
+      "# leading comment\n"
+      "\n"
+      "design = dtmb2_6   # trailing comment\n"
+      "primaries = 10\n"
+      "p = 0.9\n");
+  EXPECT_EQ(spec.designs, (std::vector<Design>{Design::kDtmb2_6}));
+}
+
+TEST(CampaignSpecParse, DuplicateSinksAreDeduped) {
+  const CampaignSpec spec = parse_or_die(
+      "design = dtmb2_6\nprimaries = 10\np = 0.9\n"
+      "sink = csv, console, csv, jsonl, console\n");
+  EXPECT_EQ(spec.sinks, (std::vector<SinkKind>{SinkKind::kCsv,
+                                               SinkKind::kConsole,
+                                               SinkKind::kJsonl}));
+}
+
+TEST(CampaignSpecParse, SpecTextRoundTripsHighPrecisionDoubles) {
+  const CampaignSpec original = parse_or_die(
+      "design = dtmb2_6\nprimaries = 10\n"
+      "p = 0.123456789, 0.1, 0.999999999999\n");
+  const CampaignSpec reparsed = parse_or_die(to_spec_text(original));
+  EXPECT_EQ(original.p_grid, reparsed.p_grid);
+}
+
+// ------------------------------------------------------------- expansion
+
+TEST(CampaignGrid, Fig9ExpandsToFullCrossProduct) {
+  const CampaignSpec spec = parse_or_die(builtin_campaign("fig9"));
+  const auto points = expand_grid(spec);
+  EXPECT_EQ(points.size(), 3u * 3u * 9u);
+  // Canonical order: design slowest, then primaries, then p.
+  EXPECT_EQ(points.front().design, Design::kDtmb2_6);
+  EXPECT_EQ(points.front().min_primaries, 60);
+  EXPECT_DOUBLE_EQ(points.front().param, 0.80);
+  EXPECT_EQ(points.back().design, Design::kDtmb4_4);
+  EXPECT_EQ(points.back().min_primaries, 240);
+  EXPECT_DOUBLE_EQ(points.back().param, 0.99);
+}
+
+TEST(CampaignGrid, Fig13ExpandsPoolsDimension) {
+  const CampaignSpec spec = parse_or_die(builtin_campaign("fig13"));
+  EXPECT_EQ(expand_grid(spec).size(), 12u * 2u);
+}
+
+TEST(CampaignGrid, MultiplexedCollapsesPrimariesDimension) {
+  const CampaignSpec spec = parse_or_die(
+      "design = multiplexed, dtmb2_6\n"
+      "primaries = 50, 100\n"
+      "injector = fixed_count\n"
+      "m = 0, 10\n");
+  // multiplexed: 1 size x 2 m; dtmb2_6: 2 sizes x 2 m.
+  EXPECT_EQ(expand_grid(spec).size(), 2u + 4u);
+}
+
+TEST(CampaignGrid, PointKeyDistinguishesEveryDimension) {
+  const CampaignSpec spec = parse_or_die(builtin_campaign("fig13"));
+  const auto points = expand_grid(spec);
+  std::set<std::string> keys;
+  for (const CampaignPoint& point : points) keys.insert(point_key(point));
+  EXPECT_EQ(keys.size(), points.size());
+}
+
+// ---------------------------------------------------------------- running
+
+TEST(CampaignRunner, DeduplicatesRepeatedPoints) {
+  CampaignSpec spec = parse_or_die(
+      "name = dup\n"
+      "runs = 16\n"
+      "design = dtmb2_6\n"
+      "primaries = 20\n"
+      "p = 0.9, 0.9, 0.95\n");
+  spec.threads = 1;
+  CampaignRunner runner(std::move(spec));
+  const auto results = runner.run();
+  EXPECT_EQ(results.size(), 3u);
+  EXPECT_EQ(runner.stats().grid_points, 3u);
+  EXPECT_EQ(runner.stats().unique_points, 2u);
+  EXPECT_EQ(runner.stats().cache_hits(), 1u);
+  // The deduped occurrences carry the same estimate.
+  EXPECT_EQ(results[0].estimate.successes, results[1].estimate.successes);
+}
+
+TEST(CampaignRunner, MatchesDirectMonteCarloCall) {
+  // A campaign point must reproduce exactly what the pre-campaign bench
+  // mains computed: same engine, same options, same seed streams.
+  CampaignSpec spec = parse_or_die(kTinySpec);
+  spec.threads = 1;
+  CampaignRunner runner(std::move(spec));
+  const auto results = runner.run();
+  ASSERT_EQ(results.size(), 2u);
+
+  auto array = biochip::make_dtmb_array_with_primaries(
+      biochip::DtmbKind::kDtmb2_6, 30);
+  yield::McOptions options;
+  options.runs = 64;
+  options.seed = 42;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto direct =
+        yield::mc_yield_bernoulli(array, results[i].point.param, options);
+    EXPECT_EQ(results[i].estimate.successes, direct.successes)
+        << "p = " << results[i].point.param;
+    EXPECT_EQ(results[i].primaries, array.primary_count());
+    EXPECT_EQ(results[i].total_cells, array.cell_count());
+  }
+}
+
+std::pair<std::string, std::string> run_tiny_artifacts(std::int32_t threads) {
+  CampaignSpec spec = parse_or_die(kTinySpec);
+  spec.threads = threads;
+  CampaignRunner runner(std::move(spec));
+  std::ostringstream csv_out;
+  std::ostringstream jsonl_out;
+  CsvSink csv(csv_out);
+  JsonlSink jsonl(jsonl_out);
+  runner.add_sink(csv);
+  runner.add_sink(jsonl);
+  runner.run();
+  return {csv_out.str(), jsonl_out.str()};
+}
+
+TEST(CampaignRunner, ArtifactsBitIdenticalAcrossThreadCounts) {
+  const auto serial = run_tiny_artifacts(1);
+  const auto parallel = run_tiny_artifacts(4);
+  EXPECT_EQ(serial.first, parallel.first);    // CSV
+  EXPECT_EQ(serial.second, parallel.second);  // JSON-lines
+  EXPECT_FALSE(serial.first.empty());
+  EXPECT_FALSE(serial.second.empty());
+}
+
+TEST(CampaignRunner, EffectiveYieldColumnUsesMeasuredRR) {
+  CampaignSpec spec = parse_or_die(kTinySpec);
+  spec.threads = 1;
+  CampaignRunner runner(std::move(spec));
+  const auto results = runner.run();
+  for (const PointResult& result : results) {
+    EXPECT_GT(result.redundancy_ratio, 0.0);
+    EXPECT_NEAR(result.effective_yield,
+                result.estimate.value / (1.0 + result.redundancy_ratio),
+                1e-12);
+  }
+}
+
+TEST(CampaignRunner, ClusteredInjectorSweepRuns) {
+  CampaignSpec spec = parse_or_die(
+      "runs = 32\n"
+      "design = dtmb4_4\n"
+      "primaries = 30\n"
+      "injector = clustered\n"
+      "mean_spots = 0.0, 2.0\n"
+      "cluster_radius = 1\n"
+      "core_kill = 0.9\n"
+      "edge_kill = 0.3\n");
+  spec.threads = 1;
+  CampaignRunner runner(std::move(spec));
+  const auto results = runner.run();
+  ASSERT_EQ(results.size(), 2u);
+  // Zero expected spots -> no faults -> certain success; more spots hurt.
+  EXPECT_DOUBLE_EQ(results[0].estimate.value, 1.0);
+  EXPECT_LE(results[1].estimate.value, results[0].estimate.value);
+  EXPECT_EQ(runner.header()[4], "mean_spots");
+}
+
+TEST(CampaignRunner, FixedCountBeyondCellCountIsRejected) {
+  CampaignSpec spec = parse_or_die(
+      "runs = 8\n"
+      "design = none\n"
+      "primaries = 9\n"
+      "injector = fixed_count\n"
+      "m = 10\n");
+  spec.threads = 1;
+  CampaignRunner runner(std::move(spec));
+  EXPECT_THROW(runner.run(), ContractViolation);
+}
+
+TEST(CampaignRunner, NoneDesignHasZeroRedundancy) {
+  CampaignSpec spec = parse_or_die(
+      "runs = 32\n"
+      "design = none\n"
+      "primaries = 25\n"
+      "p = 0.99\n");
+  spec.threads = 1;
+  CampaignRunner runner(std::move(spec));
+  const auto results = runner.run();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].primaries, 25);
+  EXPECT_EQ(results[0].total_cells, 25);
+  EXPECT_DOUBLE_EQ(results[0].redundancy_ratio, 0.0);
+  EXPECT_DOUBLE_EQ(results[0].effective_yield, results[0].estimate.value);
+}
+
+// ----------------------------------------------------------- spec files
+
+TEST(CampaignFiles, CheckedInSpecsMatchBuiltins) {
+  for (const std::string_view name : builtin_campaign_names()) {
+    const std::string path = std::string(DMFB_SOURCE_DIR) + "/campaigns/" +
+                             std::string(name) + ".campaign";
+    std::ifstream file(path);
+    ASSERT_TRUE(file.is_open()) << "missing " << path;
+    std::ostringstream text;
+    text << file.rdbuf();
+    EXPECT_EQ(text.str(), builtin_campaign(name))
+        << path << " has drifted from builtin_campaign(\"" << name << "\")";
+  }
+}
+
+// ------------------------------------------------------------ golden file
+
+TEST(CampaignGolden, Fig9SmokeCsvMatchesGoldenFile) {
+  CampaignSpec spec = parse_or_die(builtin_campaign("fig9_smoke"));
+  CampaignRunner runner(std::move(spec));
+  std::ostringstream csv_out;
+  CsvSink csv(csv_out);
+  runner.add_sink(csv);
+  runner.run();
+
+  const std::string path =
+      std::string(DMFB_SOURCE_DIR) + "/tests/golden/fig9_smoke.csv";
+  std::ifstream file(path);
+  ASSERT_TRUE(file.is_open()) << "missing " << path;
+  std::ostringstream golden;
+  golden << file.rdbuf();
+  EXPECT_EQ(csv_out.str(), golden.str())
+      << "campaign CSV drifted from " << path
+      << " (regenerate with: dmfb_campaign builtin:fig9_smoke)";
+}
+
+}  // namespace
+}  // namespace dmfb::campaign

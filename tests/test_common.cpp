@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "common/contracts.hpp"
+#include "common/parse.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 
@@ -300,6 +301,45 @@ TEST(SplitMix, KnownSequenceIsStable) {
   EXPECT_NE(first, second);
   std::uint64_t state2 = 0;
   EXPECT_EQ(splitmix64(state2), first);
+}
+
+// ------------------------------------------------------------------ parse
+
+TEST(Parse, IntAcceptsDecimalAndHex) {
+  EXPECT_EQ(common::parse_int("42"), 42);
+  EXPECT_EQ(common::parse_int("-7"), -7);
+  EXPECT_EQ(common::parse_int("0x10"), 16);
+  EXPECT_EQ(common::parse_uint64("0xD0E5A11"), 0xD0E5A11ULL);
+}
+
+TEST(Parse, IntRejectsGarbageThatAtoiAccepts) {
+  // atoi("abc") == 0 and atoi("12abc") == 12; both must fail here.
+  EXPECT_FALSE(common::parse_int("abc").has_value());
+  EXPECT_FALSE(common::parse_int("12abc").has_value());
+  EXPECT_FALSE(common::parse_int("").has_value());
+  EXPECT_FALSE(common::parse_int(" 12 ").has_value());
+  EXPECT_FALSE(common::parse_int("999999999999999999999").has_value());
+  EXPECT_FALSE(common::parse_uint64("-1").has_value());
+}
+
+TEST(Parse, IntInEnforcesBounds) {
+  EXPECT_EQ(common::parse_int_in("5", 0, 10), 5);
+  EXPECT_FALSE(common::parse_int_in("11", 0, 10).has_value());
+  EXPECT_FALSE(common::parse_int_in("-1", 0, 10).has_value());
+}
+
+TEST(Parse, DoubleRejectsTrailingJunkAndNonFinite) {
+  EXPECT_DOUBLE_EQ(*common::parse_double("0.9"), 0.9);
+  // atof("0.9x") == 0.9; strict parsing must reject it.
+  EXPECT_FALSE(common::parse_double("0.9x").has_value());
+  EXPECT_FALSE(common::parse_double("").has_value());
+  EXPECT_FALSE(common::parse_double("inf").has_value());
+  EXPECT_FALSE(common::parse_double("nan").has_value());
+}
+
+TEST(Parse, DoubleInEnforcesBounds) {
+  EXPECT_DOUBLE_EQ(*common::parse_double_in("0.5", 0.0, 1.0), 0.5);
+  EXPECT_FALSE(common::parse_double_in("1.5", 0.0, 1.0).has_value());
 }
 
 }  // namespace

@@ -137,5 +137,77 @@ TEST(Table, FormatDoublePrecision) {
   EXPECT_EQ(format_double(2.0, 0), "2");
 }
 
+TEST(Table, CsvRowEmitters) {
+  Table table({"x", "y"});
+  table.row(1).cell(static_cast<std::int32_t>(7)).cell(0.5);
+  table.row(1).cell(static_cast<std::int32_t>(8)).cell(1.5);
+  EXPECT_EQ(table.csv_header(), "x,y");
+  EXPECT_EQ(table.csv_row(0), "7,0.5");
+  EXPECT_EQ(table.csv_row(1), "8,1.5");
+  EXPECT_EQ(table.to_csv(), "x,y\n7,0.5\n8,1.5\n");
+}
+
+TEST(Table, MarkdownOutput) {
+  Table table({"design", "yield"});
+  table.row(4).cell("DTMB(2,6)").cell(0.75);
+  EXPECT_EQ(table.to_markdown(),
+            "| design | yield |\n"
+            "| --- | --- |\n"
+            "| DTMB(2,6) | 0.7500 |\n");
+}
+
+TEST(Table, MarkdownEscapesPipes) {
+  Table table({"note"});
+  table.row().cell("a|b");
+  EXPECT_NE(table.to_markdown().find("a\\|b"), std::string::npos);
+}
+
+TEST(Table, JsonlNumbersAreBareStringsAreQuoted) {
+  Table table({"design", "p", "successes"});
+  table.row(2).cell("DTMB(2,6)").cell(0.85).cell(std::int64_t{42});
+  EXPECT_EQ(table.jsonl_row(0),
+            R"json({"design":"DTMB(2,6)","p":0.85,"successes":42})json");
+  EXPECT_EQ(table.to_jsonl(), table.jsonl_row(0) + "\n");
+}
+
+TEST(Table, JsonlEscapesSpecialCharacters) {
+  Table table({"a\"b"});
+  table.row().cell("line\nbreak\\slash");
+  EXPECT_EQ(table.jsonl_row(0), R"({"a\"b":"line\nbreak\\slash"})");
+}
+
+TEST(Table, JsonlHexAndInfinityStayStrings) {
+  // JSON has no hex literals and no inf/nan: both must be quoted.
+  Table table({"seed", "bad"});
+  table.row().cell("0xD0E5A11").cell("inf");
+  EXPECT_EQ(table.jsonl_row(0), R"({"seed":"0xD0E5A11","bad":"inf"})");
+}
+
+TEST(Table, JsonlOnlyExactJsonNumbersAreBare) {
+  // strtod-accepted spellings that are NOT valid JSON must stay quoted.
+  for (const char* not_json : {".5", "+1", "1.", " 1", "07", "1e", "--1"}) {
+    Table table({"v"});
+    table.row().cell(std::string(not_json));
+    EXPECT_EQ(table.jsonl_row(0),
+              std::string(R"({"v":")") + not_json + R"("})")
+        << not_json;
+  }
+  for (const char* json : {"-0.5", "42", "0", "1e-5", "6.02E23", "0.8000"}) {
+    Table table({"v"});
+    table.row().cell(std::string(json));
+    EXPECT_EQ(table.jsonl_row(0), std::string(R"({"v":)") + json + "}")
+        << json;
+  }
+}
+
+TEST(Table, LineFormattersMatchTableOutput) {
+  Table table({"a", "b"});
+  table.row(1).cell("x").cell(0.5);
+  EXPECT_EQ(csv_line({"a", "b"}), table.csv_header());
+  EXPECT_EQ(csv_line({"x", "0.5"}), table.csv_row(0));
+  EXPECT_EQ(jsonl_line({"a", "b"}, {"x", "0.5"}), table.jsonl_row(0));
+  EXPECT_THROW(jsonl_line({"a"}, {"x", "y"}), ContractViolation);
+}
+
 }  // namespace
 }  // namespace dmfb::io

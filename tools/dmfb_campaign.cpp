@@ -1,0 +1,228 @@
+// dmfb_campaign: run a declarative scenario sweep over the Monte-Carlo
+// yield stack and emit console / markdown / CSV / JSON-lines artifacts.
+//
+// Usage:
+//   dmfb_campaign <spec-file | builtin:NAME> [options]
+//   dmfb_campaign --list
+//
+// Options:
+//   --threads N   override the spec's thread budget (0 = hardware)
+//   --runs N      override the spec's runs-per-point
+//   --seed S      override the spec's RNG seed (decimal or 0x-hex)
+//   --out DIR     directory for CSV/JSON-lines artifacts (default ".")
+//   --markdown    render the console table as markdown
+//   --print-spec  echo the normalised spec and exit (no simulation)
+//
+// File artifacts land at <out>/<name>.csv and <out>/<name>.jsonl when the
+// spec's sink list requests them. Results are bit-identical for every
+// --threads value.
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "campaign/builtin.hpp"
+#include "campaign/runner.hpp"
+#include "campaign/sink.hpp"
+#include "campaign/spec.hpp"
+#include "common/parse.hpp"
+#include "core/version.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0 << " <spec-file | builtin:NAME> [options]\n"
+      << "       " << argv0 << " --list\n"
+      << "options:\n"
+      << "  --threads N   override thread budget (0 = hardware concurrency)\n"
+      << "  --runs N      override Monte-Carlo runs per grid point\n"
+      << "  --seed S      override RNG seed (decimal or 0x-hex)\n"
+      << "  --out DIR     artifact output directory (default: .)\n"
+      << "  --markdown    print the console table as markdown\n"
+      << "  --print-spec  echo the normalised spec and exit\n";
+  return 2;
+}
+
+std::string read_spec_source(const std::string& target, std::string& error) {
+  constexpr std::string_view kBuiltinPrefix = "builtin:";
+  if (target.rfind(kBuiltinPrefix, 0) == 0) {
+    const std::string_view name =
+        std::string_view(target).substr(kBuiltinPrefix.size());
+    const std::string_view text = dmfb::campaign::builtin_campaign(name);
+    if (text.empty()) {
+      error = "unknown builtin campaign '" + std::string(name) +
+              "' (try --list)";
+      return {};
+    }
+    return std::string(text);
+  }
+  std::ifstream file(target);
+  if (!file.is_open()) {
+    error = "cannot open spec file '" + target + "'";
+    return {};
+  }
+  std::ostringstream text;
+  text << file.rdbuf();
+  return text.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dmfb;
+  using campaign::SinkKind;
+
+  std::string target;
+  std::string out_dir = ".";
+  std::optional<std::int64_t> threads_override;
+  std::optional<std::int64_t> runs_override;
+  std::optional<std::uint64_t> seed_override;
+  bool markdown = false;
+  bool print_spec = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next_value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--list") {
+      std::cout << "builtin campaigns:\n";
+      for (const std::string_view name : campaign::builtin_campaign_names()) {
+        std::cout << "  builtin:" << name << '\n';
+      }
+      return 0;
+    } else if (arg == "--markdown") {
+      markdown = true;
+    } else if (arg == "--print-spec") {
+      print_spec = true;
+    } else if (arg == "--threads") {
+      const char* value = next_value();
+      threads_override =
+          value ? common::parse_int_in(value, 0, 4096) : std::nullopt;
+      if (!threads_override) {
+        std::cerr << argv[0] << ": --threads needs an integer in [0, 4096]\n";
+        return 2;
+      }
+    } else if (arg == "--runs") {
+      const char* value = next_value();
+      runs_override =
+          value ? common::parse_int_in(value, 1, 100'000'000) : std::nullopt;
+      if (!runs_override) {
+        std::cerr << argv[0] << ": --runs needs an integer in [1, 1e8]\n";
+        return 2;
+      }
+    } else if (arg == "--seed") {
+      const char* value = next_value();
+      seed_override = value ? common::parse_uint64(value) : std::nullopt;
+      if (!seed_override) {
+        std::cerr << argv[0] << ": --seed needs a uint64 (decimal or 0x-hex)\n";
+        return 2;
+      }
+    } else if (arg == "--out") {
+      const char* value = next_value();
+      if (!value) {
+        std::cerr << argv[0] << ": --out needs a directory\n";
+        return 2;
+      }
+      out_dir = value;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << argv[0] << ": unknown option '" << arg << "'\n";
+      return usage(argv[0]);
+    } else if (target.empty()) {
+      target = arg;
+    } else {
+      std::cerr << argv[0] << ": more than one spec given\n";
+      return usage(argv[0]);
+    }
+  }
+  if (target.empty()) return usage(argv[0]);
+
+  std::string error;
+  const std::string source = read_spec_source(target, error);
+  if (!error.empty()) {
+    std::cerr << argv[0] << ": " << error << '\n';
+    return 2;
+  }
+
+  campaign::ParseResult parsed = campaign::parse_campaign_spec(source);
+  if (!parsed.ok()) {
+    std::cerr << argv[0] << ": invalid campaign spec '" << target << "':\n"
+              << parsed.error_text();
+    return 2;
+  }
+  campaign::CampaignSpec spec = std::move(*parsed.spec);
+  if (threads_override) {
+    spec.threads = static_cast<std::int32_t>(*threads_override);
+  }
+  if (runs_override) spec.runs = static_cast<std::int32_t>(*runs_override);
+  if (seed_override) spec.seed = *seed_override;
+
+  if (print_spec) {
+    std::cout << campaign::to_spec_text(spec);
+    return 0;
+  }
+
+  campaign::CampaignRunner runner(std::move(spec));
+  const campaign::CampaignSpec& active = runner.spec();
+
+  std::vector<std::unique_ptr<campaign::ArtifactSink>> file_sinks;
+  std::unique_ptr<campaign::ConsoleSink> console_text;
+  std::unique_ptr<campaign::ConsoleSink> console_markdown;
+  std::vector<std::string> artifact_paths;
+  for (const SinkKind kind : active.sinks) {
+    switch (kind) {
+      case SinkKind::kConsole:
+      case SinkKind::kMarkdown: {
+        // --markdown upgrades the plain console sink; one sink per style,
+        // so `sink = console, markdown` prints both renderings.
+        auto& console =
+            markdown || kind == SinkKind::kMarkdown ? console_markdown
+                                                    : console_text;
+        if (!console) {
+          console = std::make_unique<campaign::ConsoleSink>(
+              std::cout, markdown || kind == SinkKind::kMarkdown
+                             ? campaign::ConsoleSink::Style::kMarkdown
+                             : campaign::ConsoleSink::Style::kText);
+          runner.add_sink(*console);
+        }
+        break;
+      }
+      case SinkKind::kCsv:
+      case SinkKind::kJsonl: {
+        std::error_code ec;
+        std::filesystem::create_directories(out_dir, ec);  // best effort
+        const std::string path = out_dir + "/" + active.name +
+                                 (kind == SinkKind::kCsv ? ".csv" : ".jsonl");
+        auto sink = campaign::make_file_sink(kind, path, error);
+        if (!sink) {
+          std::cerr << argv[0] << ": " << error << '\n';
+          return 1;
+        }
+        artifact_paths.push_back(path);
+        runner.add_sink(*file_sinks.emplace_back(std::move(sink)));
+        break;
+      }
+    }
+  }
+
+  try {
+    runner.run();
+  } catch (const std::exception& ex) {
+    std::cerr << argv[0] << ": campaign '" << active.name
+              << "' failed: " << ex.what() << '\n';
+    return 1;
+  }
+
+  std::cerr << "campaign '" << active.name << "': " << runner.stats().grid_points
+            << " grid points, " << runner.stats().unique_points << " unique ("
+            << runner.stats().cache_hits() << " deduped), dmfb "
+            << kVersionString << '\n';
+  for (const std::string& path : artifact_paths) {
+    std::cerr << "artifact: " << path << '\n';
+  }
+  return 0;
+}
