@@ -1,0 +1,131 @@
+// Micro-benchmarks for the session-based Monte-Carlo engine (Google
+// Benchmark harness, skipped at configure time when the library is absent).
+//
+// The before/after pair the CI regression gate watches:
+//   BM_McYieldRun_Legacy   — one Monte-Carlo run on the legacy path: inject
+//                            into a HexArray, LocalReconfigurer::feasible
+//                            (fresh bipartite graph + hash map per run).
+//   BM_McYieldRun_Session  — the same run on the sim path: inject into a
+//                            FaultState bitmap, filter the pre-built
+//                            ChipDesign skeleton, matched with reused
+//                            buffers.
+// Both kernels replay the identical (seed, run)-derived fault streams, so
+// they do the same matching work and differ only in engine overhead.
+//
+// The sweep pair scales the comparison to a fig9-sized grid (the paper's
+// design x size x p cross product) at reduced runs.
+//
+// Emit machine-readable results with tools/bench_mc_yield.sh, which wraps
+//   bench_sim_session --benchmark_out=BENCH_mc_yield.json
+// and is what CI diffs against bench/baselines/BENCH_mc_yield.json.
+#include <benchmark/benchmark.h>
+
+#include "biochip/dtmb.hpp"
+#include "campaign/builtin.hpp"
+#include "campaign/runner.hpp"
+#include "campaign/spec.hpp"
+#include "fault/injector.hpp"
+#include "reconfig/local_reconfig.hpp"
+#include "sim/session.hpp"
+#include "yield/monte_carlo.hpp"
+
+namespace {
+
+using namespace dmfb;
+
+constexpr double kSurvivalP = 0.92;
+constexpr std::uint64_t kSeed = sim::kDefaultSeed;
+
+biochip::HexArray bench_array() {
+  // The fig9 mid-size point: DTMB(2,6) at >= 120 primaries.
+  return biochip::make_dtmb_array_with_primaries(biochip::DtmbKind::kDtmb2_6,
+                                                 120);
+}
+
+void BM_McYieldRun_Legacy(benchmark::State& state) {
+  auto array = bench_array();
+  const fault::BernoulliInjector injector(kSurvivalP);
+  const reconfig::LocalReconfigurer reconfigurer;
+  std::int32_t run = 0;
+  for (auto _ : state) {
+    Rng rng = sim::run_stream(kSeed, run++);
+    injector.inject(array, rng);
+    benchmark::DoNotOptimize(reconfigurer.feasible(array));
+    array.reset_health();
+  }
+}
+BENCHMARK(BM_McYieldRun_Legacy);
+
+void BM_McYieldRun_Session(benchmark::State& state) {
+  const auto design = sim::ChipDesign::make(bench_array());
+  sim::FaultState fault_state(design);
+  const sim::FaultModel model = sim::FaultModel::bernoulli(kSurvivalP);
+  std::int32_t run = 0;
+  for (auto _ : state) {
+    Rng rng = sim::run_stream(kSeed, run++);
+    sim::inject(model, fault_state, rng);
+    benchmark::DoNotOptimize(fault_state.repairable(
+        reconfig::CoveragePolicy::kAllFaultyPrimaries,
+        graph::MatchingEngine::kHopcroftKarp,
+        reconfig::ReplacementPool::kSparesOnly));
+    fault_state.reset();
+  }
+}
+BENCHMARK(BM_McYieldRun_Session);
+
+// Fig9-sized sweep (3 designs x 3 sizes x 9 p values) at reduced runs.
+
+constexpr std::int32_t kSweepRuns = 200;
+
+void BM_Fig9Sweep_Legacy(benchmark::State& state) {
+  // The pre-campaign shape: a fresh array walk over the grid, each point
+  // through the generic HexArray engine.
+  for (auto _ : state) {
+    std::int64_t successes = 0;
+    for (const biochip::DtmbKind kind :
+         {biochip::DtmbKind::kDtmb2_6, biochip::DtmbKind::kDtmb3_6,
+          biochip::DtmbKind::kDtmb4_4}) {
+      for (const std::int32_t primaries : {60, 120, 240}) {
+        auto array = biochip::make_dtmb_array_with_primaries(kind, primaries);
+        for (const double p :
+             {0.80, 0.85, 0.88, 0.90, 0.92, 0.94, 0.96, 0.98, 0.99}) {
+          const fault::BernoulliInjector injector(p);
+          yield::McOptions options;
+          options.runs = kSweepRuns;
+          successes += yield::mc_yield(
+                           array,
+                           [&](biochip::HexArray& a, Rng& rng) {
+                             injector.inject(a, rng);
+                           },
+                           options)
+                           .successes;
+        }
+      }
+    }
+    benchmark::DoNotOptimize(successes);
+  }
+}
+BENCHMARK(BM_Fig9Sweep_Legacy)->Unit(benchmark::kMillisecond);
+
+void BM_Fig9Sweep_Session(benchmark::State& state) {
+  // The same grid through the campaign runner's shared sessions.
+  auto parsed =
+      campaign::parse_campaign_spec(campaign::builtin_campaign("fig9_smoke"));
+  if (!parsed.ok()) {
+    state.SkipWithError("builtin fig9_smoke spec failed to parse");
+    return;
+  }
+  campaign::CampaignSpec spec = std::move(*parsed.spec);
+  spec.runs = kSweepRuns;
+  spec.threads = 1;
+  spec.sinks.clear();
+  for (auto _ : state) {
+    campaign::CampaignRunner runner(spec);
+    benchmark::DoNotOptimize(runner.run().size());
+  }
+}
+BENCHMARK(BM_Fig9Sweep_Session)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

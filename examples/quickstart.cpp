@@ -6,12 +6,14 @@
 //   4. Repair it by local reconfiguration (bipartite matching of faulty
 //      cells to adjacent spares).
 //   5. Estimate the design's manufacturing yield by Monte-Carlo.
+//   6. Ask the same question through the session API with adaptive runs.
 //
 // Build & run:  ./build/examples/quickstart
 #include <iostream>
 
 #include "core/defect_tolerant_biochip.hpp"
 #include "io/ascii_render.hpp"
+#include "sim/session.hpp"
 
 int main() {
   using namespace dmfb;
@@ -52,5 +54,17 @@ int main() {
   std::cout << "\nMonte-Carlo yield at p = 0.97: " << estimate.value
             << "  (95% CI [" << estimate.ci95.lo << ", " << estimate.ci95.hi
             << "])\n";
+
+  // 6. The session API (docs/API.md) is the preferred interface: queries
+  //    against an immutable design snapshot, cached results, and adaptive
+  //    stopping that runs only as many deterministic chunks as the target
+  //    confidence interval needs.
+  sim::YieldQuery query;
+  query.fault = sim::FaultModel::bernoulli(0.97);
+  query.runs = 50000;  // cap; adaptive stopping usually quits much earlier
+  query.target_ci_half_width = 0.01;
+  const auto adaptive = chip.session().run(query);
+  std::cout << "Adaptive session estimate: " << adaptive.value << " after "
+            << adaptive.runs << " runs (CI half-width <= 0.01).\n";
   return 0;
 }

@@ -14,23 +14,15 @@
 #include "biochip/dtmb.hpp"
 #include "biochip/redundancy.hpp"
 #include "common/contracts.hpp"
-#include "fault/injector.hpp"
+#include "common/parallel.hpp"
 #include "hexgrid/region.hpp"
 #include "io/table.hpp"
+#include "sim/session.hpp"
 #include "yield/analytic.hpp"
 
 namespace dmfb::campaign {
 
 namespace {
-
-std::int32_t resolve_threads(std::int32_t requested) noexcept {
-  if (requested == 0) {
-    const auto hw =
-        static_cast<std::int32_t>(std::thread::hardware_concurrency());
-    return std::max(hw, 1);
-  }
-  return requested;
-}
 
 biochip::HexArray build_array(Design design, std::int32_t min_primaries) {
   switch (design) {
@@ -68,29 +60,34 @@ biochip::HexArray build_array(Design design, std::int32_t min_primaries) {
   return assay::make_multiplexed_chip().array;  // unreachable
 }
 
-yield::YieldEstimate run_point(biochip::HexArray& array,
-                               const CampaignPoint& point,
-                               const yield::McOptions& options) {
+sim::FaultModel fault_model_of(const CampaignPoint& point) {
   switch (point.injector) {
     case InjectorKind::kBernoulli:
-      return yield::mc_yield_bernoulli(array, point.param, options);
+      return sim::FaultModel::bernoulli(point.param);
     case InjectorKind::kFixedCount:
-      return yield::mc_yield_fixed_faults(
-          array, static_cast<std::int32_t>(point.param), options);
-    case InjectorKind::kClustered: {
-      const fault::ClusteredInjector injector(
-          point.param, point.cluster.radius, point.cluster.core_kill,
-          point.cluster.edge_kill);
-      return yield::mc_yield(
-          array,
-          [&injector](biochip::HexArray& a, Rng& rng) {
-            injector.inject(a, rng);
-          },
-          options);
-    }
+      return sim::FaultModel::fixed_count(
+          static_cast<std::int32_t>(point.param));
+    case InjectorKind::kClustered:
+      return sim::FaultModel::clustered(
+          point.param, {point.cluster.radius, point.cluster.core_kill,
+                        point.cluster.edge_kill});
   }
   DMFB_ASSERT(false);
   return {};
+}
+
+/// The session query a grid point expands to under the spec's engine knobs.
+sim::YieldQuery query_of(const CampaignPoint& point, const CampaignSpec& spec,
+                         std::int32_t inner_threads) {
+  sim::YieldQuery query;
+  query.fault = fault_model_of(point);
+  query.runs = spec.runs;
+  query.seed = spec.seed;
+  query.threads = inner_threads;
+  query.policy = point.policy;
+  query.engine = point.engine;
+  query.pool = point.pool;
+  return query;
 }
 
 }  // namespace
@@ -145,73 +142,77 @@ std::vector<PointResult> CampaignRunner::run() {
   const std::vector<CampaignPoint> points = expand_grid(spec_);
   stats_.grid_points = points.size();
 
-  // -- dedupe: identical points share one job --------------------------------
-  std::vector<std::size_t> job_of_point(points.size());
-  std::vector<std::size_t> job_to_point;  // representative point per job
-  {
-    std::unordered_map<std::string, std::size_t> job_by_key;
-    for (std::size_t i = 0; i < points.size(); ++i) {
-      const auto [it, inserted] =
-          job_by_key.try_emplace(point_key(points[i]), job_to_point.size());
-      if (inserted) job_to_point.push_back(i);
-      job_of_point[i] = it->second;
-    }
-  }
-  stats_.unique_points = job_to_point.size();
-
-  // -- prototype arrays, one per (design, size) ------------------------------
-  // Built serially up front; workers copy their own mutable instance.
-  std::map<std::pair<Design, std::int32_t>, biochip::HexArray> prototypes;
-  for (const std::size_t point_index : job_to_point) {
-    const CampaignPoint& point = points[point_index];
+  // -- shared sessions, one per (design, size) -------------------------------
+  // Designs are snapshotted once behind shared immutable ChipDesigns; every
+  // worker reads the same snapshot (no per-thread array clones). The
+  // sessions' query caches do the duplicate-point dedupe: identical points
+  // resolve to identical query keys, so concurrent duplicates wait for the
+  // first computation instead of re-running it.
+  std::map<std::pair<Design, std::int32_t>, std::unique_ptr<sim::Session>>
+      sessions;
+  for (const CampaignPoint& point : points) {
     const auto key = std::make_pair(point.design, point.min_primaries);
-    if (prototypes.find(key) == prototypes.end()) {
-      prototypes.emplace(key, build_array(point.design, point.min_primaries));
+    auto& session = sessions[key];
+    if (!session) {
+      session = std::make_unique<sim::Session>(
+          build_array(point.design, point.min_primaries));
     }
-  }
-  for (const std::size_t point_index : job_to_point) {
-    const CampaignPoint& point = points[point_index];
     if (point.injector == InjectorKind::kFixedCount) {
-      const auto& prototype =
-          prototypes.at({point.design, point.min_primaries});
       DMFB_EXPECTS(static_cast<std::int32_t>(point.param) <=
-                   prototype.cell_count());
+                   session->design().cell_count());
     }
   }
 
-  // -- thread budget: point workers x inner Monte-Carlo threads --------------
-  const std::int32_t budget = resolve_threads(spec_.threads);
-  const std::int32_t job_count = static_cast<std::int32_t>(job_to_point.size());
-  const std::int32_t workers = std::max(1, std::min(budget, job_count));
+  // -- work order: first occurrences ahead of duplicates ---------------------
+  // Duplicates resolve through the session cache; scheduling them after
+  // every distinct computation keeps workers on fresh work instead of
+  // parked on an in-flight duplicate's future. The worker count is likewise
+  // sized to the number of distinct computations so a duplicate-heavy grid
+  // still gets deep inner parallelism.
+  std::vector<std::size_t> order;
+  order.reserve(points.size());
+  std::int32_t unique_jobs = 0;
+  {
+    std::vector<std::size_t> duplicates;
+    std::unordered_map<std::string, char> seen;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      std::string key = point_key(points[i]) + '|' +
+                        sim::query_key(query_of(points[i], spec_, 1));
+      if (seen.emplace(std::move(key), 1).second) {
+        order.push_back(i);
+        ++unique_jobs;
+      } else {
+        duplicates.push_back(i);
+      }
+    }
+    order.insert(order.end(), duplicates.begin(), duplicates.end());
+  }
+  const std::int32_t budget = common::resolve_worker_threads(spec_.threads);
+  const std::int32_t workers =
+      std::max(1, std::min(budget, std::max(unique_jobs, 1)));
   const std::int32_t inner_threads = std::max(1, budget / workers);
 
-  std::vector<yield::YieldEstimate> estimates(job_to_point.size());
-  std::atomic<std::size_t> next_job{0};
+  std::vector<yield::YieldEstimate> estimates(points.size());
+  std::atomic<std::size_t> next_slot{0};
   std::exception_ptr first_error;
   std::mutex error_mutex;
 
   auto worker = [&] {
     try {
       for (;;) {
-        const std::size_t job =
-            next_job.fetch_add(1, std::memory_order_relaxed);
-        if (job >= job_to_point.size()) break;
-        const CampaignPoint& point = points[job_to_point[job]];
-        biochip::HexArray array =
-            prototypes.at({point.design, point.min_primaries});
-        yield::McOptions options;
-        options.runs = spec_.runs;
-        options.seed = spec_.seed;
-        options.threads = inner_threads;
-        options.policy = point.policy;
-        options.engine = point.engine;
-        options.pool = point.pool;
-        estimates[job] = run_point(array, point, options);
+        const std::size_t slot =
+            next_slot.fetch_add(1, std::memory_order_relaxed);
+        if (slot >= order.size()) break;
+        const std::size_t i = order[slot];
+        const CampaignPoint& point = points[i];
+        sim::Session& session =
+            *sessions.at({point.design, point.min_primaries});
+        estimates[i] = session.run(query_of(point, spec_, inner_threads));
       }
     } catch (...) {
       const std::scoped_lock lock(error_mutex);
       if (!first_error) first_error = std::current_exception();
-      next_job.store(job_to_point.size(), std::memory_order_relaxed);
+      next_slot.store(order.size(), std::memory_order_relaxed);
     }
   };
 
@@ -225,13 +226,18 @@ std::vector<PointResult> CampaignRunner::run() {
   }
   if (first_error) std::rethrow_exception(first_error);
 
+  stats_.unique_points = 0;
+  for (const auto& [key, session] : sessions) {
+    stats_.unique_points += session->stats().computed;
+  }
+
   // -- fan results back out to grid order and stream to sinks ----------------
   std::vector<PointResult> results;
   results.reserve(points.size());
   for (std::size_t i = 0; i < points.size(); ++i) {
     const CampaignPoint& point = points[i];
     const biochip::HexArray& prototype =
-        prototypes.at({point.design, point.min_primaries});
+        sessions.at({point.design, point.min_primaries})->design().array();
     PointResult result;
     result.point = point;
     result.primaries = prototype.primary_count();
@@ -240,7 +246,7 @@ std::vector<PointResult> CampaignRunner::run() {
         point.design == Design::kNone
             ? 0.0
             : biochip::measured_redundancy_ratio(prototype);
-    result.estimate = estimates[job_of_point[i]];
+    result.estimate = estimates[i];
     result.effective_yield = yield::effective_yield(result.estimate.value,
                                                     result.redundancy_ratio);
     results.push_back(std::move(result));

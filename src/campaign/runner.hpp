@@ -1,5 +1,5 @@
-// CampaignRunner: executes an expanded sweep grid on the Monte-Carlo yield
-// engine and streams result rows to the attached artifact sinks.
+// CampaignRunner: executes an expanded sweep grid on sim::Session yield
+// engines and streams result rows to the attached artifact sinks.
 //
 // Scheduling: the thread budget (spec.threads; 0 = hardware concurrency) is
 // split into point-level workers times inner Monte-Carlo threads, so a
@@ -9,7 +9,10 @@
 // order regardless of completion order.
 //
 // Duplicate grid points (same design/size/injector/param/policy/engine/pool)
-// are computed once and fanned out to every occurrence.
+// are computed once: all points of one (design, size) share a sim::Session
+// over one immutable ChipDesign snapshot, and the session's query cache
+// serves every duplicate (concurrent duplicates wait for the first
+// computation instead of re-running it).
 #pragma once
 
 #include <cstdint>
@@ -33,7 +36,8 @@ struct PointResult {
   double effective_yield = 0.0;  ///< EY = Y / (1 + RR)
 };
 
-/// Work-dedup accounting for logs and tests.
+/// Work-dedup accounting for logs and tests (unique_points = distinct
+/// session queries actually simulated).
 struct RunnerStats {
   std::size_t grid_points = 0;
   std::size_t unique_points = 0;

@@ -126,4 +126,36 @@ std::unique_ptr<ArtifactSink> make_file_sink(SinkKind kind,
   return std::make_unique<OwningFileSink>(std::move(file), std::move(inner));
 }
 
+std::optional<OutArgument> parse_out_argument(std::string_view argument,
+                                              std::string& error) {
+  if (argument.empty()) {
+    error = "--out needs a directory (or FORMAT:DIR with FORMAT one of: "
+            "csv, jsonl)";
+    return std::nullopt;
+  }
+  const std::size_t colon = argument.find(':');
+  if (colon == std::string_view::npos) {
+    return OutArgument{std::nullopt, std::string(argument)};
+  }
+  const std::string_view prefix = argument.substr(0, colon);
+  if (prefix.find_first_of("/\\.") != std::string_view::npos) {
+    // A path character before the ':' means the whole argument is a
+    // directory — this is the documented "./odd:dir" escape hatch.
+    return OutArgument{std::nullopt, std::string(argument)};
+  }
+  const std::string_view dir = argument.substr(colon + 1);
+  const std::optional<SinkKind> kind = parse_sink(prefix);
+  if (!kind || (*kind != SinkKind::kCsv && *kind != SinkKind::kJsonl)) {
+    error = "unknown sink format '" + std::string(prefix) +
+            "' in --out (supported file formats: csv, jsonl; for a "
+            "directory containing ':' use a ./ prefix)";
+    return std::nullopt;
+  }
+  if (dir.empty()) {
+    error = "--out " + std::string(prefix) + ": needs a directory after ':'";
+    return std::nullopt;
+  }
+  return OutArgument{kind, std::string(dir)};
+}
+
 }  // namespace dmfb::campaign

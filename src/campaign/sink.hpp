@@ -9,7 +9,9 @@
 
 #include <iosfwd>
 #include <memory>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "campaign/spec.hpp"
@@ -89,5 +91,23 @@ class JsonlSink final : public ArtifactSink {
 std::unique_ptr<ArtifactSink> make_file_sink(SinkKind kind,
                                              const std::string& path,
                                              std::string& error);
+
+/// Parsed form of the dmfb_campaign `--out` argument: `DIR` or `FORMAT:DIR`
+/// where FORMAT is a file-sink format (csv / jsonl) that narrows the
+/// emitted file artifacts to that one format.
+struct OutArgument {
+  std::optional<SinkKind> format;  ///< set only by the FORMAT:DIR form
+  std::string dir;
+};
+
+/// Strict `--out` parse. Anything before the first ':' must name a
+/// supported file-sink format — an unknown or non-file format (e.g.
+/// `--out yaml:results`, `--out console:results`) is an error naming the
+/// supported formats, not a silently-accepted directory. A plain `DIR`
+/// (no ':') behaves as before; a directory whose name genuinely contains
+/// ':' can be passed as `./name`. Returns nullopt and sets `error` on
+/// rejection.
+std::optional<OutArgument> parse_out_argument(std::string_view argument,
+                                              std::string& error);
 
 }  // namespace dmfb::campaign

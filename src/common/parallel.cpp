@@ -1,0 +1,17 @@
+#include "common/parallel.hpp"
+
+#include <algorithm>
+#include <thread>
+
+namespace dmfb::common {
+
+std::int32_t resolve_worker_threads(std::int32_t requested) noexcept {
+  if (requested == 0) {
+    const auto hw =
+        static_cast<std::int32_t>(std::thread::hardware_concurrency());
+    return std::max(hw, 1);
+  }
+  return requested;
+}
+
+}  // namespace dmfb::common

@@ -1,0 +1,14 @@
+// Shared worker-thread helpers for the parallel engines (sim session,
+// legacy Monte-Carlo, campaign runner) so the thread-resolution rule lives
+// in exactly one place.
+#pragma once
+
+#include <cstdint>
+
+namespace dmfb::common {
+
+/// Resolves a requested worker count: 0 = one per hardware thread (at
+/// least 1), anything else passes through.
+std::int32_t resolve_worker_threads(std::int32_t requested) noexcept;
+
+}  // namespace dmfb::common

@@ -42,16 +42,33 @@ bool DefectTolerantBiochip::repairable(
   return reconfig::LocalReconfigurer(policy).feasible(array_);
 }
 
+sim::Session& DefectTolerantBiochip::session() {
+  std::vector<hex::CellIndex> used = array_.used_cells();
+  if (!session_ || used != session_usage_) {
+    // Snapshot a healed *copy*: the session needs a healthy design, but an
+    // accessor must not wipe the chip's live fault state as a side effect.
+    biochip::HexArray snapshot = array_;
+    snapshot.reset_health();
+    session_ = std::make_unique<sim::Session>(snapshot);
+    session_usage_ = std::move(used);
+  }
+  return *session_;
+}
+
 yield::YieldEstimate DefectTolerantBiochip::estimate_yield(
     double p, const yield::McOptions& options) {
+  DMFB_EXPECTS(p >= 0.0 && p <= 1.0);
   heal();
-  return yield::mc_yield_bernoulli(array_, p, options);
+  return session().run(
+      yield::to_query(options, sim::FaultModel::bernoulli(p)));
 }
 
 yield::YieldEstimate DefectTolerantBiochip::estimate_yield_fixed_faults(
     std::int32_t m, const yield::McOptions& options) {
+  DMFB_EXPECTS(m >= 0 && m <= array_.cell_count());
   heal();
-  return yield::mc_yield_fixed_faults(array_, m, options);
+  return session().run(
+      yield::to_query(options, sim::FaultModel::fixed_count(m)));
 }
 
 }  // namespace dmfb::core

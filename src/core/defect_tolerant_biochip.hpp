@@ -7,7 +7,9 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
+#include <vector>
 
 #include "biochip/dtmb.hpp"
 #include "biochip/hex_array.hpp"
@@ -15,6 +17,7 @@
 #include "fault/fault_model.hpp"
 #include "fault/injector.hpp"
 #include "reconfig/local_reconfig.hpp"
+#include "sim/session.hpp"
 #include "testplan/stimulus_test.hpp"
 #include "yield/monte_carlo.hpp"
 
@@ -63,8 +66,14 @@ class DefectTolerantBiochip {
                       reconfig::CoveragePolicy::kAllFaultyPrimaries) const;
 
   // -- yield ----------------------------------------------------------------
+  /// The facade's reusable simulation session: a healthy snapshot of the
+  /// current array (rebuilt only when cell usage changed since the last
+  /// call), with query caching across estimate_yield* calls.
+  sim::Session& session();
+
   /// Monte-Carlo yield at survival probability p (chip is healed first and
-  /// left healed).
+  /// left healed). Served by session(), so repeating a (p, options) pair
+  /// costs a cache lookup.
   yield::YieldEstimate estimate_yield(double p,
                                       const yield::McOptions& options = {});
 
@@ -75,6 +84,11 @@ class DefectTolerantBiochip {
  private:
   biochip::HexArray array_;
   std::optional<biochip::DtmbKind> kind_;
+  /// Lazy session over a healthy snapshot of array_; invalidated when the
+  /// array's usage marking diverges from session_usage_ (roles and shape
+  /// are immutable, and yield estimation heals health anyway).
+  std::unique_ptr<sim::Session> session_;
+  std::vector<hex::CellIndex> session_usage_;
 };
 
 }  // namespace dmfb::core

@@ -42,6 +42,16 @@ DesignAdvisor::DesignAdvisor(std::int32_t min_primaries,
   DMFB_EXPECTS(min_primaries > 0);
 }
 
+sim::Session& DesignAdvisor::session_for(biochip::DtmbKind kind) const {
+  const std::scoped_lock lock(sessions_mutex_);
+  auto& session = sessions_[kind];
+  if (!session) {
+    session = std::make_unique<sim::Session>(
+        biochip::make_dtmb_array_with_primaries(kind, min_primaries_));
+  }
+  return *session;  // map nodes are stable; Session::run is thread-safe
+}
+
 Advice DesignAdvisor::assess(double p) const {
   DMFB_EXPECTS(p >= 0.0 && p <= 1.0);
   Advice advice;
@@ -63,15 +73,17 @@ Advice DesignAdvisor::assess(double p) const {
   for (const biochip::DtmbKind kind :
        {biochip::DtmbKind::kDtmb1_6, biochip::DtmbKind::kDtmb2_6,
         biochip::DtmbKind::kDtmb3_6, biochip::DtmbKind::kDtmb4_4}) {
-    biochip::HexArray array =
-        biochip::make_dtmb_array_with_primaries(kind, min_primaries_);
+    sim::Session& session = session_for(kind);
+    const biochip::HexArray& array = session.design().array();
     DesignAssessment assessment;
     assessment.kind = kind;
     assessment.name = std::string(biochip::dtmb_info(kind).name);
     assessment.redundancy_ratio = biochip::measured_redundancy_ratio(array);
     assessment.primaries = array.primary_count();
     assessment.total_cells = array.cell_count();
-    assessment.yield = yield::mc_yield_bernoulli(array, p, options_).value;
+    assessment.yield =
+        session.run(yield::to_query(options_, sim::FaultModel::bernoulli(p)))
+            .value;
     assessment.effective_yield =
         yield::effective_yield(assessment.yield, assessment.redundancy_ratio);
     advice.assessments.push_back(std::move(assessment));

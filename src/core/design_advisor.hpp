@@ -7,11 +7,15 @@
 // p — falls out of ranking by effective yield.
 #pragma once
 
+#include <map>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "biochip/dtmb.hpp"
+#include "sim/session.hpp"
 #include "yield/monte_carlo.hpp"
 
 namespace dmfb::core {
@@ -51,8 +55,17 @@ class DesignAdvisor {
   Advice assess(double p) const;
 
  private:
+  sim::Session& session_for(biochip::DtmbKind kind) const;
+
   std::int32_t min_primaries_;
   yield::McOptions options_;
+  /// One reusable session per DTMB kind: assess() calls at different p share
+  /// the design snapshots, matching skeletons and query caches. Guarded by
+  /// sessions_mutex_ so concurrent assess() calls stay safe (assess() was
+  /// stateless-const before the session port).
+  mutable std::mutex sessions_mutex_;
+  mutable std::map<biochip::DtmbKind, std::unique_ptr<sim::Session>>
+      sessions_;
 };
 
 }  // namespace dmfb::core

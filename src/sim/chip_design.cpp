@@ -1,0 +1,62 @@
+#include "sim/chip_design.hpp"
+
+#include "common/contracts.hpp"
+
+namespace dmfb::sim {
+
+namespace {
+
+using biochip::CellRole;
+using biochip::CellUsage;
+using reconfig::CoveragePolicy;
+using reconfig::ReplacementPool;
+
+/// Design-time (health-independent) half of reconfig's candidate predicate:
+/// spares always qualify; primaries qualify only in the spares-and-unused
+/// pool and only while unused. The per-run health filter stays with
+/// FaultState.
+void append_candidates(const biochip::HexArray& array, CellIndex primary,
+                       ReplacementPool pool,
+                       std::vector<CellIndex>& flat) {
+  for (const CellIndex spare : array.spare_neighbors_of(primary)) {
+    flat.push_back(spare);
+  }
+  if (pool == ReplacementPool::kSparesAndUnusedPrimaries) {
+    for (const CellIndex neighbor : array.primary_neighbors_of(primary)) {
+      if (array.usage(neighbor) == CellUsage::kUnused) flat.push_back(neighbor);
+    }
+  }
+}
+
+}  // namespace
+
+ChipDesign::ChipDesign(biochip::HexArray array) : array_(std::move(array)) {
+  for (const CoveragePolicy policy :
+       {CoveragePolicy::kAllFaultyPrimaries,
+        CoveragePolicy::kUsedFaultyPrimaries}) {
+    for (const ReplacementPool pool :
+         {ReplacementPool::kSparesOnly,
+          ReplacementPool::kSparesAndUnusedPrimaries}) {
+      Skeleton& skeleton = skeletons_[skeleton_index(policy, pool)];
+      skeleton.candidate_offset.push_back(0);
+      for (const CellIndex primary : array_.primaries()) {
+        if (policy == CoveragePolicy::kUsedFaultyPrimaries &&
+            array_.usage(primary) != CellUsage::kAssayUsed) {
+          continue;
+        }
+        skeleton.cover.push_back(primary);
+        append_candidates(array_, primary, pool, skeleton.candidate_flat);
+        skeleton.candidate_offset.push_back(
+            static_cast<std::int32_t>(skeleton.candidate_flat.size()));
+      }
+    }
+  }
+}
+
+std::shared_ptr<const ChipDesign> ChipDesign::make(
+    const biochip::HexArray& array) {
+  DMFB_EXPECTS(array.faulty_count() == 0);
+  return std::shared_ptr<const ChipDesign>(new ChipDesign(array));
+}
+
+}  // namespace dmfb::sim

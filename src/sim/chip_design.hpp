@@ -1,0 +1,85 @@
+// sim::ChipDesign — immutable, shareable snapshot of a chip topology.
+//
+// The legacy yield entry points take a mutable HexArray& that conflates the
+// chip's *design* (region, roles, usage — fixed for a whole experiment) with
+// per-run *fault state* (health bits — scribbled and reset every run). That
+// forces a full HexArray clone per worker thread and a bipartite-graph
+// rebuild per run. ChipDesign splits the two: it freezes the design half
+// behind a shared_ptr that any number of sessions/threads can read
+// concurrently, and pre-builds the bipartite matching *skeleton* for every
+// (coverage policy x replacement pool) combination — per run the matcher
+// only filters skeleton edges by fault bits (see sim::FaultState) instead of
+// re-discovering them through hash maps.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "biochip/hex_array.hpp"
+#include "graph/matching.hpp"
+#include "reconfig/local_reconfig.hpp"
+
+namespace dmfb::sim {
+
+using hex::CellIndex;
+
+class ChipDesign {
+ public:
+  /// Snapshots `array`'s topology, roles and usage. The array must be
+  /// healthy (call reset_health() first if it carries injected faults);
+  /// later mutations of `array` do not affect the snapshot.
+  static std::shared_ptr<const ChipDesign> make(
+      const biochip::HexArray& array);
+
+  /// The frozen array snapshot (healthy; never health-mutated). Exposed for
+  /// topology queries — region, roles, neighbour lists, redundancy algebra.
+  const biochip::HexArray& array() const noexcept { return array_; }
+
+  std::int32_t cell_count() const noexcept { return array_.cell_count(); }
+  std::int32_t primary_count() const noexcept {
+    return array_.primary_count();
+  }
+  std::int32_t spare_count() const noexcept { return array_.spare_count(); }
+
+  /// Pre-built matching skeleton for one (policy, pool) combination: the
+  /// health-independent half of reconfig's BG(A, B, E).
+  struct Skeleton {
+    /// Primaries the policy may require covering, in cell-index order
+    /// (all primaries, or the assay-used ones).
+    std::vector<CellIndex> cover;
+    /// CSR rows parallel to `cover`: the replacement candidates adjacent to
+    /// each coverable primary, in the legacy candidate order (spares first,
+    /// then unused primaries for the spares-and-unused pool). Candidates are
+    /// filtered per run by fault bit only.
+    std::vector<CellIndex> candidate_flat;
+    std::vector<std::int32_t> candidate_offset;  // cover.size() + 1 entries
+
+    std::span<const CellIndex> candidates_of(std::size_t cover_index) const {
+      return {candidate_flat.data() + candidate_offset[cover_index],
+              static_cast<std::size_t>(candidate_offset[cover_index + 1] -
+                                       candidate_offset[cover_index])};
+    }
+  };
+
+  const Skeleton& skeleton(reconfig::CoveragePolicy policy,
+                           reconfig::ReplacementPool pool) const noexcept {
+    return skeletons_[skeleton_index(policy, pool)];
+  }
+
+ private:
+  explicit ChipDesign(biochip::HexArray array);
+
+  static std::size_t skeleton_index(
+      reconfig::CoveragePolicy policy,
+      reconfig::ReplacementPool pool) noexcept {
+    return static_cast<std::size_t>(policy) * 2 +
+           static_cast<std::size_t>(pool);
+  }
+
+  biochip::HexArray array_;
+  Skeleton skeletons_[4];  // [policy][pool]
+};
+
+}  // namespace dmfb::sim

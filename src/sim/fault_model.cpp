@@ -1,0 +1,105 @@
+#include "sim/fault_model.hpp"
+
+#include "common/contracts.hpp"
+#include "fault/injector.hpp"
+#include "hexgrid/hex_coord.hpp"
+
+namespace dmfb::sim {
+
+namespace {
+
+/// The legacy injectors draw one catastrophic-defect classification per
+/// injected fault (fault::sample_catastrophic_defect). The bitmap path has
+/// no FaultMap to fill, but must burn the identical draw to stay on the
+/// same Rng trajectory.
+inline void burn_defect_classification(Rng& rng) {
+  (void)fault::sample_catastrophic_defect(rng);
+}
+
+void inject_bernoulli(double survival_p, FaultState& state, Rng& rng) {
+  const double kill_prob = 1.0 - survival_p;
+  const std::int32_t n = state.design().cell_count();
+  for (std::int32_t cell = 0; cell < n; ++cell) {
+    if (rng.bernoulli(kill_prob)) {
+      state.set_faulty(cell);
+      burn_defect_classification(rng);
+    }
+  }
+}
+
+void inject_fixed_count(std::int32_t count, FaultState& state, Rng& rng) {
+  for (const std::int32_t cell :
+       rng.sample_without_replacement(state.design().cell_count(), count)) {
+    state.set_faulty(cell);
+    burn_defect_classification(rng);
+  }
+}
+
+void inject_clustered(double mean_spots, const ClusterShape& shape,
+                      FaultState& state, Rng& rng) {
+  const hex::Region& region = state.design().array().region();
+  const std::int32_t spots = fault::sample_poisson(mean_spots, rng);
+  for (std::int32_t spot = 0; spot < spots; ++spot) {
+    const auto center_index = static_cast<std::int32_t>(rng.uniform_below(
+        static_cast<std::uint64_t>(state.design().cell_count())));
+    const hex::HexCoord center = region.coord_at(center_index);
+    for (const hex::HexCoord at : hex::disk(center, shape.radius)) {
+      const CellIndex cell = region.index_of(at);
+      if (cell == hex::kInvalidCell) continue;  // spot clipped by boundary
+      if (state.is_faulty(cell)) continue;
+      const double t = shape.radius == 0
+                           ? 0.0
+                           : static_cast<double>(hex::distance(center, at)) /
+                                 static_cast<double>(shape.radius);
+      const double kill_prob =
+          shape.core_kill + (shape.edge_kill - shape.core_kill) * t;
+      if (rng.bernoulli(kill_prob)) {
+        state.set_faulty(cell);
+        burn_defect_classification(rng);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void validate(const FaultModel& model, const ChipDesign& design) {
+  switch (model.kind) {
+    case FaultModel::Kind::kBernoulli:
+      DMFB_EXPECTS(model.param >= 0.0 && model.param <= 1.0);
+      return;
+    case FaultModel::Kind::kFixedCount: {
+      const auto m = static_cast<std::int32_t>(model.param);
+      DMFB_EXPECTS(static_cast<double>(m) == model.param);
+      DMFB_EXPECTS(m >= 0 && m <= design.cell_count());
+      return;
+    }
+    case FaultModel::Kind::kClustered:
+      DMFB_EXPECTS(model.param >= 0.0);
+      DMFB_EXPECTS(model.cluster.radius >= 0);
+      DMFB_EXPECTS(model.cluster.core_kill >= 0.0 &&
+                   model.cluster.core_kill <= 1.0);
+      DMFB_EXPECTS(model.cluster.edge_kill >= 0.0 &&
+                   model.cluster.edge_kill <= model.cluster.core_kill);
+      return;
+  }
+  DMFB_ASSERT(!"unknown fault model kind");
+}
+
+void inject(const FaultModel& model, FaultState& state, Rng& rng) {
+  DMFB_EXPECTS(state.faulty_count() == 0);
+  switch (model.kind) {
+    case FaultModel::Kind::kBernoulli:
+      inject_bernoulli(model.param, state, rng);
+      return;
+    case FaultModel::Kind::kFixedCount:
+      inject_fixed_count(static_cast<std::int32_t>(model.param), state, rng);
+      return;
+    case FaultModel::Kind::kClustered:
+      inject_clustered(model.param, model.cluster, state, rng);
+      return;
+  }
+  DMFB_ASSERT(!"unknown fault model kind");
+}
+
+}  // namespace dmfb::sim

@@ -1,0 +1,60 @@
+// sim::FaultModel — the structured defect models the session engine can
+// inject directly into a FaultState bitmap.
+//
+// Each model replicates the corresponding fault::*Injector *exactly*,
+// including its Rng draw sequence (one catastrophic-defect draw per injected
+// fault), so a session run consumes the same random stream as the legacy
+// HexArray path and produces bit-identical success counts. The equivalence
+// test suite (tests/test_sim_session.cpp) pins this contract; any change to
+// an injector's draw order must land in both places.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "sim/fault_state.hpp"
+
+namespace dmfb::sim {
+
+/// Spatial cluster knobs (mirrors fault::ClusteredInjector's constructor).
+struct ClusterShape {
+  std::int32_t radius = 1;
+  double core_kill = 0.9;
+  double edge_kill = 0.3;
+};
+
+/// One structured defect model plus its parameter.
+struct FaultModel {
+  enum class Kind : std::uint8_t {
+    kBernoulli,   ///< iid survival probability p per cell (paper Section 6)
+    kFixedCount,  ///< exactly m random cell failures (Fig. 13)
+    kClustered,   ///< Poisson spot clusters (independence ablation)
+  };
+
+  Kind kind = Kind::kBernoulli;
+  /// p (bernoulli, survival), m (fixed_count, integral) or mean_spots
+  /// (clustered), matching campaign::CampaignPoint::param.
+  double param = 0.99;
+  ClusterShape cluster;  ///< used by kClustered only
+
+  static FaultModel bernoulli(double p) {
+    return {Kind::kBernoulli, p, {}};
+  }
+  static FaultModel fixed_count(std::int32_t m) {
+    return {Kind::kFixedCount, static_cast<double>(m), {}};
+  }
+  static FaultModel clustered(double mean_spots, ClusterShape shape) {
+    return {Kind::kClustered, mean_spots, shape};
+  }
+};
+
+/// Validates `model` against `design` (throws ContractViolation on bad
+/// parameters, mirroring the legacy injector constructors).
+void validate(const FaultModel& model, const ChipDesign& design);
+
+/// Injects one run's faults into `state` (which must arrive reset).
+/// Draw-for-draw identical to fault::BernoulliInjector /
+/// FixedCountInjector / ClusteredInjector on a HexArray.
+void inject(const FaultModel& model, FaultState& state, Rng& rng);
+
+}  // namespace dmfb::sim

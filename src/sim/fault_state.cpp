@@ -1,0 +1,65 @@
+#include "sim/fault_state.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/contracts.hpp"
+
+namespace dmfb::sim {
+
+FaultState::FaultState(std::shared_ptr<const ChipDesign> design)
+    : design_(std::move(design)) {
+  DMFB_EXPECTS(design_ != nullptr);
+  const auto n = static_cast<std::size_t>(design_->cell_count());
+  faulty_.assign(n, 0);
+  right_index_.assign(n, 0);
+  right_stamp_.assign(n, 0);
+}
+
+void FaultState::set_faulty(CellIndex cell) {
+  DMFB_EXPECTS(cell >= 0 && cell < design_->cell_count());
+  auto& bit = faulty_[static_cast<std::size_t>(cell)];
+  if (bit == 0) {
+    bit = 1;
+    faulty_cells_.push_back(cell);
+  }
+}
+
+void FaultState::reset() noexcept {
+  for (const CellIndex cell : faulty_cells_) {
+    faulty_[static_cast<std::size_t>(cell)] = 0;
+  }
+  faulty_cells_.clear();
+}
+
+bool FaultState::repairable(reconfig::CoveragePolicy policy,
+                            graph::MatchingEngine engine,
+                            reconfig::ReplacementPool pool) {
+  const ChipDesign::Skeleton& skeleton = design_->skeleton(policy, pool);
+  if (++epoch_ == std::numeric_limits<std::int32_t>::max()) {
+    std::fill(right_stamp_.begin(), right_stamp_.end(), 0);
+    epoch_ = 1;
+  }
+  graph_.clear();
+  for (std::size_t i = 0; i < skeleton.cover.size(); ++i) {
+    if (!is_faulty(skeleton.cover[i])) continue;
+    graph_.open_row();
+    for (const CellIndex candidate : skeleton.candidates_of(i)) {
+      if (is_faulty(candidate)) continue;
+      auto& stamp = right_stamp_[static_cast<std::size_t>(candidate)];
+      if (stamp != epoch_) {
+        stamp = epoch_;
+        right_index_[static_cast<std::size_t>(candidate)] =
+            graph_.right_count();
+      }
+      graph_.add_edge(right_index_[static_cast<std::size_t>(candidate)]);
+    }
+    // Hall's condition fails outright for an isolated faulty primary; the
+    // legacy feasibility path short-circuits identically.
+    if (graph_.open_row_degree() == 0) return false;
+  }
+  if (graph_.left_count() == 0) return true;
+  return matcher_.covers_all_left(graph_, engine);
+}
+
+}  // namespace dmfb::sim

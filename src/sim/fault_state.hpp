@@ -1,0 +1,67 @@
+// sim::FaultState — cheap per-thread fault scratch for one ChipDesign.
+//
+// Replaces the per-thread HexArray clones of the legacy Monte-Carlo engine:
+// a fault bitmap plus the reusable matching buffers (compacted bipartite CSR
+// graph, right-index stamp map, engine workspaces). One FaultState serves an
+// entire worker's run loop with zero steady-state allocation; reset() costs
+// O(#faults), not O(#cells).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "graph/csr_matching.hpp"
+#include "sim/chip_design.hpp"
+
+namespace dmfb::sim {
+
+class FaultState {
+ public:
+  /// Binds the scratch to `design` (shared, kept alive by the state).
+  explicit FaultState(std::shared_ptr<const ChipDesign> design);
+
+  const ChipDesign& design() const noexcept { return *design_; }
+
+  // -- fault bitmap ---------------------------------------------------------
+  bool is_faulty(CellIndex cell) const noexcept {
+    return faulty_[static_cast<std::size_t>(cell)] != 0;
+  }
+  /// Marks `cell` faulty (idempotent).
+  void set_faulty(CellIndex cell);
+  std::int32_t faulty_count() const noexcept {
+    return static_cast<std::int32_t>(faulty_cells_.size());
+  }
+  /// Faulty cells in injection order (may help diagnostics; not sorted).
+  std::span<const CellIndex> faulty_cells() const noexcept {
+    return faulty_cells_;
+  }
+  /// Clears all fault bits in O(#faults).
+  void reset() noexcept;
+
+  // -- repairability --------------------------------------------------------
+  /// True iff local reconfiguration can repair the current fault state:
+  /// the design's pre-built (policy, pool) skeleton is filtered by fault
+  /// bits into a compacted CSR bipartite graph and `engine` checks whether a
+  /// maximum matching saturates every covered faulty primary. Equivalent to
+  /// reconfig::LocalReconfigurer::feasible on an equally-faulted HexArray.
+  bool repairable(reconfig::CoveragePolicy policy,
+                  graph::MatchingEngine engine,
+                  reconfig::ReplacementPool pool);
+
+ private:
+  std::shared_ptr<const ChipDesign> design_;
+  std::vector<std::uint8_t> faulty_;
+  std::vector<CellIndex> faulty_cells_;
+
+  // Matching scratch: candidate-cell -> compacted right index, valid when
+  // right_stamp_ matches the current epoch.
+  std::vector<std::int32_t> right_index_;
+  std::vector<std::int32_t> right_stamp_;
+  std::int32_t epoch_ = 0;
+  graph::CsrBipartiteGraph graph_;
+  graph::CsrMatcher matcher_;
+};
+
+}  // namespace dmfb::sim

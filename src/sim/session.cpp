@@ -1,0 +1,205 @@
+#include "sim/session.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <exception>
+#include <optional>
+#include <sstream>
+#include <thread>
+
+#include "common/contracts.hpp"
+#include "common/parallel.hpp"
+
+namespace dmfb::sim {
+
+namespace {
+
+// Runs handed to a worker per queue pop: the same batch size as the legacy
+// engine — large enough to amortise the atomic fetch_add, small enough that
+// 10000-run experiments spread over a handful of threads. Partitioning never
+// affects results: every run draws from its own (seed, run)-derived stream.
+constexpr std::int32_t kBatchRuns = 64;
+
+}  // namespace
+
+YieldEstimate YieldEstimate::from_counts(std::int64_t successes,
+                                         std::int64_t runs) {
+  DMFB_EXPECTS(runs >= 0);
+  DMFB_EXPECTS(successes >= 0 && successes <= runs);
+  YieldEstimate estimate;
+  estimate.runs = runs;
+  estimate.successes = successes;
+  estimate.value =
+      runs == 0 ? 0.0
+                : static_cast<double>(successes) / static_cast<double>(runs);
+  estimate.ci95 = wilson_interval(successes, runs);  // [0, 1] when runs == 0
+  return estimate;
+}
+
+Rng run_stream(std::uint64_t seed, std::int32_t run) noexcept {
+  // One splitmix64 step over (seed, run) picks the stream seed; the Rng
+  // constructor's own splitmix64 pass then decorrelates the 256-bit state.
+  std::uint64_t s =
+      seed + 0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(run) + 1);
+  return Rng(splitmix64(s));
+}
+
+std::string query_key(const YieldQuery& query) {
+  std::ostringstream key;
+  key << static_cast<int>(query.fault.kind) << '|'
+      << std::bit_cast<std::uint64_t>(query.fault.param) << '|'
+      << query.fault.cluster.radius << '|'
+      << std::bit_cast<std::uint64_t>(query.fault.cluster.core_kill) << '|'
+      << std::bit_cast<std::uint64_t>(query.fault.cluster.edge_kill) << '|'
+      << query.runs << '|' << query.seed << '|'
+      << static_cast<int>(query.policy) << '|'
+      << static_cast<int>(query.engine) << '|' << static_cast<int>(query.pool)
+      << '|' << std::bit_cast<std::uint64_t>(query.target_ci_half_width);
+  // `threads` is deliberately absent: it never affects the estimate.
+  return key.str();
+}
+
+Session::Session(std::shared_ptr<const ChipDesign> design)
+    : design_(std::move(design)) {
+  DMFB_EXPECTS(design_ != nullptr);
+}
+
+Session::Session(const biochip::HexArray& array)
+    : Session(ChipDesign::make(array)) {}
+
+Session::Stats Session::stats() const {
+  const std::scoped_lock lock(mutex_);
+  return stats_;
+}
+
+YieldEstimate Session::run(const YieldQuery& query) {
+  DMFB_EXPECTS(query.runs > 0);
+  DMFB_EXPECTS(query.threads >= 0);
+  DMFB_EXPECTS(query.target_ci_half_width >= 0.0);
+  validate(query.fault, *design_);
+
+  const std::string key = query_key(query);
+  std::optional<std::promise<YieldEstimate>> promise;  // set on cache miss
+  std::shared_future<YieldEstimate> future;
+  {
+    const std::scoped_lock lock(mutex_);
+    ++stats_.queries;
+    const auto found = cache_.find(key);
+    if (found != cache_.end()) {
+      future = found->second;
+    } else {
+      promise.emplace();
+      future = promise->get_future().share();
+      cache_.emplace(key, future);
+      ++stats_.computed;
+    }
+  }
+  if (promise) {
+    try {
+      promise->set_value(execute(query));
+    } catch (...) {
+      // Fail every waiter with the original error, then drop the entry so a
+      // later identical query may retry.
+      promise->set_exception(std::current_exception());
+      const std::scoped_lock lock(mutex_);
+      cache_.erase(key);
+    }
+  }
+  return future.get();
+}
+
+std::vector<YieldEstimate> Session::run_all(
+    std::span<const YieldQuery> queries) {
+  std::vector<YieldEstimate> results;
+  results.reserve(queries.size());
+  for (const YieldQuery& query : queries) results.push_back(run(query));
+  return results;
+}
+
+std::int64_t Session::successes_in_range(
+    const YieldQuery& query, std::int32_t begin, std::int32_t end,
+    std::int32_t threads,
+    std::vector<std::unique_ptr<FaultState>>& scratch) const {
+  // Worker-slot scratch is created on first use (serially, before any
+  // thread spawn) and reused across adaptive chunks.
+  const auto state_at = [&](std::size_t slot) -> FaultState& {
+    if (scratch.size() <= slot) scratch.resize(slot + 1);
+    if (!scratch[slot]) scratch[slot] = std::make_unique<FaultState>(design_);
+    return *scratch[slot];
+  };
+  const auto count_range = [&](FaultState& state, std::int32_t lo,
+                               std::int32_t hi) {
+    std::int64_t successes = 0;
+    for (std::int32_t run = lo; run < hi; ++run) {
+      Rng rng = run_stream(query.seed, run);
+      inject(query.fault, state, rng);
+      if (state.repairable(query.policy, query.engine, query.pool)) {
+        ++successes;
+      }
+      state.reset();
+    }
+    return successes;
+  };
+
+  const std::int32_t batch_count = (end - begin + kBatchRuns - 1) / kBatchRuns;
+  const std::int32_t workers = std::min(threads, batch_count);
+  if (workers <= 1) {
+    return count_range(state_at(0), begin, end);
+  }
+
+  for (std::int32_t t = 0; t < workers; ++t) state_at(static_cast<std::size_t>(t));
+  std::atomic<std::int32_t> next_batch{0};
+  std::atomic<std::int64_t> total{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  auto worker = [&](std::size_t slot) {
+    try {
+      FaultState& state = *scratch[slot];
+      std::int64_t successes = 0;
+      for (;;) {
+        const std::int32_t batch =
+            next_batch.fetch_add(1, std::memory_order_relaxed);
+        if (batch >= batch_count) break;
+        const std::int32_t lo = begin + batch * kBatchRuns;
+        successes += count_range(state, lo, std::min(end, lo + kBatchRuns));
+      }
+      total.fetch_add(successes, std::memory_order_relaxed);
+    } catch (...) {
+      const std::scoped_lock lock(error_mutex);
+      if (!first_error) first_error = std::current_exception();
+      // Park the queue so the other workers drain quickly.
+      next_batch.store(batch_count, std::memory_order_relaxed);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers));
+  for (std::int32_t t = 0; t < workers; ++t) {
+    pool.emplace_back(worker, static_cast<std::size_t>(t));
+  }
+  for (auto& thread : pool) thread.join();
+  if (first_error) std::rethrow_exception(first_error);
+  return total.load();
+}
+
+YieldEstimate Session::execute(const YieldQuery& query) const {
+  const std::int32_t threads = common::resolve_worker_threads(query.threads);
+  const bool adaptive = query.target_ci_half_width > 0.0;
+  const std::int32_t chunk = adaptive ? kAdaptiveChunkRuns : query.runs;
+
+  std::vector<std::unique_ptr<FaultState>> scratch;  // reused across chunks
+  std::int64_t successes = 0;
+  std::int32_t done = 0;
+  while (done < query.runs) {
+    const std::int32_t end = std::min(query.runs, done + chunk);
+    successes += successes_in_range(query, done, end, threads, scratch);
+    done = end;
+    if (adaptive) {
+      const Interval ci = wilson_interval(successes, done);
+      if (ci.width() / 2.0 <= query.target_ci_half_width) break;
+    }
+  }
+  return YieldEstimate::from_counts(successes, done);
+}
+
+}  // namespace dmfb::sim

@@ -1,0 +1,136 @@
+// sim::Session — request/response Monte-Carlo yield evaluation over one
+// immutable ChipDesign.
+//
+// The session owns (a) the shared design snapshot and (b) a thread-safe
+// result cache keyed by the full query, so repeated or concurrent identical
+// queries are computed once and served to every caller — the primitive the
+// campaign runner's point dedupe, the compound-yield per-m sweep and the
+// core facade all build on. Worker threads inside a run use per-thread
+// FaultState scratch (no HexArray clones) over the design's pre-built
+// matching skeletons.
+//
+// Determinism contract: run i of a query always draws from
+// run_stream(query.seed, i), so an estimate depends only on (design, query)
+// — never on threads or scheduling. Adaptive stopping preserves this by
+// evaluating its stop rule at fixed chunk boundaries (kAdaptiveChunkRuns):
+// the realised run count, and therefore the estimate, is bit-identical for
+// every thread count.
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "graph/matching.hpp"
+#include "reconfig/local_reconfig.hpp"
+#include "sim/fault_model.hpp"
+
+namespace dmfb::sim {
+
+/// Yield estimate with a Wilson 95% confidence interval.
+/// (Aliased as yield::YieldEstimate for the legacy entry points.)
+struct YieldEstimate {
+  double value = 0.0;
+  Interval ci95;
+  std::int64_t runs = 0;
+  std::int64_t successes = 0;
+
+  /// Canonical constructor: defines the degenerate cases explicitly.
+  /// runs == 0 yields value 0 with the vacuous interval [0, 1]; 0 successes
+  /// pin ci95.lo to 0 and all-successes pin ci95.hi to 1.
+  static YieldEstimate from_counts(std::int64_t successes, std::int64_t runs);
+};
+
+/// The experiment seed the paper-reproduction defaults use everywhere.
+inline constexpr std::uint64_t kDefaultSeed = 0xD0E5A11ULL;
+
+/// Runs handed to adaptive stopping between stop-rule checks. Chunk
+/// boundaries are part of the determinism contract: changing this constant
+/// changes adaptive estimates (but never fixed-run ones).
+inline constexpr std::int32_t kAdaptiveChunkRuns = 1024;
+
+/// One self-contained yield question: defect model, run budget, engine
+/// configuration. Subsumes the legacy yield::McOptions knob-bag plus the
+/// injector choice that used to travel separately.
+struct YieldQuery {
+  FaultModel fault;  ///< what breaks per run
+
+  /// Monte-Carlo runs; with adaptive stopping this is the *cap*.
+  std::int32_t runs = 10000;
+  std::uint64_t seed = kDefaultSeed;
+  /// Worker threads: 1 = serial loop, 0 = one per hardware thread, N > 1 =
+  /// exactly N. Never affects the estimate.
+  std::int32_t threads = 1;
+
+  reconfig::CoveragePolicy policy =
+      reconfig::CoveragePolicy::kAllFaultyPrimaries;
+  graph::MatchingEngine engine = graph::MatchingEngine::kHopcroftKarp;
+  reconfig::ReplacementPool pool = reconfig::ReplacementPool::kSparesOnly;
+
+  /// Adaptive stopping: when > 0, stop at the first kAdaptiveChunkRuns
+  /// boundary where the Wilson 95% half-width is <= this target (or at
+  /// `runs`, whichever comes first). 0 = fixed run count.
+  double target_ci_half_width = 0.0;
+};
+
+/// Canonical cache/dedupe key: two queries with equal keys are guaranteed
+/// bit-identical results on the same design. Doubles are keyed by bit
+/// pattern, so -0.0 != 0.0 (distinct keys, same result — harmless).
+std::string query_key(const YieldQuery& query);
+
+/// The Rng stream run `run` of an experiment draws from; identical to the
+/// legacy yield::mc_run_stream derivation.
+Rng run_stream(std::uint64_t seed, std::int32_t run) noexcept;
+
+class Session {
+ public:
+  /// Opens a session over an existing shared design.
+  explicit Session(std::shared_ptr<const ChipDesign> design);
+  /// Convenience: snapshots `array` (must be healthy) into a fresh design.
+  explicit Session(const biochip::HexArray& array);
+
+  const ChipDesign& design() const noexcept { return *design_; }
+  std::shared_ptr<const ChipDesign> design_ptr() const noexcept {
+    return design_;
+  }
+
+  /// Answers one query, serving it from the cache when an identical query
+  /// has already run (or is running — concurrent duplicates wait for the
+  /// first computation instead of recomputing). Thread-safe.
+  YieldEstimate run(const YieldQuery& query);
+
+  /// Answers a batch; duplicate queries within (and across) batches are
+  /// computed once. Results are positionally parallel to `queries`.
+  std::vector<YieldEstimate> run_all(std::span<const YieldQuery> queries);
+
+  /// Cache accounting across the session's lifetime.
+  struct Stats {
+    std::size_t queries = 0;    ///< run() calls answered
+    std::size_t computed = 0;   ///< distinct queries actually simulated
+    std::size_t cache_hits() const noexcept { return queries - computed; }
+  };
+  Stats stats() const;
+
+ private:
+  YieldEstimate execute(const YieldQuery& query) const;
+  /// Counts successes over runs [begin, end); `scratch` holds one FaultState
+  /// per worker slot, created on demand and reused across adaptive chunks.
+  std::int64_t successes_in_range(
+      const YieldQuery& query, std::int32_t begin, std::int32_t end,
+      std::int32_t threads,
+      std::vector<std::unique_ptr<FaultState>>& scratch) const;
+
+  std::shared_ptr<const ChipDesign> design_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, std::shared_future<YieldEstimate>> cache_;
+  Stats stats_;
+};
+
+}  // namespace dmfb::sim

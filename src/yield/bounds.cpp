@@ -96,4 +96,8 @@ YieldBounds analytic_yield_bounds(const HexArray& array, double p) {
   return bounds;
 }
 
+YieldBounds analytic_yield_bounds(const sim::ChipDesign& design, double p) {
+  return analytic_yield_bounds(design.array(), p);
+}
+
 }  // namespace dmfb::yield

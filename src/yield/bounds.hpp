@@ -22,6 +22,7 @@
 #pragma once
 
 #include "biochip/hex_array.hpp"
+#include "sim/chip_design.hpp"
 
 namespace dmfb::yield {
 
@@ -33,5 +34,9 @@ struct YieldBounds {
 /// Computes both bounds for the array's structure at survival probability
 /// p, under the all-faulty-primaries coverage policy.
 YieldBounds analytic_yield_bounds(const biochip::HexArray& array, double p);
+
+/// Session-world overload: the bounds of a frozen design snapshot (the
+/// bounds only read topology, which the snapshot preserves exactly).
+YieldBounds analytic_yield_bounds(const sim::ChipDesign& design, double p);
 
 }  // namespace dmfb::yield

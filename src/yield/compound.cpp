@@ -74,11 +74,10 @@ double stapper_zero_defect_yield(double mean, double alpha) {
   return std::pow(1.0 + mean / alpha, -alpha);
 }
 
-CompoundYield compound_yield(biochip::HexArray& array,
-                             const DefectCountPmf& pmf,
-                             const McOptions& options, double pmf_cutoff) {
+CompoundYield compound_yield(sim::Session& session, const DefectCountPmf& pmf,
+                             const sim::YieldQuery& base, double pmf_cutoff) {
   DMFB_EXPECTS(static_cast<std::int32_t>(pmf.size()) ==
-               array.cell_count() + 1);
+               session.design().cell_count() + 1);
   DMFB_EXPECTS(pmf_cutoff >= 0.0);
   CompoundYield result;
   for (std::int32_t m = 0;
@@ -90,13 +89,26 @@ CompoundYield compound_yield(biochip::HexArray& array,
     }
     double repairable = 1.0;
     if (m > 0) {
-      McOptions per_m = options;
-      per_m.seed = options.seed + static_cast<std::uint64_t>(m) * std::uint64_t{0x9E37};
-      repairable = mc_yield_fixed_faults(array, m, per_m).value;
+      sim::YieldQuery per_m = base;
+      per_m.fault = sim::FaultModel::fixed_count(m);
+      // Per-m seed offset predates the session port; kept verbatim so
+      // compound values stay bit-identical across the redesign.
+      per_m.seed = base.seed + static_cast<std::uint64_t>(m) * std::uint64_t{0x9E37};
+      repairable = session.run(per_m).value;
     }
     result.value += mass * repairable;
   }
   return result;
+}
+
+CompoundYield compound_yield(biochip::HexArray& array,
+                             const DefectCountPmf& pmf,
+                             const McOptions& options, double pmf_cutoff) {
+  array.reset_health();
+  sim::Session session(array);
+  return compound_yield(session, pmf,
+                        to_query(options, sim::FaultModel::fixed_count(0)),
+                        pmf_cutoff);
 }
 
 }  // namespace dmfb::yield

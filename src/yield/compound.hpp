@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "biochip/hex_array.hpp"
+#include "sim/session.hpp"
 #include "yield/monte_carlo.hpp"
 
 namespace dmfb::yield {
@@ -51,6 +52,18 @@ struct CompoundYield {
   double truncated_mass = 0.0;  ///< pmf mass skipped by the cutoff
 };
 
+/// Session-based composition: every per-m term is a fixed-count query on
+/// `session` (seed offset by m), so the design snapshot, its matching
+/// skeletons and the session query cache are shared across the whole sweep —
+/// and across repeated compound evaluations. `base.fault` is ignored; the
+/// remaining query knobs (runs, seed, threads, policy, engine, pool) apply
+/// to every term.
+CompoundYield compound_yield(sim::Session& session, const DefectCountPmf& pmf,
+                             const sim::YieldQuery& base,
+                             double pmf_cutoff = 1e-6);
+
+/// \deprecated Shim over the session overload (one-shot snapshot of
+/// `array`); results are bit-identical to the pre-session implementation.
 CompoundYield compound_yield(biochip::HexArray& array,
                              const DefectCountPmf& pmf,
                              const McOptions& options,

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/contracts.hpp"
+#include "common/parallel.hpp"
 
 namespace dmfb::yield {
 
@@ -18,14 +19,6 @@ namespace {
 // evenly over a handful of threads. Partitioning never affects results:
 // every run draws from its own (seed, run)-derived stream.
 constexpr std::int32_t kBatchRuns = 64;
-
-std::int32_t resolve_threads(std::int32_t requested) noexcept {
-  if (requested == 0) {
-    const auto hw = static_cast<std::int32_t>(std::thread::hardware_concurrency());
-    return std::max(hw, 1);
-  }
-  return requested;
-}
 
 // Counts successes over runs [begin, end) on `array`, which must arrive
 // healthy and is left healthy.
@@ -83,14 +76,32 @@ std::int64_t run_parallel(const biochip::HexArray& array,
   return total_successes.load();
 }
 
+// Structured-model shim path: heal the array, snapshot it into a one-shot
+// session and run the query. Bit-identical to the retired HexArray-based
+// loop (pinned by tests/test_sim_session.cpp).
+YieldEstimate run_session(biochip::HexArray& array, sim::FaultModel model,
+                          const McOptions& options) {
+  array.reset_health();
+  sim::Session session(array);
+  return session.run(to_query(options, model));
+}
+
 }  // namespace
 
+sim::YieldQuery to_query(const McOptions& options, sim::FaultModel model) {
+  sim::YieldQuery query;
+  query.fault = model;
+  query.runs = options.runs;
+  query.seed = options.seed;
+  query.threads = options.threads;
+  query.policy = options.policy;
+  query.engine = options.engine;
+  query.pool = options.pool;
+  return query;
+}
+
 Rng mc_run_stream(std::uint64_t seed, std::int32_t run) noexcept {
-  // One splitmix64 step over (seed, run) picks the stream seed; the Rng
-  // constructor's own splitmix64 pass then decorrelates the 256-bit state.
-  std::uint64_t s =
-      seed + 0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(run) + 1);
-  return Rng(splitmix64(s));
+  return sim::run_stream(seed, run);
 }
 
 YieldEstimate mc_yield_with_oracle(biochip::HexArray& array,
@@ -103,18 +114,13 @@ YieldEstimate mc_yield_with_oracle(biochip::HexArray& array,
   DMFB_EXPECTS(static_cast<bool>(repairable));
   array.reset_health();
   const std::int32_t threads =
-      std::min(resolve_threads(options.threads),
+      std::min(common::resolve_worker_threads(options.threads),
                (options.runs + kBatchRuns - 1) / kBatchRuns);
   const std::int64_t successes =
       threads <= 1
           ? run_range(array, inject, repairable, options.seed, 0, options.runs)
           : run_parallel(array, inject, repairable, options, threads);
-  YieldEstimate result;
-  result.runs = options.runs;
-  result.successes = successes;
-  result.value = static_cast<double>(successes) / options.runs;
-  result.ci95 = wilson_interval(successes, options.runs);
-  return result;
+  return YieldEstimate::from_counts(successes, options.runs);
 }
 
 YieldEstimate mc_yield(biochip::HexArray& array, const InjectFn& inject,
@@ -132,21 +138,13 @@ YieldEstimate mc_yield(biochip::HexArray& array, const InjectFn& inject,
 YieldEstimate mc_yield_bernoulli(biochip::HexArray& array, double p,
                                  const McOptions& options) {
   DMFB_EXPECTS(p >= 0.0 && p <= 1.0);
-  const fault::BernoulliInjector injector(p);
-  return mc_yield(
-      array,
-      [&injector](biochip::HexArray& a, Rng& rng) { injector.inject(a, rng); },
-      options);
+  return run_session(array, sim::FaultModel::bernoulli(p), options);
 }
 
 YieldEstimate mc_yield_fixed_faults(biochip::HexArray& array, std::int32_t m,
                                     const McOptions& options) {
   DMFB_EXPECTS(m >= 0 && m <= array.cell_count());
-  const fault::FixedCountInjector injector(m);
-  return mc_yield(
-      array,
-      [&injector](biochip::HexArray& a, Rng& rng) { injector.inject(a, rng); },
-      options);
+  return run_session(array, sim::FaultModel::fixed_count(m), options);
 }
 
 }  // namespace dmfb::yield

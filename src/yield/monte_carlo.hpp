@@ -6,6 +6,13 @@
 // q = 1 - p; the run succeeds iff local reconfiguration can repair the chip
 // (maximal bipartite matching covers all relevant faulty primaries). The
 // estimate is the success proportion over `runs` runs (paper: 10000).
+//
+// The structured entry points (mc_yield_bernoulli / mc_yield_fixed_faults)
+// are thin shims over sim::Session — the session-based API in
+// src/sim/session.hpp is the preferred interface (immutable shared designs,
+// query caching, adaptive stopping; see docs/API.md for the migration
+// table). Only the generic custom-injector/oracle engine still runs on a
+// mutable HexArray, because arbitrary callbacks need the full array.
 #pragma once
 
 #include <cstdint>
@@ -17,16 +24,13 @@
 #include "fault/injector.hpp"
 #include "graph/matching.hpp"
 #include "reconfig/local_reconfig.hpp"
+#include "sim/session.hpp"
 
 namespace dmfb::yield {
 
-/// Yield estimate with a Wilson 95% confidence interval.
-struct YieldEstimate {
-  double value = 0.0;
-  Interval ci95;
-  std::int64_t runs = 0;
-  std::int64_t successes = 0;
-};
+/// Yield estimate with a Wilson 95% confidence interval (the sim-layer type;
+/// see sim::YieldEstimate::from_counts for the runs == 0 edge semantics).
+using YieldEstimate = sim::YieldEstimate;
 
 /// Simulation knobs. Defaults mirror the paper: 10000 runs,
 /// all-faulty-primaries coverage, Hopcroft-Karp matching.
@@ -34,9 +38,12 @@ struct YieldEstimate {
 /// Determinism: run i always draws from an Rng stream derived from
 /// (seed, i) alone, so the estimate depends only on `seed` and `runs` —
 /// never on `threads` or on how runs are partitioned across workers.
+///
+/// \deprecated New code should build a sim::YieldQuery (which subsumes
+/// these knobs plus the defect model) and ask a sim::Session.
 struct McOptions {
   std::int32_t runs = 10000;
-  std::uint64_t seed = 0xD0E5A11ULL;
+  std::uint64_t seed = sim::kDefaultSeed;
   /// Worker threads: 1 = serial loop (no thread spawned), 0 = one per
   /// hardware thread, N > 1 = exactly N workers. Any value produces results
   /// bit-identical to the serial engine.
@@ -46,6 +53,10 @@ struct McOptions {
   graph::MatchingEngine engine = graph::MatchingEngine::kHopcroftKarp;
   reconfig::ReplacementPool pool = reconfig::ReplacementPool::kSparesOnly;
 };
+
+/// The sim::YieldQuery equivalent of (options, model) — the mechanical
+/// migration step for legacy call sites.
+sim::YieldQuery to_query(const McOptions& options, sim::FaultModel model);
 
 /// Injects faults into `array` for one run. The array arrives healthy and
 /// may be left in any fault state; the engine resets it between runs.
@@ -59,6 +70,10 @@ using InjectFn = std::function<void(biochip::HexArray&, Rng&)>;
 using RepairableFn = std::function<bool(const biochip::HexArray&)>;
 
 /// Generic Monte-Carlo loop: inject -> check repairable -> reset.
+///
+/// \deprecated For the structured defect models prefer sim::Session (this
+/// generic engine clones the array per thread and rebuilds the matching
+/// graph per run); it remains the extension point for custom injectors.
 YieldEstimate mc_yield(biochip::HexArray& array, const InjectFn& inject,
                        const McOptions& options);
 
@@ -71,13 +86,18 @@ YieldEstimate mc_yield_with_oracle(biochip::HexArray& array,
 
 /// The Rng stream run `run` draws from, derived from the experiment seed
 /// alone. Exposed so tests can pin the engine's per-run determinism.
+/// (Forwards to sim::run_stream — both engines share one derivation.)
 Rng mc_run_stream(std::uint64_t seed, std::int32_t run) noexcept;
 
 /// Paper model: iid cell survival probability p.
+/// \deprecated Shim over sim::Session; prefer
+/// `session.run({.fault = sim::FaultModel::bernoulli(p), ...})`.
 YieldEstimate mc_yield_bernoulli(biochip::HexArray& array, double p,
                                  const McOptions& options);
 
 /// Fig. 13 model: exactly m random cell failures per run.
+/// \deprecated Shim over sim::Session; prefer
+/// `session.run({.fault = sim::FaultModel::fixed_count(m), ...})`.
 YieldEstimate mc_yield_fixed_faults(biochip::HexArray& array, std::int32_t m,
                                     const McOptions& options);
 

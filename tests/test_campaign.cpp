@@ -414,3 +414,88 @@ TEST(CampaignGolden, Fig9SmokeCsvMatchesGoldenFile) {
 
 }  // namespace
 }  // namespace dmfb::campaign
+
+// Appended: strict --out argument parsing (dmfb_campaign CLI) and the
+// session-backed runner's cache accounting.
+namespace dmfb::campaign {
+namespace {
+
+TEST(OutArgument, PlainDirectoryPassesThrough) {
+  std::string error;
+  const auto out = parse_out_argument("artifacts/t1", error);
+  ASSERT_TRUE(out.has_value()) << error;
+  EXPECT_FALSE(out->format.has_value());
+  EXPECT_EQ(out->dir, "artifacts/t1");
+}
+
+TEST(OutArgument, FormatPrefixSelectsFileSink) {
+  std::string error;
+  const auto csv = parse_out_argument("csv:results", error);
+  ASSERT_TRUE(csv.has_value()) << error;
+  EXPECT_EQ(csv->format, SinkKind::kCsv);
+  EXPECT_EQ(csv->dir, "results");
+
+  const auto jsonl = parse_out_argument("jsonl:/tmp/a", error);
+  ASSERT_TRUE(jsonl.has_value()) << error;
+  EXPECT_EQ(jsonl->format, SinkKind::kJsonl);
+  EXPECT_EQ(jsonl->dir, "/tmp/a");
+}
+
+TEST(OutArgument, UnknownFormatIsAnErrorNamingTheSupportedOnes) {
+  std::string error;
+  EXPECT_FALSE(parse_out_argument("yaml:results", error).has_value());
+  EXPECT_NE(error.find("yaml"), std::string::npos);
+  EXPECT_NE(error.find("csv"), std::string::npos);
+  EXPECT_NE(error.find("jsonl"), std::string::npos);
+}
+
+TEST(OutArgument, ConsoleIsNotAFileSinkFormat) {
+  std::string error;
+  EXPECT_FALSE(parse_out_argument("console:results", error).has_value());
+  EXPECT_FALSE(parse_out_argument("markdown:results", error).has_value());
+}
+
+TEST(OutArgument, RejectsEmptyPieces) {
+  std::string error;
+  EXPECT_FALSE(parse_out_argument("", error).has_value());
+  EXPECT_FALSE(parse_out_argument("csv:", error).has_value());
+  EXPECT_FALSE(parse_out_argument(":dir", error).has_value());
+}
+
+TEST(OutArgument, PathPrefixEscapesFormatDetection) {
+  // The documented escape hatch: a path character before the ':' makes the
+  // whole argument a directory.
+  std::string error;
+  const auto odd = parse_out_argument("./odd:dir", error);
+  ASSERT_TRUE(odd.has_value()) << error;
+  EXPECT_FALSE(odd->format.has_value());
+  EXPECT_EQ(odd->dir, "./odd:dir");
+
+  const auto nested = parse_out_argument("results/csv:run1", error);
+  ASSERT_TRUE(nested.has_value()) << error;
+  EXPECT_FALSE(nested->format.has_value());
+  EXPECT_EQ(nested->dir, "results/csv:run1");
+}
+
+TEST(CampaignRunner, SessionCacheBacksTheDedupeStats) {
+  // Two distinct p values, each listed twice, across two engines that share
+  // one design: 8 grid points, 4 distinct computations.
+  CampaignSpec spec = parse_or_die(
+      "name = cachestats\n"
+      "runs = 16\n"
+      "design = dtmb2_6\n"
+      "primaries = 20\n"
+      "p = 0.9, 0.9\n"
+      "engine = hopcroft_karp, kuhn\n"
+      "policy = all_faulty_primaries, used_faulty_primaries\n");
+  spec.threads = 2;
+  CampaignRunner runner(std::move(spec));
+  const auto results = runner.run();
+  EXPECT_EQ(results.size(), 8u);
+  EXPECT_EQ(runner.stats().grid_points, 8u);
+  EXPECT_EQ(runner.stats().unique_points, 4u);
+  EXPECT_EQ(runner.stats().cache_hits(), 4u);
+}
+
+}  // namespace
+}  // namespace dmfb::campaign

@@ -447,3 +447,91 @@ TEST(CoveringWalk, OnlyReachableComponent) {
 
 }  // namespace
 }  // namespace dmfb::graph
+
+// Appended: the allocation-free CSR matcher used by the sim hot path.
+#include "graph/csr_matching.hpp"
+
+namespace dmfb::graph {
+namespace {
+
+CsrBipartiteGraph to_csr(const BipartiteGraph& g) {
+  CsrBipartiteGraph csr;
+  for (std::int32_t a = 0; a < g.left_count(); ++a) {
+    csr.open_row();
+    for (const std::int32_t b : g.neighbors_of_left(a)) csr.add_edge(b);
+  }
+  return csr;
+}
+
+TEST(CsrMatcher, EmptyGraphCoversTrivially) {
+  CsrBipartiteGraph g;
+  CsrMatcher matcher;
+  EXPECT_EQ(matcher.maximum_matching_size(g, MatchingEngine::kHopcroftKarp),
+            0);
+  EXPECT_TRUE(matcher.covers_all_left(g, MatchingEngine::kKuhn));
+}
+
+TEST(CsrMatcher, AgreesWithLegacyEnginesOnRandomGraphs) {
+  Rng rng(0xC5A);
+  CsrMatcher matcher;  // deliberately reused across instances and engines
+  for (int trial = 0; trial < 60; ++trial) {
+    const auto left = rng.uniform_int(0, 12);
+    const auto right = rng.uniform_int(0, 12);
+    const BipartiteGraph g =
+        random_bipartite(rng, left, right, rng.uniform01());
+    const CsrBipartiteGraph csr = to_csr(g);
+    const std::int32_t expected =
+        maximum_matching(g, MatchingEngine::kHopcroftKarp).size;
+    for (const MatchingEngine engine : kEngines) {
+      EXPECT_EQ(matcher.maximum_matching_size(csr, engine), expected)
+          << "trial=" << trial << " engine=" << to_string(engine);
+    }
+  }
+}
+
+TEST(CsrMatcher, MatchOfLeftIsAValidMatching) {
+  Rng rng(0x5EED);
+  CsrMatcher matcher;
+  for (int trial = 0; trial < 30; ++trial) {
+    const BipartiteGraph g = random_bipartite(rng, 10, 8, 0.3);
+    const CsrBipartiteGraph csr = to_csr(g);
+    for (const MatchingEngine engine : kEngines) {
+      const std::int32_t size = matcher.maximum_matching_size(csr, engine);
+      const auto match = matcher.match_of_left();
+      ASSERT_EQ(match.size(), static_cast<std::size_t>(csr.left_count()));
+      std::set<std::int32_t> used;
+      std::int32_t matched = 0;
+      for (std::int32_t a = 0; a < csr.left_count(); ++a) {
+        const std::int32_t b = match[static_cast<std::size_t>(a)];
+        if (b == MatchingResult::kUnmatched) continue;
+        ++matched;
+        EXPECT_TRUE(used.insert(b).second) << "right vertex matched twice";
+        const auto nbrs = csr.neighbors_of_left(a);
+        EXPECT_NE(std::find(nbrs.begin(), nbrs.end(), b), nbrs.end());
+      }
+      EXPECT_EQ(matched, size);
+    }
+  }
+}
+
+TEST(CsrBipartiteGraph, ClearRewindsWithoutShrinking) {
+  CsrBipartiteGraph g;
+  g.open_row();
+  g.add_edge(4);
+  g.add_edge(2);
+  EXPECT_EQ(g.left_count(), 1);
+  EXPECT_EQ(g.right_count(), 5);
+  EXPECT_EQ(g.open_row_degree(), 2);
+  g.clear();
+  EXPECT_EQ(g.left_count(), 0);
+  EXPECT_EQ(g.right_count(), 0);
+  EXPECT_EQ(g.edge_count(), 0);
+  g.open_row();
+  EXPECT_EQ(g.open_row_degree(), 0);
+  g.add_edge(0);
+  EXPECT_EQ(g.right_count(), 1);
+  EXPECT_EQ(g.neighbors_of_left(0).size(), 1u);
+}
+
+}  // namespace
+}  // namespace dmfb::graph

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate for the Monte-Carlo session kernel.
+
+Usage:
+    check_bench_regression.py CURRENT.json BASELINE.json [tolerance]
+
+Both files are Google Benchmark JSON artifacts from bench_sim_session
+(see tools/bench_mc_yield.sh). The gate is *ratio-based* so it works on any
+machine: absolute nanoseconds differ wildly between a laptop and a CI
+runner, but the session/legacy kernel ratio measured within one process is
+stable. The check fails (exit 1) when
+
+    current(session/legacy) > baseline(session/legacy) * (1 + tolerance)
+
+i.e. when the one-run session kernel lost more than `tolerance` (default
+0.20 = 20%) of its advantage over the legacy kernel recorded in the
+checked-in baseline. It also fails outright if the session kernel is no
+longer faster than the legacy kernel at all.
+"""
+import json
+import sys
+
+LEGACY = "BM_McYieldRun_Legacy"
+SESSION = "BM_McYieldRun_Session"
+
+
+def kernel_time(artifact, name):
+    """Mean real_time for `name`, accepting aggregate or plain entries."""
+    exact_mean = None
+    plain = None
+    for bench in artifact.get("benchmarks", []):
+        run_name = bench.get("run_name", bench.get("name", ""))
+        if run_name != name:
+            continue
+        if bench.get("aggregate_name") == "mean":
+            exact_mean = float(bench["real_time"])
+        elif "aggregate_name" not in bench:
+            plain = float(bench["real_time"])
+    if exact_mean is not None:
+        return exact_mean
+    if plain is not None:
+        return plain
+    raise KeyError(f"benchmark '{name}' not found in artifact")
+
+
+def ratio(path):
+    with open(path, encoding="utf-8") as handle:
+        artifact = json.load(handle)
+    legacy = kernel_time(artifact, LEGACY)
+    session = kernel_time(artifact, SESSION)
+    if legacy <= 0 or session <= 0:
+        raise ValueError(f"{path}: non-positive kernel time")
+    return session / legacy
+
+
+def main(argv):
+    if len(argv) not in (3, 4):
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    current_path, baseline_path = argv[1], argv[2]
+    tolerance = float(argv[3]) if len(argv) == 4 else 0.20
+
+    current = ratio(current_path)
+    baseline = ratio(baseline_path)
+    limit = baseline * (1.0 + tolerance)
+    print(f"session/legacy kernel ratio: current {current:.3f}, "
+          f"baseline {baseline:.3f}, limit {limit:.3f} "
+          f"(tolerance {tolerance:.0%})")
+
+    if current >= 1.0:
+        print("FAIL: the session kernel is no longer faster than the legacy "
+              "kernel", file=sys.stderr)
+        return 1
+    if current > limit:
+        print(f"FAIL: session kernel regressed beyond {tolerance:.0%} of the "
+              f"baseline advantage", file=sys.stderr)
+        return 1
+    print("OK: session kernel within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -9,7 +9,10 @@
 //   --threads N   override the spec's thread budget (0 = hardware)
 //   --runs N      override the spec's runs-per-point
 //   --seed S      override the spec's RNG seed (decimal or 0x-hex)
-//   --out DIR     directory for CSV/JSON-lines artifacts (default ".")
+//   --out DIR     directory for CSV/JSON-lines artifacts (default ".");
+//                 --out FORMAT:DIR (csv/jsonl) narrows the file artifacts
+//                 to that one format — an unknown format is a hard error,
+//                 not a directory name
 //   --markdown    render the console table as markdown
 //   --print-spec  echo the normalised spec and exit (no simulation)
 //
@@ -42,6 +45,7 @@ int usage(const char* argv0) {
       << "  --runs N      override Monte-Carlo runs per grid point\n"
       << "  --seed S      override RNG seed (decimal or 0x-hex)\n"
       << "  --out DIR     artifact output directory (default: .)\n"
+      << "  --out FMT:DIR emit only FMT file artifacts (csv or jsonl)\n"
       << "  --markdown    print the console table as markdown\n"
       << "  --print-spec  echo the normalised spec and exit\n";
   return 2;
@@ -77,7 +81,7 @@ int main(int argc, char** argv) {
   using campaign::SinkKind;
 
   std::string target;
-  std::string out_dir = ".";
+  campaign::OutArgument out{std::nullopt, "."};
   std::optional<std::int64_t> threads_override;
   std::optional<std::int64_t> runs_override;
   std::optional<std::uint64_t> seed_override;
@@ -128,7 +132,15 @@ int main(int argc, char** argv) {
         std::cerr << argv[0] << ": --out needs a directory\n";
         return 2;
       }
-      out_dir = value;
+      // Strict parse, like the numeric options: an unknown FORMAT: prefix
+      // is a diagnostic and a nonzero exit, never a silent directory.
+      std::string out_error;
+      const auto parsed_out = campaign::parse_out_argument(value, out_error);
+      if (!parsed_out) {
+        std::cerr << argv[0] << ": " << out_error << '\n';
+        return 2;
+      }
+      out = *parsed_out;
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << argv[0] << ": unknown option '" << arg << "'\n";
       return usage(argv[0]);
@@ -160,6 +172,14 @@ int main(int argc, char** argv) {
   }
   if (runs_override) spec.runs = static_cast<std::int32_t>(*runs_override);
   if (seed_override) spec.seed = *seed_override;
+  if (out.format) {
+    // --out FORMAT:DIR pins the file artifacts to exactly that format
+    // (whether or not the spec listed it); console sinks are unaffected.
+    std::erase_if(spec.sinks, [](SinkKind kind) {
+      return kind == SinkKind::kCsv || kind == SinkKind::kJsonl;
+    });
+    spec.sinks.push_back(*out.format);
+  }
 
   if (print_spec) {
     std::cout << campaign::to_spec_text(spec);
@@ -194,8 +214,8 @@ int main(int argc, char** argv) {
       case SinkKind::kCsv:
       case SinkKind::kJsonl: {
         std::error_code ec;
-        std::filesystem::create_directories(out_dir, ec);  // best effort
-        const std::string path = out_dir + "/" + active.name +
+        std::filesystem::create_directories(out.dir, ec);  // best effort
+        const std::string path = out.dir + "/" + active.name +
                                  (kind == SinkKind::kCsv ? ".csv" : ".jsonl");
         auto sink = campaign::make_file_sink(kind, path, error);
         if (!sink) {
