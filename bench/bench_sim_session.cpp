@@ -73,6 +73,47 @@ void BM_McYieldRun_Session(benchmark::State& state) {
 }
 BENCHMARK(BM_McYieldRun_Session);
 
+// Composable-model kernels (not part of the CI ratio gate): the parametric
+// injector's per-cell Gaussian sampling dominates its run cost, and the
+// mixture kernel stacks all three mechanism families per run.
+
+void BM_McYieldRun_Parametric(benchmark::State& state) {
+  const auto design = sim::ChipDesign::make(bench_array());
+  sim::FaultState fault_state(design);
+  const sim::FaultModel model = sim::FaultModel::parametric(1.2);
+  std::int32_t run = 0;
+  for (auto _ : state) {
+    Rng rng = sim::run_stream(kSeed, run++);
+    sim::inject(model, fault_state, rng);
+    benchmark::DoNotOptimize(fault_state.repairable(
+        reconfig::CoveragePolicy::kAllFaultyPrimaries,
+        graph::MatchingEngine::kHopcroftKarp,
+        reconfig::ReplacementPool::kSparesOnly));
+    fault_state.reset();
+  }
+}
+BENCHMARK(BM_McYieldRun_Parametric);
+
+void BM_McYieldRun_Mixture(benchmark::State& state) {
+  const auto design = sim::ChipDesign::make(bench_array());
+  sim::FaultState fault_state(design);
+  const sim::FaultModel model = sim::FaultModel::mixture(
+      {sim::FaultModel::bernoulli(kSurvivalP),
+       sim::FaultModel::parametric(1.2),
+       sim::FaultModel::clustered(0.5, {1, 0.9, 0.3})});
+  std::int32_t run = 0;
+  for (auto _ : state) {
+    Rng rng = sim::run_stream(kSeed, run++);
+    sim::inject(model, fault_state, rng);
+    benchmark::DoNotOptimize(fault_state.repairable(
+        reconfig::CoveragePolicy::kAllFaultyPrimaries,
+        graph::MatchingEngine::kHopcroftKarp,
+        reconfig::ReplacementPool::kSparesOnly));
+    fault_state.reset();
+  }
+}
+BENCHMARK(BM_McYieldRun_Mixture);
+
 // Fig9-sized sweep (3 designs x 3 sizes x 9 p values) at reduced runs.
 
 constexpr std::int32_t kSweepRuns = 200;

@@ -63,6 +63,14 @@ HexArray make_dtmb_array(DtmbKind kind, std::int32_t width,
 HexArray make_dtmb_array_with_primaries(DtmbKind kind,
                                         std::int32_t min_primaries);
 
+/// Builds the no-redundancy baseline: a plain all-primary near-square
+/// parallelogram holding at least `min_primaries` cells (exactly
+/// `min_primaries` when it is a perfect rectangle, e.g. the paper's
+/// n = 100 -> 10 x 10). Shared by the campaign runner's `design = none`
+/// and the design advisor's Monte-Carlo baseline, so their geometries can
+/// never drift apart.
+HexArray make_plain_primary_array(std::int32_t min_primaries);
+
 /// Builds a DTMB(1,6) array made of exactly `n_clusters` complete clusters
 /// (one spare plus its six primaries each). On such an array the analytic
 /// cluster yield model of Section 6 is exact — every primary has its spare

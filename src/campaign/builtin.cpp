@@ -65,6 +65,48 @@ p = 0.80, 0.84, 0.88, 0.90, 0.92, 0.94, 0.96, 0.98, 0.99
 sink = console, csv, jsonl
 )";
 
+// Paper Figure 10 companion under the Section-4 *parametric* (soft) fault
+// model: Gaussian geometry deviations whose sigmas are scaled by
+// sigma_scale (a process-maturity axis), tolerances fixed. At
+// sigma_scale = 1 the per-cell fault probability is small (~0.1%); past
+// ~1.3 it dominates and the redundancy ranking flips like Fig. 10's low-p
+// regime.
+constexpr std::string_view kFig10Parametric =
+    R"(# Effective-yield sweep under the parametric (soft) fault model:
+# per-cell Gaussian geometry deviations, sigmas scaled by sigma_scale.
+name = fig10_parametric
+runs = 10000
+seed = 0xD0E5A11
+design = none, dtmb1_6, dtmb2_6, dtmb3_6, dtmb4_4
+primaries = 100
+injector = parametric
+sigma_scale = 0.8, 1.0, 1.1, 1.2, 1.3, 1.4
+sink = console, csv, jsonl
+)";
+
+// Mixture ablation: catastrophic Bernoulli spots + parametric process
+// deviations + clustered contamination composed in one defect draw per run,
+// swept over the Bernoulli survival probability. Compare against
+// builtin:fig9 rows to isolate what the extra mechanisms cost.
+constexpr std::string_view kMixtureAblation =
+    R"(# Composite defect statistics: bernoulli + parametric + clustered
+# applied per run (first faulter wins), swept over p.
+name = mixture_ablation
+runs = 10000
+seed = 0xD0E5A11
+design = dtmb2_6, dtmb4_4
+primaries = 100
+injector = mixture
+components = bernoulli, parametric, clustered
+p = 0.90, 0.92, 0.94, 0.96, 0.98, 0.99
+sigma_scale = 1
+mean_spots = 0.5
+cluster_radius = 1
+core_kill = 0.9
+edge_kill = 0.3
+sink = console, csv, jsonl
+)";
+
 struct BuiltinEntry {
   std::string_view name;
   std::string_view text;
@@ -75,6 +117,8 @@ constexpr BuiltinEntry kBuiltins[] = {
     {"fig9_smoke", kFig9Smoke},
     {"fig13", kFig13},
     {"effective_yield", kEffectiveYield},
+    {"fig10_parametric", kFig10Parametric},
+    {"mixture_ablation", kMixtureAblation},
 };
 
 }  // namespace

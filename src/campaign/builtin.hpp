@@ -12,7 +12,8 @@
 namespace dmfb::campaign {
 
 /// Spec source text for a built-in campaign ("fig9", "fig9_smoke", "fig13",
-/// "effective_yield"); empty view for unknown names.
+/// "effective_yield", "fig10_parametric", "mixture_ablation"); empty view
+/// for unknown names.
 std::string_view builtin_campaign(std::string_view name) noexcept;
 
 /// All built-in campaign names, in documentation order.

@@ -6,35 +6,29 @@
 
 namespace dmfb::campaign {
 
-const char* param_name(InjectorKind kind) noexcept {
-  switch (kind) {
-    case InjectorKind::kBernoulli: return "p";
-    case InjectorKind::kFixedCount: return "m";
-    case InjectorKind::kClustered: return "mean_spots";
-  }
-  return "?";
-}
-
 const char* CampaignPoint::param_name() const noexcept {
-  return campaign::param_name(injector);
+  return campaign::param_name(sweep_kind);
 }
 
 std::vector<CampaignPoint> expand_grid(const CampaignSpec& spec) {
-  std::vector<double> params;
-  switch (spec.injector) {
-    case InjectorKind::kBernoulli:
-      params = spec.p_grid;
-      break;
-    case InjectorKind::kFixedCount:
-      params.reserve(spec.m_grid.size());
-      for (const std::int32_t m : spec.m_grid) params.push_back(m);
-      break;
-    case InjectorKind::kClustered:
-      params = spec.mean_spots_grid;
-      break;
-  }
+  const InjectorKind sweep = spec.sweep_kind();
+  const std::vector<double> params = spec.param_grid_of(sweep);
   DMFB_EXPECTS(!params.empty());
   DMFB_EXPECTS(!spec.designs.empty());
+
+  // A mixture's non-swept components are single-valued across the whole
+  // campaign (validated at parse time); resolve them once.
+  std::vector<MixtureComponent> component_template;
+  std::size_t sweep_index = component_template.size();
+  if (spec.injector == InjectorKind::kMixture) {
+    for (const InjectorKind kind : spec.mixture_components) {
+      const std::vector<double> grid = spec.param_grid_of(kind);
+      DMFB_EXPECTS(!grid.empty());
+      if (kind == sweep) sweep_index = component_template.size();
+      component_template.push_back({kind, grid.front()});
+    }
+    DMFB_EXPECTS(sweep_index < component_template.size());
+  }
 
   // The multiplexed chip has a fixed size; collapse the primaries dimension
   // so a mixed design list does not duplicate its points.
@@ -54,8 +48,13 @@ std::vector<CampaignPoint> expand_grid(const CampaignSpec& spec) {
               point.design = design;
               point.min_primaries = min_primaries;
               point.injector = spec.injector;
+              point.sweep_kind = sweep;
               point.param = param;
               point.cluster = spec.cluster;
+              if (spec.injector == InjectorKind::kMixture) {
+                point.components = component_template;
+                point.components[sweep_index].param = param;
+              }
               point.policy = policy;
               point.engine = engine;
               point.pool = pool;
@@ -69,12 +68,28 @@ std::vector<CampaignPoint> expand_grid(const CampaignSpec& spec) {
   return points;
 }
 
+namespace {
+
+bool uses_cluster_shape(const CampaignPoint& point) noexcept {
+  if (point.injector == InjectorKind::kClustered) return true;
+  for (const MixtureComponent& component : point.components) {
+    if (component.kind == InjectorKind::kClustered) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
 std::string point_key(const CampaignPoint& point) {
   std::ostringstream key;
   key << to_string(point.design) << '/' << point.min_primaries << '/'
       << to_string(point.injector) << '/' << std::hexfloat << point.param
       << '/' << std::defaultfloat;
-  if (point.injector == InjectorKind::kClustered) {
+  for (const MixtureComponent& component : point.components) {
+    key << to_string(component.kind) << ':' << std::hexfloat
+        << component.param << '/' << std::defaultfloat;
+  }
+  if (uses_cluster_shape(point)) {
     key << point.cluster.radius << '/' << std::hexfloat
         << point.cluster.core_kill << '/' << point.cluster.edge_kill << '/'
         << std::defaultfloat;

@@ -15,27 +15,41 @@
 
 namespace dmfb::campaign {
 
+/// One resolved mixture component: a concrete injector kind plus the
+/// parameter value it runs with at this grid point.
+struct MixtureComponent {
+  InjectorKind kind = InjectorKind::kBernoulli;
+  double param = 0.0;
+
+  friend bool operator==(const MixtureComponent&,
+                         const MixtureComponent&) = default;
+};
+
 /// One fully-instantiated scenario: everything needed to run mc_yield.
 struct CampaignPoint {
   Design design = Design::kDtmb2_6;
   /// Requested minimum primary count; 0 for the fixed-size multiplexed chip.
   std::int32_t min_primaries = 0;
   InjectorKind injector = InjectorKind::kBernoulli;
-  /// The swept injector parameter: p (bernoulli), m (fixed_count, integral)
-  /// or mean_spots (clustered).
+  /// The concrete kind whose parameter this point's `param` is: `injector`
+  /// itself, or a mixture's swept component.
+  InjectorKind sweep_kind = InjectorKind::kBernoulli;
+  /// The swept injector parameter: p (bernoulli), m (fixed_count, integral),
+  /// mean_spots (clustered) or sigma_scale (parametric).
   double param = 0.0;
   ClusterParams cluster;
+  /// injector == kMixture only: the ordered, fully-resolved components
+  /// (the swept component's entry duplicates `param`).
+  std::vector<MixtureComponent> components;
   reconfig::CoveragePolicy policy =
       reconfig::CoveragePolicy::kAllFaultyPrimaries;
   graph::MatchingEngine engine = graph::MatchingEngine::kHopcroftKarp;
   reconfig::ReplacementPool pool = reconfig::ReplacementPool::kSparesOnly;
 
-  /// Name of the swept parameter column ("p" / "m" / "mean_spots").
+  /// Name of the swept parameter column
+  /// ("p" / "m" / "mean_spots" / "sigma_scale").
   const char* param_name() const noexcept;
 };
-
-/// Artifact column name of the parameter an injector sweeps.
-const char* param_name(InjectorKind kind) noexcept;
 
 /// Flattens the spec's sweep dimensions into points, in canonical order.
 std::vector<CampaignPoint> expand_grid(const CampaignSpec& spec);

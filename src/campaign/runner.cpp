@@ -26,18 +26,8 @@ namespace {
 
 biochip::HexArray build_array(Design design, std::int32_t min_primaries) {
   switch (design) {
-    case Design::kNone: {
-      // Plain all-primary near-square parallelogram with >= min_primaries
-      // cells (exactly min_primaries when it is a perfect rectangle, e.g.
-      // the paper's n = 100 -> 10 x 10).
-      DMFB_EXPECTS(min_primaries > 0);
-      const auto side = static_cast<std::int32_t>(
-          std::ceil(std::sqrt(static_cast<double>(min_primaries))));
-      const std::int32_t height = (min_primaries + side - 1) / side;
-      return biochip::HexArray(
-          hex::Region::parallelogram(side, height),
-          [](hex::HexCoord) { return biochip::CellRole::kPrimary; });
-    }
+    case Design::kNone:
+      return biochip::make_plain_primary_array(min_primaries);
     case Design::kDtmb1_6:
       return biochip::make_dtmb_array_with_primaries(
           biochip::DtmbKind::kDtmb1_6, min_primaries);
@@ -60,20 +50,36 @@ biochip::HexArray build_array(Design design, std::int32_t min_primaries) {
   return assay::make_multiplexed_chip().array;  // unreachable
 }
 
-sim::FaultModel fault_model_of(const CampaignPoint& point) {
-  switch (point.injector) {
+sim::FaultModel component_model(InjectorKind kind, double param,
+                                const ClusterParams& cluster) {
+  switch (kind) {
     case InjectorKind::kBernoulli:
-      return sim::FaultModel::bernoulli(point.param);
+      return sim::FaultModel::bernoulli(param);
     case InjectorKind::kFixedCount:
-      return sim::FaultModel::fixed_count(
-          static_cast<std::int32_t>(point.param));
+      return sim::FaultModel::fixed_count(static_cast<std::int32_t>(param));
     case InjectorKind::kClustered:
       return sim::FaultModel::clustered(
-          point.param, {point.cluster.radius, point.cluster.core_kill,
-                        point.cluster.edge_kill});
+          param, {cluster.radius, cluster.core_kill, cluster.edge_kill});
+    case InjectorKind::kParametric:
+      return sim::FaultModel::parametric(param);
+    case InjectorKind::kMixture:
+      break;  // mixtures never nest; handled by fault_model_of
   }
   DMFB_ASSERT(false);
   return {};
+}
+
+sim::FaultModel fault_model_of(const CampaignPoint& point) {
+  if (point.injector != InjectorKind::kMixture) {
+    return component_model(point.injector, point.param, point.cluster);
+  }
+  std::vector<sim::FaultModel> parts;
+  parts.reserve(point.components.size());
+  for (const MixtureComponent& component : point.components) {
+    parts.push_back(
+        component_model(component.kind, component.param, point.cluster));
+  }
+  return sim::FaultModel::mixture(std::move(parts));
 }
 
 /// The session query a grid point expands to under the spec's engine knobs.
@@ -98,7 +104,7 @@ void CampaignRunner::add_sink(ArtifactSink& sink) { sinks_.push_back(&sink); }
 
 std::vector<std::string> CampaignRunner::header() const {
   return {"campaign", "design", "primaries", "total_cells",
-          param_name(spec_.injector),
+          param_name(spec_.sweep_kind()),
           "policy",   "engine", "pool",      "runs",        "seed",
           "yield",    "ci_lo",  "ci_hi",     "successes",   "rr",
           "effective_yield"};
@@ -108,7 +114,7 @@ std::vector<std::string> CampaignRunner::format_row(
     const PointResult& result) const {
   const CampaignPoint& point = result.point;
   const std::string param =
-      point.injector == InjectorKind::kFixedCount
+      point.sweep_kind == InjectorKind::kFixedCount
           ? std::to_string(static_cast<std::int32_t>(point.param))
           : io::format_double(point.param, 4);
   return {spec_.name,
@@ -160,6 +166,12 @@ std::vector<PointResult> CampaignRunner::run() {
     if (point.injector == InjectorKind::kFixedCount) {
       DMFB_EXPECTS(static_cast<std::int32_t>(point.param) <=
                    session->design().cell_count());
+    }
+    for (const MixtureComponent& component : point.components) {
+      if (component.kind == InjectorKind::kFixedCount) {
+        DMFB_EXPECTS(static_cast<std::int32_t>(component.param) <=
+                     session->design().cell_count());
+      }
     }
   }
 

@@ -18,6 +18,10 @@ constexpr std::int32_t kMaxRuns = 100'000'000;
 constexpr std::int32_t kMaxThreads = 4096;
 constexpr std::int32_t kMaxPrimaries = 1'000'000;
 constexpr std::int32_t kMaxClusterRadius = 64;
+// sigma_scale multiplies the typical() process sigmas; 0 would degenerate
+// the Gaussians and huge values only saturate the fault probability at 1.
+constexpr double kMinSigmaScale = 1e-6;
+constexpr double kMaxSigmaScale = 1000.0;
 
 struct TokenPair {
   std::string_view token;
@@ -38,6 +42,8 @@ constexpr TokenPair kInjectorTokens[] = {
     {"bernoulli", static_cast<std::uint8_t>(InjectorKind::kBernoulli)},
     {"fixed_count", static_cast<std::uint8_t>(InjectorKind::kFixedCount)},
     {"clustered", static_cast<std::uint8_t>(InjectorKind::kClustered)},
+    {"parametric", static_cast<std::uint8_t>(InjectorKind::kParametric)},
+    {"mixture", static_cast<std::uint8_t>(InjectorKind::kMixture)},
 };
 
 constexpr TokenPair kSinkTokens[] = {
@@ -213,6 +219,12 @@ class SpecParser {
       int_list(key, value, line_no, 0, kMaxPrimaries, spec_.m_grid);
     } else if (key == "mean_spots") {
       double_list(key, value, line_no, 0.0, 1e6, spec_.mean_spots_grid);
+    } else if (key == "sigma_scale") {
+      double_list(key, value, line_no, kMinSigmaScale, kMaxSigmaScale,
+                  spec_.sigma_scale_grid);
+    } else if (key == "components") {
+      token_list(key, value, line_no, parse_injector, kInjectorTokens,
+                 spec_.mixture_components);
     } else if (key == "cluster_radius") {
       scalar_int(key, value, line_no, 0, kMaxClusterRadius,
                  spec_.cluster.radius);
@@ -318,6 +330,52 @@ class SpecParser {
     return found == seen_.end() ? 0 : found->second;
   }
 
+  void validate_mixture() {
+    if (spec_.mixture_components.empty()) {
+      error(line_of("injector"),
+            "injector 'mixture' needs a non-empty 'components' list");
+      return;
+    }
+    std::vector<InjectorKind> seen_kinds;
+    for (const InjectorKind kind : spec_.mixture_components) {
+      if (kind == InjectorKind::kMixture) {
+        error(line_of("components"),
+              "mixture components must be concrete injectors "
+              "(nested 'mixture' is not allowed)");
+        return;
+      }
+      if (std::find(seen_kinds.begin(), seen_kinds.end(), kind) !=
+          seen_kinds.end()) {
+        error(line_of("components"),
+              std::string("duplicate mixture component '") + to_string(kind) +
+                  "' (each kind may appear at most once)");
+        return;
+      }
+      seen_kinds.push_back(kind);
+      if (spec_.param_count_of(kind) == 0) {
+        error(line_of("components"),
+              std::string("mixture component '") + to_string(kind) +
+                  "' needs a non-empty '" + param_name(kind) + "' list");
+      }
+    }
+    // One component may sweep (multi-valued grid); the rest pin a single
+    // value, so every grid point stays a single (param, estimate) row.
+    std::vector<const char*> swept;
+    for (const InjectorKind kind : spec_.mixture_components) {
+      if (spec_.param_count_of(kind) > 1) swept.push_back(param_name(kind));
+    }
+    if (swept.size() > 1) {
+      std::string message =
+          "a mixture sweeps at most one component parameter, but ";
+      for (std::size_t i = 0; i < swept.size(); ++i) {
+        if (i > 0) message += i + 1 == swept.size() ? " and " : ", ";
+        message += std::string("'") + swept[i] + "'";
+      }
+      message += " all have multiple values";
+      error(line_of("components"), std::move(message));
+    }
+  }
+
   void validate() {
     if (!errors_.empty()) return;  // parse errors already explain the spec
     if (spec_.designs.empty()) {
@@ -331,23 +389,24 @@ class SpecParser {
     }
     switch (spec_.injector) {
       case InjectorKind::kBernoulli:
-        if (spec_.p_grid.empty()) {
-          error(line_of("injector"),
-                "injector 'bernoulli' needs a non-empty 'p' list");
-        }
-        break;
       case InjectorKind::kFixedCount:
-        if (spec_.m_grid.empty()) {
-          error(line_of("injector"),
-                "injector 'fixed_count' needs a non-empty 'm' list");
-        }
-        break;
       case InjectorKind::kClustered:
-        if (spec_.mean_spots_grid.empty()) {
+      case InjectorKind::kParametric:
+        if (spec_.param_count_of(spec_.injector) == 0) {
           error(line_of("injector"),
-                "injector 'clustered' needs a non-empty 'mean_spots' list");
+                std::string("injector '") + to_string(spec_.injector) +
+                    "' needs a non-empty '" + param_name(spec_.injector) +
+                    "' list");
         }
         break;
+      case InjectorKind::kMixture:
+        validate_mixture();
+        break;
+    }
+    if (!spec_.mixture_components.empty() &&
+        spec_.injector != InjectorKind::kMixture) {
+      error(line_of("components"),
+            "'components' requires 'injector = mixture'");
     }
     if (spec_.cluster.edge_kill > spec_.cluster.core_kill) {
       error(line_of("edge_kill"),
@@ -434,13 +493,55 @@ std::optional<reconfig::ReplacementPool> parse_pool(
   return lookup<reconfig::ReplacementPool>(kPoolTokens, token);
 }
 
-std::size_t CampaignSpec::param_count() const noexcept {
-  switch (injector) {
+const char* param_name(InjectorKind kind) noexcept {
+  switch (kind) {
+    case InjectorKind::kBernoulli: return "p";
+    case InjectorKind::kFixedCount: return "m";
+    case InjectorKind::kClustered: return "mean_spots";
+    case InjectorKind::kParametric: return "sigma_scale";
+    case InjectorKind::kMixture: return "mixture";  // no grid of its own
+  }
+  return "?";
+}
+
+std::vector<double> CampaignSpec::param_grid_of(InjectorKind kind) const {
+  switch (kind) {
+    case InjectorKind::kBernoulli: return p_grid;
+    case InjectorKind::kFixedCount: {
+      std::vector<double> values;
+      values.reserve(m_grid.size());
+      for (const std::int32_t m : m_grid) values.push_back(m);
+      return values;
+    }
+    case InjectorKind::kClustered: return mean_spots_grid;
+    case InjectorKind::kParametric: return sigma_scale_grid;
+    case InjectorKind::kMixture: break;  // a mixture has no grid of its own
+  }
+  return {};
+}
+
+std::size_t CampaignSpec::param_count_of(InjectorKind kind) const noexcept {
+  switch (kind) {
     case InjectorKind::kBernoulli: return p_grid.size();
     case InjectorKind::kFixedCount: return m_grid.size();
     case InjectorKind::kClustered: return mean_spots_grid.size();
+    case InjectorKind::kParametric: return sigma_scale_grid.size();
+    case InjectorKind::kMixture: break;
   }
   return 0;
+}
+
+InjectorKind CampaignSpec::sweep_kind() const noexcept {
+  if (injector != InjectorKind::kMixture) return injector;
+  for (const InjectorKind kind : mixture_components) {
+    if (param_count_of(kind) > 1) return kind;
+  }
+  return mixture_components.empty() ? InjectorKind::kBernoulli
+                                    : mixture_components.front();
+}
+
+std::size_t CampaignSpec::param_count() const noexcept {
+  return param_count_of(sweep_kind());
 }
 
 std::string ParseResult::error_text() const {
@@ -502,24 +603,44 @@ std::string to_spec_text(const CampaignSpec& spec) {
         << '\n';
   }
   out << "injector = " << to_string(spec.injector) << '\n';
-  switch (spec.injector) {
-    case InjectorKind::kBernoulli:
-      out << "p = " << join(spec.p_grid, format_grid_double) << '\n';
-      break;
-    case InjectorKind::kFixedCount:
-      out << "m = "
-          << join(spec.m_grid, [](std::int32_t m) { return std::to_string(m); })
-          << '\n';
-      break;
-    case InjectorKind::kClustered:
-      out << "mean_spots = " << join(spec.mean_spots_grid, format_grid_double)
-          << '\n';
-      out << "cluster_radius = " << spec.cluster.radius << '\n';
-      out << "core_kill = " << format_grid_double(spec.cluster.core_kill)
-          << '\n';
-      out << "edge_kill = " << format_grid_double(spec.cluster.edge_kill)
-          << '\n';
-      break;
+  const auto emit_kind_grid = [&](InjectorKind kind) {
+    switch (kind) {
+      case InjectorKind::kBernoulli:
+        out << "p = " << join(spec.p_grid, format_grid_double) << '\n';
+        break;
+      case InjectorKind::kFixedCount:
+        out << "m = "
+            << join(spec.m_grid,
+                    [](std::int32_t m) { return std::to_string(m); })
+            << '\n';
+        break;
+      case InjectorKind::kClustered:
+        out << "mean_spots = "
+            << join(spec.mean_spots_grid, format_grid_double) << '\n';
+        out << "cluster_radius = " << spec.cluster.radius << '\n';
+        out << "core_kill = " << format_grid_double(spec.cluster.core_kill)
+            << '\n';
+        out << "edge_kill = " << format_grid_double(spec.cluster.edge_kill)
+            << '\n';
+        break;
+      case InjectorKind::kParametric:
+        out << "sigma_scale = "
+            << join(spec.sigma_scale_grid, format_grid_double) << '\n';
+        break;
+      case InjectorKind::kMixture:
+        break;  // handled below; mixtures never nest
+    }
+  };
+  if (spec.injector == InjectorKind::kMixture) {
+    out << "components = "
+        << join(spec.mixture_components,
+                [](InjectorKind k) { return std::string(to_string(k)); })
+        << '\n';
+    for (const InjectorKind kind : spec.mixture_components) {
+      emit_kind_grid(kind);
+    }
+  } else {
+    emit_kind_grid(spec.injector);
   }
   out << "policy = "
       << join(spec.policies,

@@ -46,7 +46,14 @@ enum class InjectorKind : std::uint8_t {
   kBernoulli,   ///< iid survival probability p (paper Section 6)
   kFixedCount,  ///< exactly m random cell failures (Fig. 13)
   kClustered,   ///< Poisson spot clusters (independence ablation)
+  kParametric,  ///< Gaussian geometry deviations vs tolerance (Section 4)
+  kMixture,     ///< ordered composition of the concrete kinds above
 };
+
+/// Artifact column name of the parameter an injector kind sweeps
+/// ("p" / "m" / "mean_spots" / "sigma_scale"); also the spec key holding
+/// that kind's value grid.
+const char* param_name(InjectorKind kind) noexcept;
 
 /// Artifact sinks a spec may request.
 enum class SinkKind : std::uint8_t {
@@ -100,14 +107,27 @@ struct CampaignSpec {
   std::vector<double> p_grid;             ///< bernoulli survival probabilities
   std::vector<std::int32_t> m_grid;       ///< fixed-count failure counts
   std::vector<double> mean_spots_grid;    ///< clustered spot means
+  std::vector<double> sigma_scale_grid;   ///< parametric sigma multipliers
   ClusterParams cluster;
+  /// injector == kMixture only: the ordered concrete component kinds. Each
+  /// kind may appear once; its parameter comes from that kind's grid key.
+  std::vector<InjectorKind> mixture_components;
   std::vector<reconfig::CoveragePolicy> policies;
   std::vector<graph::MatchingEngine> engines;
   std::vector<reconfig::ReplacementPool> pools;
 
   std::vector<SinkKind> sinks;  ///< defaults to {console} when unset
 
-  /// The parameter grid active under `injector` (p/m/mean_spots).
+  /// Grid values for one concrete injector kind, as doubles
+  /// (p / m / mean_spots / sigma_scale).
+  std::vector<double> param_grid_of(InjectorKind kind) const;
+  /// Number of grid values for one concrete injector kind.
+  std::size_t param_count_of(InjectorKind kind) const noexcept;
+  /// The kind whose parameter the grid sweeps: `injector` itself, or — for
+  /// a mixture — the component with a multi-valued grid (validation allows
+  /// at most one), falling back to the first component.
+  InjectorKind sweep_kind() const noexcept;
+  /// The active parameter grid size (= param_count_of(sweep_kind())).
   std::size_t param_count() const noexcept;
 };
 

@@ -67,8 +67,9 @@ std::uint64_t Rng::uniform_below(std::uint64_t bound) noexcept {
   return static_cast<std::uint64_t>(m >> 64);
 }
 
-int Rng::uniform_int(int lo, int hi) noexcept {
-  if (lo >= hi) return lo;
+int Rng::uniform_int(int lo, int hi) {
+  DMFB_EXPECTS(lo <= hi);
+  if (lo == hi) return lo;
   const auto span =
       static_cast<std::uint64_t>(static_cast<std::int64_t>(hi) - lo) + 1;
   return lo + static_cast<int>(uniform_below(span));

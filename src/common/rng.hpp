@@ -40,8 +40,10 @@ class Rng {
   /// Unbiased uniform integer in [0, bound); bound must be > 0.
   std::uint64_t uniform_below(std::uint64_t bound) noexcept;
 
-  /// Unbiased uniform integer in [lo, hi] (inclusive); requires lo <= hi.
-  int uniform_int(int lo, int hi) noexcept;
+  /// Unbiased uniform integer in [lo, hi] (inclusive); lo <= hi is enforced
+  /// (ContractViolation otherwise — a reversed range would silently skew
+  /// samples if it just returned lo).
+  int uniform_int(int lo, int hi);
 
   /// Derives an independent child stream (distinct seed trajectory).
   Rng split() noexcept;

@@ -68,6 +68,16 @@ double binomial_pmf(int n, int k, double p) {
   DMFB_EXPECTS(n >= 0);
   DMFB_EXPECTS(p >= 0.0 && p <= 1.0);
   if (k < 0 || k > n) return 0.0;
+  if (p == 0.0) return k == 0 ? 1.0 : 0.0;
+  if (p == 1.0) return k == n ? 1.0 : 0.0;
+  // C(n, n/2) overflows double past n ~ 1029, turning the direct product
+  // into inf * 0 = NaN; above that, evaluate in log space (lgamma is
+  // accurate to ~1e-14 relative, plenty for a pmf).
+  if (n > 1000) {
+    return std::exp(std::lgamma(n + 1.0) - std::lgamma(k + 1.0) -
+                    std::lgamma(n - k + 1.0) + k * std::log(p) +
+                    (n - k) * std::log1p(-p));
+  }
   return binomial_coefficient(n, k) * std::pow(p, k) *
          std::pow(1.0 - p, n - k);
 }

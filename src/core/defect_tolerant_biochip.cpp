@@ -27,6 +27,17 @@ fault::FaultMap DefectTolerantBiochip::inject_fixed(std::int32_t m, Rng& rng) {
   return fault::FixedCountInjector(m).inject(array_, rng);
 }
 
+fault::FaultMap DefectTolerantBiochip::inject_parametric(
+    Rng& rng, const fault::ProcessSpec& spec) {
+  return fault::ParametricInjector(spec).inject(array_, rng);
+}
+
+fault::FaultMap DefectTolerantBiochip::inject_mixture(
+    const std::vector<fault::MixtureInjector::Component>& components,
+    Rng& rng) {
+  return fault::MixtureInjector(components).inject(array_, rng);
+}
+
 testplan::TestSessionResult DefectTolerantBiochip::test_chip(
     hex::CellIndex source) const {
   return testplan::run_test_session(array_, source);
@@ -69,6 +80,12 @@ yield::YieldEstimate DefectTolerantBiochip::estimate_yield_fixed_faults(
   heal();
   return session().run(
       yield::to_query(options, sim::FaultModel::fixed_count(m)));
+}
+
+yield::YieldEstimate DefectTolerantBiochip::estimate_yield_model(
+    const sim::FaultModel& model, const yield::McOptions& options) {
+  heal();
+  return session().run(yield::to_query(options, model));
 }
 
 }  // namespace dmfb::core

@@ -16,6 +16,8 @@
 #include "common/rng.hpp"
 #include "fault/fault_model.hpp"
 #include "fault/injector.hpp"
+#include "fault/mixture.hpp"
+#include "fault/parametric.hpp"
 #include "reconfig/local_reconfig.hpp"
 #include "sim/session.hpp"
 #include "testplan/stimulus_test.hpp"
@@ -51,6 +53,19 @@ class DefectTolerantBiochip {
   /// Injects exactly m random faults.
   fault::FaultMap inject_fixed(std::int32_t m, Rng& rng);
 
+  /// Injects parametric (soft) faults: Gaussian geometry deviations under
+  /// `spec` (fault::ProcessSpec::typical() by default), cells beyond
+  /// tolerance marked faulty.
+  fault::FaultMap inject_parametric(
+      Rng& rng,
+      const fault::ProcessSpec& spec = fault::ProcessSpec::typical());
+
+  /// Injects a composite defect draw: the mixture components applied in
+  /// order, first faulter wins (see fault::MixtureInjector).
+  fault::FaultMap inject_mixture(
+      const std::vector<fault::MixtureInjector::Component>& components,
+      Rng& rng);
+
   /// Runs the stimulus-droplet test session from cell 0 (or a chosen
   /// source) and returns the faults it localises.
   testplan::TestSessionResult test_chip(hex::CellIndex source = 0) const;
@@ -80,6 +95,12 @@ class DefectTolerantBiochip {
   /// Monte-Carlo yield under exactly m random faults per chip.
   yield::YieldEstimate estimate_yield_fixed_faults(
       std::int32_t m, const yield::McOptions& options = {});
+
+  /// Monte-Carlo yield under any structured sim::FaultModel — including
+  /// the parametric and mixture kinds the specialised entry points above
+  /// cannot express. Served by session(), like the other estimators.
+  yield::YieldEstimate estimate_yield_model(
+      const sim::FaultModel& model, const yield::McOptions& options = {});
 
  private:
   biochip::HexArray array_;

@@ -1,6 +1,7 @@
 #include "core/design_advisor.hpp"
 
 #include <algorithm>
+#include <iterator>
 
 #include "biochip/redundancy.hpp"
 #include "common/contracts.hpp"
@@ -52,6 +53,39 @@ sim::Session& DesignAdvisor::session_for(biochip::DtmbKind kind) const {
   return *session;  // map nodes are stable; Session::run is thread-safe
 }
 
+sim::Session& DesignAdvisor::baseline_session() const {
+  const std::scoped_lock lock(sessions_mutex_);
+  if (!baseline_session_) {
+    // Same geometry as the campaign runner's `design = none` by
+    // construction: both build biochip::make_plain_primary_array.
+    baseline_session_ = std::make_unique<sim::Session>(
+        biochip::make_plain_primary_array(min_primaries_));
+  }
+  return *baseline_session_;
+}
+
+std::vector<DesignAssessment> DesignAdvisor::assess_designs(
+    const sim::FaultModel& model) const {
+  std::vector<DesignAssessment> assessments;
+  for (const biochip::DtmbKind kind :
+       {biochip::DtmbKind::kDtmb1_6, biochip::DtmbKind::kDtmb2_6,
+        biochip::DtmbKind::kDtmb3_6, biochip::DtmbKind::kDtmb4_4}) {
+    sim::Session& session = session_for(kind);
+    const biochip::HexArray& array = session.design().array();
+    DesignAssessment assessment;
+    assessment.kind = kind;
+    assessment.name = std::string(biochip::dtmb_info(kind).name);
+    assessment.redundancy_ratio = biochip::measured_redundancy_ratio(array);
+    assessment.primaries = array.primary_count();
+    assessment.total_cells = array.cell_count();
+    assessment.yield = session.run(yield::to_query(options_, model)).value;
+    assessment.effective_yield =
+        yield::effective_yield(assessment.yield, assessment.redundancy_ratio);
+    assessments.push_back(std::move(assessment));
+  }
+  return assessments;
+}
+
 Advice DesignAdvisor::assess(double p) const {
   DMFB_EXPECTS(p >= 0.0 && p <= 1.0);
   Advice advice;
@@ -69,25 +103,35 @@ Advice DesignAdvisor::assess(double p) const {
     none.effective_yield = none.yield;
     advice.assessments.push_back(std::move(none));
   }
+  auto designs = assess_designs(sim::FaultModel::bernoulli(p));
+  std::move(designs.begin(), designs.end(),
+            std::back_inserter(advice.assessments));
+  return advice;
+}
 
-  for (const biochip::DtmbKind kind :
-       {biochip::DtmbKind::kDtmb1_6, biochip::DtmbKind::kDtmb2_6,
-        biochip::DtmbKind::kDtmb3_6, biochip::DtmbKind::kDtmb4_4}) {
-    sim::Session& session = session_for(kind);
+Advice DesignAdvisor::assess_model(const sim::FaultModel& model) const {
+  Advice advice;
+  advice.p =
+      model.kind == sim::FaultModel::Kind::kBernoulli ? model.param : 0.0;
+
+  // No closed form exists for the general models: the no-redundancy
+  // baseline runs through the same Monte-Carlo engine on a plain array.
+  {
+    sim::Session& session = baseline_session();
     const biochip::HexArray& array = session.design().array();
-    DesignAssessment assessment;
-    assessment.kind = kind;
-    assessment.name = std::string(biochip::dtmb_info(kind).name);
-    assessment.redundancy_ratio = biochip::measured_redundancy_ratio(array);
-    assessment.primaries = array.primary_count();
-    assessment.total_cells = array.cell_count();
-    assessment.yield =
-        session.run(yield::to_query(options_, sim::FaultModel::bernoulli(p)))
-            .value;
-    assessment.effective_yield =
-        yield::effective_yield(assessment.yield, assessment.redundancy_ratio);
-    advice.assessments.push_back(std::move(assessment));
+    DesignAssessment none;
+    none.kind = std::nullopt;
+    none.name = "no-redundancy";
+    none.redundancy_ratio = 0.0;
+    none.primaries = array.primary_count();
+    none.total_cells = array.cell_count();
+    none.yield = session.run(yield::to_query(options_, model)).value;
+    none.effective_yield = none.yield;
+    advice.assessments.push_back(std::move(none));
   }
+  auto designs = assess_designs(model);
+  std::move(designs.begin(), designs.end(),
+            std::back_inserter(advice.assessments));
   return advice;
 }
 

@@ -34,6 +34,8 @@ struct DesignAssessment {
 
 /// Full advice for one operating point.
 struct Advice {
+  /// Bernoulli survival probability of the operating point; 0 when the
+  /// advice came from assess_model() with a non-bernoulli fault model.
   double p = 0.0;
   std::vector<DesignAssessment> assessments;  ///< in fixed design order
 
@@ -54,8 +56,19 @@ class DesignAdvisor {
 
   Advice assess(double p) const;
 
+  /// Like assess(), but under any structured sim::FaultModel — including
+  /// the parametric and mixture kinds with no Bernoulli equivalent. The
+  /// no-redundancy baseline has no closed form here, so it runs through the
+  /// same Monte-Carlo engine on a plain all-primary array (assess() keeps
+  /// its exact p^n baseline and is bit-identical to earlier releases).
+  Advice assess_model(const sim::FaultModel& model) const;
+
  private:
   sim::Session& session_for(biochip::DtmbKind kind) const;
+  sim::Session& baseline_session() const;
+  /// The four DTMB assessments (shared by both assess entry points).
+  std::vector<DesignAssessment> assess_designs(
+      const sim::FaultModel& model) const;
 
   std::int32_t min_primaries_;
   yield::McOptions options_;
@@ -66,6 +79,8 @@ class DesignAdvisor {
   mutable std::mutex sessions_mutex_;
   mutable std::map<biochip::DtmbKind, std::unique_ptr<sim::Session>>
       sessions_;
+  /// Plain all-primary array for assess_model()'s Monte-Carlo baseline.
+  mutable std::unique_ptr<sim::Session> baseline_session_;
 };
 
 }  // namespace dmfb::core

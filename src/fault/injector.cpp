@@ -1,5 +1,6 @@
 #include "fault/injector.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/contracts.hpp"
@@ -8,6 +9,11 @@
 namespace dmfb::fault {
 
 namespace {
+
+/// Largest mean handled by Knuth's direct product method (and the chunk
+/// size of the large-mean exponent folding): exp(-700) is still a normal
+/// double, with plenty of margin to the ~745 underflow edge.
+constexpr double kPoissonDirectMeanLimit = 700.0;
 
 /// Relative frequencies of the three catastrophic defect mechanisms.
 /// Dielectric breakdown dominates in electrowetting devices (high-voltage
@@ -72,15 +78,39 @@ FaultMap FixedCountInjector::inject(biochip::HexArray& array, Rng& rng) const {
 std::int32_t sample_poisson(double mean, Rng& rng) {
   DMFB_EXPECTS(mean >= 0.0);
   if (mean == 0.0) return 0;
-  // Knuth's product method; fine for the small means used here.
-  const double limit = std::exp(-mean);
+  if (mean <= kPoissonDirectMeanLimit) {
+    // Knuth's product method, exactly as originally shipped: the equivalence
+    // suite pins this draw sequence bit-for-bit for small means, so the
+    // small-mean branch must never change.
+    const double limit = std::exp(-mean);
+    std::int32_t k = 0;
+    double product = 1.0;
+    do {
+      ++k;
+      product *= rng.uniform01();
+    } while (product > limit);
+    return k - 1;
+  }
+  // Large means: exp(-mean) underflows to 0 past mean ~ 745, so the direct
+  // limit comparison only terminates once the uniform product itself
+  // underflows (~750 iterations) — a heavily biased sample. Fold e^mean
+  // into the product in chunks instead: stop at the first k + 1 draws with
+  // u_1 ... u_{k+1} * e^mean < 1, which is the same stopping rule in a
+  // range the floating-point format can represent.
   std::int32_t k = 0;
   double product = 1.0;
-  do {
-    ++k;
+  double pending_exponent = mean;
+  for (;;) {
     product *= rng.uniform01();
-  } while (product > limit);
-  return k - 1;
+    while (product < 1.0 && pending_exponent > 0.0) {
+      const double step =
+          std::min(pending_exponent, kPoissonDirectMeanLimit);
+      product *= std::exp(step);
+      pending_exponent -= step;
+    }
+    if (pending_exponent <= 0.0 && product <= 1.0) return k;
+    ++k;
+  }
 }
 
 ClusteredInjector::ClusteredInjector(double mean_spots, std::int32_t radius,

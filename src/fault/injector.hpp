@@ -69,6 +69,8 @@ class ClusteredInjector {
 
   double mean_spots() const noexcept { return mean_spots_; }
   std::int32_t radius() const noexcept { return radius_; }
+  double core_kill_prob() const noexcept { return core_kill_prob_; }
+  double edge_kill_prob() const noexcept { return edge_kill_prob_; }
 
   FaultMap inject(biochip::HexArray& array, Rng& rng) const;
 
@@ -84,7 +86,10 @@ class ClusteredInjector {
   double edge_kill_prob_;
 };
 
-/// Poisson sampler (Knuth for small mean) — exposed for tests.
+/// Poisson sampler — exposed for tests. Knuth's product method for means up
+/// to 700 (draw sequence frozen by the sim equivalence suite); above that,
+/// the e^-mean limit underflows, so the exponent is folded into the uniform
+/// product in representable chunks instead of being biased to ~750.
 std::int32_t sample_poisson(double mean, Rng& rng);
 
 }  // namespace dmfb::fault

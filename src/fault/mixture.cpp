@@ -1,0 +1,114 @@
+#include "fault/mixture.hpp"
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "hexgrid/hex_coord.hpp"
+
+namespace dmfb::fault {
+
+namespace {
+
+/// One catastrophic kill under the mixture contract: the classification
+/// draw is always burned (standalone stream alignment), but a cell an
+/// earlier component already faulted keeps its original attribution.
+void kill_catastrophic(biochip::HexArray& array, FaultMap& map,
+                       hex::CellIndex cell, Rng& rng) {
+  const CatastrophicDefect defect = sample_catastrophic_defect(rng);
+  if (array.health(cell) == biochip::CellHealth::kFaulty) return;
+  array.set_health(cell, biochip::CellHealth::kFaulty);
+  FaultRecord record;
+  record.cell = cell;
+  record.fault_class = FaultClass::kCatastrophic;
+  record.catastrophic = defect;
+  map.records.push_back(record);
+}
+
+// The apply() overloads replicate the standalone injectors' loops (same
+// draws, same order); only the set-health/record step differs, per the
+// first-faulter-wins contract in the header.
+
+void apply(const BernoulliInjector& injector, biochip::HexArray& array,
+           FaultMap& map, Rng& rng) {
+  const double kill_prob = 1.0 - injector.survival_probability();
+  for (std::int32_t cell = 0; cell < array.cell_count(); ++cell) {
+    if (rng.bernoulli(kill_prob)) kill_catastrophic(array, map, cell, rng);
+  }
+}
+
+void apply(const FixedCountInjector& injector, biochip::HexArray& array,
+           FaultMap& map, Rng& rng) {
+  DMFB_EXPECTS(injector.count() <= array.cell_count());
+  for (const std::int32_t cell :
+       rng.sample_without_replacement(array.cell_count(), injector.count())) {
+    kill_catastrophic(array, map, cell, rng);
+  }
+}
+
+void apply(const ClusteredInjector& injector, biochip::HexArray& array,
+           FaultMap& map, Rng& rng) {
+  const std::int32_t spots = sample_poisson(injector.mean_spots(), rng);
+  for (std::int32_t spot = 0; spot < spots; ++spot) {
+    const auto center_index = static_cast<std::int32_t>(
+        rng.uniform_below(static_cast<std::uint64_t>(array.cell_count())));
+    const hex::HexCoord center = array.region().coord_at(center_index);
+    for (const hex::HexCoord at : hex::disk(center, injector.radius())) {
+      const hex::CellIndex cell = array.region().index_of(at);
+      if (cell == hex::kInvalidCell) continue;  // spot clipped by boundary
+      if (array.health(cell) == biochip::CellHealth::kFaulty) continue;
+      const double t =
+          injector.radius() == 0
+              ? 0.0
+              : static_cast<double>(hex::distance(center, at)) /
+                    static_cast<double>(injector.radius());
+      const double kill_prob =
+          injector.core_kill_prob() +
+          (injector.edge_kill_prob() - injector.core_kill_prob()) * t;
+      if (rng.bernoulli(kill_prob)) kill_catastrophic(array, map, cell, rng);
+    }
+  }
+}
+
+void apply(const ParametricInjector& injector, biochip::HexArray& array,
+           FaultMap& map, Rng& rng) {
+  for (std::int32_t cell = 0; cell < array.cell_count(); ++cell) {
+    const auto deviations = injector.sample_cell(rng);
+    const Deviation* worst = nullptr;
+    for (const Deviation& deviation : deviations) {
+      if (!deviation.out_of_tolerance) continue;
+      if (worst == nullptr ||
+          std::abs(deviation.value) > std::abs(worst->value)) {
+        worst = &deviation;
+      }
+    }
+    if (worst == nullptr) continue;
+    if (array.health(cell) == biochip::CellHealth::kFaulty) continue;
+    array.set_health(cell, biochip::CellHealth::kFaulty);
+    FaultRecord record;
+    record.cell = cell;
+    record.fault_class = FaultClass::kParametric;
+    record.parametric = worst->parameter;
+    record.deviation = worst->value;
+    map.records.push_back(record);
+  }
+}
+
+}  // namespace
+
+MixtureInjector::MixtureInjector(std::vector<Component> components)
+    : components_(std::move(components)) {
+  DMFB_EXPECTS(!components_.empty());
+}
+
+FaultMap MixtureInjector::inject(biochip::HexArray& array, Rng& rng) const {
+  DMFB_EXPECTS(array.faulty_count() == 0);
+  FaultMap map;
+  for (const Component& component : components_) {
+    std::visit(
+        [&](const auto& injector) { apply(injector, array, map, rng); },
+        component);
+  }
+  return map;
+}
+
+}  // namespace dmfb::fault

@@ -16,6 +16,13 @@ ProcessSpec ProcessSpec::typical() {
   }}};
 }
 
+ProcessSpec ProcessSpec::scaled(double sigma_scale) const {
+  DMFB_EXPECTS(sigma_scale > 0.0);
+  ProcessSpec out = *this;
+  for (ParameterSpec& param : out.parameters) param.sigma *= sigma_scale;
+  return out;
+}
+
 double normal_upper_tail(double x) {
   return 0.5 * std::erfc(x / std::numbers::sqrt2);
 }

@@ -34,6 +34,12 @@ struct ProcessSpec {
   /// compared to typical catastrophic rates.
   static ProcessSpec typical();
 
+  /// This corner with every sigma multiplied by `sigma_scale` (tolerances
+  /// unchanged) — a one-knob process-maturity sweep. sim::FaultModel's
+  /// parametric kind is defined as typical().scaled(sigma_scale); using the
+  /// same helper on both paths keeps their doubles bit-identical.
+  ProcessSpec scaled(double sigma_scale) const;
+
   /// Probability that a single cell has at least one out-of-tolerance
   /// parameter (closed form from the Gaussian tail).
   double cell_fault_probability() const;

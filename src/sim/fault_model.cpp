@@ -1,7 +1,11 @@
 #include "sim/fault_model.hpp"
 
+#include <cmath>
+
 #include "common/contracts.hpp"
 #include "fault/injector.hpp"
+#include "fault/mixture.hpp"
+#include "fault/parametric.hpp"
 #include "hexgrid/hex_coord.hpp"
 
 namespace dmfb::sim {
@@ -15,6 +19,12 @@ namespace {
 inline void burn_defect_classification(Rng& rng) {
   (void)fault::sample_catastrophic_defect(rng);
 }
+
+// Each inject_* function is draw-for-draw identical to its fault::*Injector
+// counterpart, and — because FaultState::set_faulty is idempotent and the
+// classification burn happens regardless — also implements the mixture
+// contract (fault::MixtureInjector) when the state arrives pre-faulted:
+// draws replay the standalone sequence, first faulter wins.
 
 void inject_bernoulli(double survival_p, FaultState& state, Rng& rng) {
   const double kill_prob = 1.0 - survival_p;
@@ -61,6 +71,45 @@ void inject_clustered(double mean_spots, const ClusterShape& shape,
   }
 }
 
+void inject_parametric(double sigma_scale, FaultState& state, Rng& rng) {
+  // Replays fault::ParametricInjector(typical().scaled(sigma_scale)):
+  // sample_cell always draws three deviations (no fault-state dependence),
+  // and parametric faults carry no catastrophic-classification burn.
+  const fault::ParametricInjector injector(
+      fault::ProcessSpec::typical().scaled(sigma_scale));
+  const std::int32_t n = state.design().cell_count();
+  for (std::int32_t cell = 0; cell < n; ++cell) {
+    bool out_of_tolerance = false;
+    for (const fault::Deviation& deviation : injector.sample_cell(rng)) {
+      out_of_tolerance |= deviation.out_of_tolerance;
+    }
+    if (out_of_tolerance) state.set_faulty(cell);
+  }
+}
+
+void inject_component(const FaultModel& model, FaultState& state, Rng& rng) {
+  switch (model.kind) {
+    case FaultModel::Kind::kBernoulli:
+      inject_bernoulli(model.param, state, rng);
+      return;
+    case FaultModel::Kind::kFixedCount:
+      inject_fixed_count(static_cast<std::int32_t>(model.param), state, rng);
+      return;
+    case FaultModel::Kind::kClustered:
+      inject_clustered(model.param, model.cluster, state, rng);
+      return;
+    case FaultModel::Kind::kParametric:
+      inject_parametric(model.param, state, rng);
+      return;
+    case FaultModel::Kind::kMixture:
+      for (const FaultModel& component : model.components) {
+        inject_component(component, state, rng);
+      }
+      return;
+  }
+  DMFB_ASSERT(!"unknown fault model kind");
+}
+
 }  // namespace
 
 void validate(const FaultModel& model, const ChipDesign& design) {
@@ -82,24 +131,23 @@ void validate(const FaultModel& model, const ChipDesign& design) {
       DMFB_EXPECTS(model.cluster.edge_kill >= 0.0 &&
                    model.cluster.edge_kill <= model.cluster.core_kill);
       return;
+    case FaultModel::Kind::kParametric:
+      DMFB_EXPECTS(std::isfinite(model.param) && model.param > 0.0);
+      return;
+    case FaultModel::Kind::kMixture:
+      DMFB_EXPECTS(!model.components.empty());
+      for (const FaultModel& component : model.components) {
+        DMFB_EXPECTS(component.kind != FaultModel::Kind::kMixture);
+        validate(component, design);
+      }
+      return;
   }
   DMFB_ASSERT(!"unknown fault model kind");
 }
 
 void inject(const FaultModel& model, FaultState& state, Rng& rng) {
   DMFB_EXPECTS(state.faulty_count() == 0);
-  switch (model.kind) {
-    case FaultModel::Kind::kBernoulli:
-      inject_bernoulli(model.param, state, rng);
-      return;
-    case FaultModel::Kind::kFixedCount:
-      inject_fixed_count(static_cast<std::int32_t>(model.param), state, rng);
-      return;
-    case FaultModel::Kind::kClustered:
-      inject_clustered(model.param, model.cluster, state, rng);
-      return;
-  }
-  DMFB_ASSERT(!"unknown fault model kind");
+  inject_component(model, state, rng);
 }
 
 }  // namespace dmfb::sim

@@ -3,13 +3,23 @@
 //
 // Each model replicates the corresponding fault::*Injector *exactly*,
 // including its Rng draw sequence (one catastrophic-defect draw per injected
-// fault), so a session run consumes the same random stream as the legacy
+// catastrophic fault; three Gaussian deviations per cell for the parametric
+// kind), so a session run consumes the same random stream as the legacy
 // HexArray path and produces bit-identical success counts. The equivalence
-// test suite (tests/test_sim_session.cpp) pins this contract; any change to
-// an injector's draw order must land in both places.
+// test suites (tests/test_sim_session.cpp, tests/test_sim_fault_models.cpp)
+// pin this contract; any change to an injector's draw order must land in
+// every replay site (fault/injector.cpp, fault/parametric.cpp,
+// fault/mixture.cpp and this file).
+//
+// kMixture composes an ordered list of the concrete kinds into one defect
+// draw per run, replaying fault::MixtureInjector: every component consumes
+// the stream exactly as its standalone injector would (clustered kill draws
+// see the live fault state, as standalone), and a cell keeps the
+// attribution of the first component that faulted it.
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "sim/fault_state.hpp"
@@ -29,32 +39,67 @@ struct FaultModel {
     kBernoulli,   ///< iid survival probability p per cell (paper Section 6)
     kFixedCount,  ///< exactly m random cell failures (Fig. 13)
     kClustered,   ///< Poisson spot clusters (independence ablation)
+    kParametric,  ///< Gaussian geometry deviations vs tolerance (Section 4)
+    kMixture,     ///< ordered composition of the concrete kinds above
   };
 
   Kind kind = Kind::kBernoulli;
-  /// p (bernoulli, survival), m (fixed_count, integral) or mean_spots
-  /// (clustered), matching campaign::CampaignPoint::param.
+  /// p (bernoulli, survival), m (fixed_count, integral), mean_spots
+  /// (clustered) or sigma_scale (parametric), matching
+  /// campaign::CampaignPoint::param. Unused by kMixture.
   double param = 0.99;
   ClusterShape cluster;  ///< used by kClustered only
+  /// kMixture only: the concrete component models, applied in order.
+  /// Nested mixtures are rejected by validate().
+  std::vector<FaultModel> components;
 
   static FaultModel bernoulli(double p) {
-    return {Kind::kBernoulli, p, {}};
+    FaultModel model;
+    model.kind = Kind::kBernoulli;
+    model.param = p;
+    return model;
   }
   static FaultModel fixed_count(std::int32_t m) {
-    return {Kind::kFixedCount, static_cast<double>(m), {}};
+    FaultModel model;
+    model.kind = Kind::kFixedCount;
+    model.param = static_cast<double>(m);
+    return model;
   }
   static FaultModel clustered(double mean_spots, ClusterShape shape) {
-    return {Kind::kClustered, mean_spots, shape};
+    FaultModel model;
+    model.kind = Kind::kClustered;
+    model.param = mean_spots;
+    model.cluster = shape;
+    return model;
+  }
+  /// Parametric (soft) faults under fault::ProcessSpec::typical() with all
+  /// sigmas multiplied by `sigma_scale` — a one-knob process-maturity axis.
+  /// Replays fault::ParametricInjector(typical().scaled(sigma_scale))
+  /// draw-for-draw.
+  static FaultModel parametric(double sigma_scale) {
+    FaultModel model;
+    model.kind = Kind::kParametric;
+    model.param = sigma_scale;
+    return model;
+  }
+  /// Ordered composition; see the mixture contract in the header comment.
+  static FaultModel mixture(std::vector<FaultModel> parts) {
+    FaultModel model;
+    model.kind = Kind::kMixture;
+    model.param = 0.0;
+    model.components = std::move(parts);
+    return model;
   }
 };
 
 /// Validates `model` against `design` (throws ContractViolation on bad
-/// parameters, mirroring the legacy injector constructors).
+/// parameters, mirroring the legacy injector constructors). For mixtures:
+/// non-empty, no nested mixtures, every component valid.
 void validate(const FaultModel& model, const ChipDesign& design);
 
 /// Injects one run's faults into `state` (which must arrive reset).
-/// Draw-for-draw identical to fault::BernoulliInjector /
-/// FixedCountInjector / ClusteredInjector on a HexArray.
+/// Draw-for-draw identical to the corresponding fault::*Injector (or
+/// fault::MixtureInjector) on a HexArray.
 void inject(const FaultModel& model, FaultState& state, Rng& rng);
 
 }  // namespace dmfb::sim

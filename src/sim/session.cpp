@@ -45,14 +45,32 @@ Rng run_stream(std::uint64_t seed, std::int32_t run) noexcept {
   return Rng(splitmix64(s));
 }
 
+namespace {
+
+void append_fault_key(std::ostringstream& key, const FaultModel& fault) {
+  key << static_cast<int>(fault.kind) << '|'
+      << std::bit_cast<std::uint64_t>(fault.param) << '|'
+      << fault.cluster.radius << '|'
+      << std::bit_cast<std::uint64_t>(fault.cluster.core_kill) << '|'
+      << std::bit_cast<std::uint64_t>(fault.cluster.edge_kill);
+  if (fault.kind == FaultModel::Kind::kMixture) {
+    // Bracketed component list: an ordered mixture key can never collide
+    // with a concrete kind or a differently-ordered mixture.
+    key << "|[";
+    for (const FaultModel& component : fault.components) {
+      append_fault_key(key, component);
+      key << ';';
+    }
+    key << ']';
+  }
+}
+
+}  // namespace
+
 std::string query_key(const YieldQuery& query) {
   std::ostringstream key;
-  key << static_cast<int>(query.fault.kind) << '|'
-      << std::bit_cast<std::uint64_t>(query.fault.param) << '|'
-      << query.fault.cluster.radius << '|'
-      << std::bit_cast<std::uint64_t>(query.fault.cluster.core_kill) << '|'
-      << std::bit_cast<std::uint64_t>(query.fault.cluster.edge_kill) << '|'
-      << query.runs << '|' << query.seed << '|'
+  append_fault_key(key, query.fault);
+  key << '|' << query.runs << '|' << query.seed << '|'
       << static_cast<int>(query.policy) << '|'
       << static_cast<int>(query.engine) << '|' << static_cast<int>(query.pool)
       << '|' << std::bit_cast<std::uint64_t>(query.target_ci_half_width);

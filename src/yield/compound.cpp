@@ -1,5 +1,6 @@
 #include "yield/compound.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <numeric>
 
@@ -13,7 +14,22 @@ namespace {
 void normalize(DefectCountPmf& pmf) {
   const double total = std::accumulate(pmf.begin(), pmf.end(), 0.0);
   DMFB_ASSERT(total > 0.0);
+  DMFB_ASSERT(std::isfinite(total));
   for (double& probability : pmf) probability /= total;
+}
+
+/// Exponentiates log-space pmf terms shifted by their maximum, then
+/// normalises. The shift keeps the dominant terms representable even when
+/// every raw term underflows exp() directly (large means / cell counts).
+DefectCountPmf from_log_terms(const std::vector<double>& log_terms) {
+  const double shift =
+      *std::max_element(log_terms.begin(), log_terms.end());
+  DefectCountPmf pmf(log_terms.size());
+  for (std::size_t m = 0; m < log_terms.size(); ++m) {
+    pmf[m] = std::exp(log_terms[m] - shift);
+  }
+  normalize(pmf);
+  return pmf;
 }
 
 }  // namespace
@@ -21,16 +37,47 @@ void normalize(DefectCountPmf& pmf) {
 DefectCountPmf binomial_defect_pmf(std::int32_t cell_count, double q) {
   DMFB_EXPECTS(cell_count >= 0);
   DMFB_EXPECTS(q >= 0.0 && q <= 1.0);
-  DefectCountPmf pmf(static_cast<std::size_t>(cell_count) + 1);
-  for (std::int32_t m = 0; m <= cell_count; ++m) {
-    pmf[static_cast<std::size_t>(m)] = binomial_pmf(cell_count, m, q);
+  const auto size = static_cast<std::size_t>(cell_count) + 1;
+  if (q == 0.0 || q == 1.0) {  // all mass on one defect count
+    DefectCountPmf pmf(size, 0.0);
+    pmf[q == 0.0 ? 0 : size - 1] = 1.0;
+    return pmf;
   }
-  return pmf;  // already sums to 1
+  // Log-space multiplicative recurrence (the same shape poisson_defect_pmf
+  // uses): log p(m) = log p(m-1) + log((n-m+1)/m) + log(q/(1-q)). The
+  // direct C(n,m) q^m (1-q)^(n-m) product breaks down at production-scale
+  // cell counts — the coefficient overflows to inf while the powers
+  // underflow to 0, yielding NaN entries.
+  std::vector<double> log_terms(size);
+  log_terms[0] = static_cast<double>(cell_count) * std::log1p(-q);
+  const double log_odds = std::log(q) - std::log1p(-q);
+  for (std::int32_t m = 1; m <= cell_count; ++m) {
+    log_terms[static_cast<std::size_t>(m)] =
+        log_terms[static_cast<std::size_t>(m) - 1] +
+        std::log(static_cast<double>(cell_count - m + 1) /
+                 static_cast<double>(m)) +
+        log_odds;
+  }
+  return from_log_terms(log_terms);  // sums to 1 (complete support)
 }
 
 DefectCountPmf poisson_defect_pmf(std::int32_t cell_count, double mean) {
   DMFB_EXPECTS(cell_count >= 0);
   DMFB_EXPECTS(mean >= 0.0);
+  // exp(-mean) underflows to 0 near mean ~ 745, zeroing the whole pmf and
+  // tripping normalize(). Above a safe threshold, run the same recurrence
+  // shifted into log space; below it keep the exact linear-space recurrence
+  // (bit-identical to the historical implementation).
+  if (mean >= 700.0) {
+    std::vector<double> log_terms(static_cast<std::size_t>(cell_count) + 1);
+    log_terms[0] = -mean;
+    for (std::int32_t m = 1; m <= cell_count; ++m) {
+      log_terms[static_cast<std::size_t>(m)] =
+          log_terms[static_cast<std::size_t>(m) - 1] +
+          std::log(mean / static_cast<double>(m));
+    }
+    return from_log_terms(log_terms);  // folds the truncated tail back in
+  }
   DefectCountPmf pmf(static_cast<std::size_t>(cell_count) + 1);
   // Recurrence p(m) = p(m-1) * mean / m avoids factorial overflow.
   double term = std::exp(-mean);

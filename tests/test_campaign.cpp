@@ -86,6 +86,8 @@ TEST(CampaignSpecParse, RoundTripThroughSpecText) {
     EXPECT_EQ(original.p_grid, reparsed.p_grid);
     EXPECT_EQ(original.m_grid, reparsed.m_grid);
     EXPECT_EQ(original.mean_spots_grid, reparsed.mean_spots_grid);
+    EXPECT_EQ(original.sigma_scale_grid, reparsed.sigma_scale_grid);
+    EXPECT_EQ(original.mixture_components, reparsed.mixture_components);
     EXPECT_EQ(original.policies, reparsed.policies);
     EXPECT_EQ(original.engines, reparsed.engines);
     EXPECT_EQ(original.pools, reparsed.pools);
@@ -175,6 +177,119 @@ TEST(CampaignSpecParse, InjectorGridMismatchDiagnosed) {
       "p = 0.9\n");
   ASSERT_FALSE(result.ok());
   EXPECT_NE(result.error_text().find("'m'"), std::string::npos);
+}
+
+// ------------------------------------------------- parametric & mixture
+
+constexpr std::string_view kTinyMixtureSpec =
+    R"(name = tinymix
+runs = 48
+seed = 7
+design = dtmb2_6
+primaries = 30
+injector = mixture
+components = bernoulli, parametric, clustered
+p = 0.95, 0.98
+sigma_scale = 1.2
+mean_spots = 0.5
+cluster_radius = 1
+core_kill = 0.9
+edge_kill = 0.3
+)";
+
+TEST(CampaignSpecParse, ParametricInjectorParses) {
+  const CampaignSpec spec = parse_or_die(
+      "design = dtmb2_6\nprimaries = 20\n"
+      "injector = parametric\nsigma_scale = 0.8, 1.0, 1.2\n");
+  EXPECT_EQ(spec.injector, InjectorKind::kParametric);
+  EXPECT_EQ(spec.sigma_scale_grid, (std::vector<double>{0.8, 1.0, 1.2}));
+  EXPECT_EQ(spec.sweep_kind(), InjectorKind::kParametric);
+  EXPECT_EQ(spec.param_count(), 3u);
+}
+
+TEST(CampaignSpecParse, ParametricNeedsSigmaScale) {
+  const ParseResult result = parse_campaign_spec(
+      "design = dtmb2_6\nprimaries = 20\ninjector = parametric\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error_text().find("sigma_scale"), std::string::npos);
+}
+
+TEST(CampaignSpecParse, MixtureSpecParsesAndIdentifiesTheSweep) {
+  const CampaignSpec spec = parse_or_die(kTinyMixtureSpec);
+  EXPECT_EQ(spec.injector, InjectorKind::kMixture);
+  EXPECT_EQ(spec.mixture_components,
+            (std::vector<InjectorKind>{InjectorKind::kBernoulli,
+                                       InjectorKind::kParametric,
+                                       InjectorKind::kClustered}));
+  // The multi-valued grid ('p') is the swept dimension.
+  EXPECT_EQ(spec.sweep_kind(), InjectorKind::kBernoulli);
+  EXPECT_EQ(spec.param_count(), 2u);
+}
+
+TEST(CampaignSpecParse, MixtureNeedsComponents) {
+  const ParseResult result = parse_campaign_spec(
+      "design = dtmb2_6\nprimaries = 20\ninjector = mixture\np = 0.9\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error_text().find("components"), std::string::npos);
+}
+
+TEST(CampaignSpecParse, MixtureComponentGridsMustBePresent) {
+  const ParseResult result = parse_campaign_spec(
+      "design = dtmb2_6\nprimaries = 20\ninjector = mixture\n"
+      "components = bernoulli, parametric\n"
+      "p = 0.9\n");  // sigma_scale missing
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error_text().find("sigma_scale"), std::string::npos);
+}
+
+TEST(CampaignSpecParse, MixtureRejectsTwoSweptComponents) {
+  const ParseResult result = parse_campaign_spec(
+      "design = dtmb2_6\nprimaries = 20\ninjector = mixture\n"
+      "components = bernoulli, parametric\n"
+      "p = 0.9, 0.95\n"
+      "sigma_scale = 1.0, 1.2\n");
+  ASSERT_FALSE(result.ok());
+  const std::string text = result.error_text();
+  EXPECT_NE(text.find("at most one"), std::string::npos);
+  EXPECT_NE(text.find("'p'"), std::string::npos);
+  EXPECT_NE(text.find("'sigma_scale'"), std::string::npos);
+}
+
+TEST(CampaignSpecParse, MixtureRejectsNestedAndDuplicateComponents) {
+  const ParseResult nested = parse_campaign_spec(
+      "design = dtmb2_6\nprimaries = 20\ninjector = mixture\n"
+      "components = bernoulli, mixture\np = 0.9\n");
+  ASSERT_FALSE(nested.ok());
+  EXPECT_NE(nested.error_text().find("concrete"), std::string::npos);
+
+  const ParseResult duplicate = parse_campaign_spec(
+      "design = dtmb2_6\nprimaries = 20\ninjector = mixture\n"
+      "components = bernoulli, bernoulli\np = 0.9\n");
+  ASSERT_FALSE(duplicate.ok());
+  EXPECT_NE(duplicate.error_text().find("duplicate"), std::string::npos);
+}
+
+TEST(CampaignSpecParse, ComponentsRequireMixtureInjector) {
+  const ParseResult result = parse_campaign_spec(
+      "design = dtmb2_6\nprimaries = 20\n"
+      "components = bernoulli\np = 0.9\n");
+  ASSERT_FALSE(result.ok());
+  ASSERT_EQ(result.errors.size(), 1u);
+  EXPECT_EQ(result.errors[0].line, 3);  // the components line is named
+  EXPECT_NE(result.errors[0].message.find("injector = mixture"),
+            std::string::npos);
+}
+
+TEST(CampaignSpecParse, MixtureRoundTripsThroughSpecText) {
+  const CampaignSpec original = parse_or_die(kTinyMixtureSpec);
+  const CampaignSpec reparsed = parse_or_die(to_spec_text(original));
+  EXPECT_EQ(original.mixture_components, reparsed.mixture_components);
+  EXPECT_EQ(original.p_grid, reparsed.p_grid);
+  EXPECT_EQ(original.sigma_scale_grid, reparsed.sigma_scale_grid);
+  EXPECT_EQ(original.mean_spots_grid, reparsed.mean_spots_grid);
+  EXPECT_EQ(original.cluster.radius, reparsed.cluster.radius);
+  EXPECT_DOUBLE_EQ(original.cluster.core_kill, reparsed.cluster.core_kill);
+  EXPECT_DOUBLE_EQ(original.cluster.edge_kill, reparsed.cluster.edge_kill);
 }
 
 TEST(CampaignSpecParse, MissingDesignDiagnosed) {
@@ -346,6 +461,91 @@ TEST(CampaignRunner, ClusteredInjectorSweepRuns) {
   EXPECT_DOUBLE_EQ(results[0].estimate.value, 1.0);
   EXPECT_LE(results[1].estimate.value, results[0].estimate.value);
   EXPECT_EQ(runner.header()[4], "mean_spots");
+}
+
+TEST(CampaignGrid, MixtureExpansionResolvesComponents) {
+  const CampaignSpec spec = parse_or_die(kTinyMixtureSpec);
+  const auto points = expand_grid(spec);
+  ASSERT_EQ(points.size(), 2u);  // one design x one size x two p values
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const CampaignPoint& point = points[i];
+    EXPECT_EQ(point.injector, InjectorKind::kMixture);
+    EXPECT_EQ(point.sweep_kind, InjectorKind::kBernoulli);
+    EXPECT_STREQ(point.param_name(), "p");
+    ASSERT_EQ(point.components.size(), 3u);
+    EXPECT_EQ(point.components[0],
+              (MixtureComponent{InjectorKind::kBernoulli, point.param}));
+    EXPECT_EQ(point.components[1],
+              (MixtureComponent{InjectorKind::kParametric, 1.2}));
+    EXPECT_EQ(point.components[2],
+              (MixtureComponent{InjectorKind::kClustered, 0.5}));
+  }
+  EXPECT_DOUBLE_EQ(points[0].param, 0.95);
+  EXPECT_DOUBLE_EQ(points[1].param, 0.98);
+  // Keys separate the two points and survive component param changes.
+  EXPECT_NE(point_key(points[0]), point_key(points[1]));
+  CampaignPoint tweaked = points[0];
+  tweaked.components[1].param = 1.3;
+  EXPECT_NE(point_key(tweaked), point_key(points[0]));
+}
+
+TEST(CampaignRunner, MixtureCampaignMatchesDirectSessionQuery) {
+  CampaignSpec spec = parse_or_die(kTinyMixtureSpec);
+  spec.threads = 1;
+  CampaignRunner runner(std::move(spec));
+  const auto results = runner.run();
+  ASSERT_EQ(results.size(), 2u);
+
+  sim::Session session(biochip::make_dtmb_array_with_primaries(
+      biochip::DtmbKind::kDtmb2_6, 30));
+  for (const PointResult& result : results) {
+    sim::YieldQuery query;
+    query.fault = sim::FaultModel::mixture(
+        {sim::FaultModel::bernoulli(result.point.param),
+         sim::FaultModel::parametric(1.2),
+         sim::FaultModel::clustered(0.5, {1, 0.9, 0.3})});
+    query.runs = 48;
+    query.seed = 7;
+    const auto direct = session.run(query);
+    EXPECT_EQ(result.estimate.successes, direct.successes)
+        << "p = " << result.point.param;
+  }
+  EXPECT_EQ(runner.header()[4], "p");
+}
+
+TEST(CampaignRunner, MixtureArtifactsBitIdenticalAcrossThreadCounts) {
+  const auto artifacts_at = [](std::int32_t threads) {
+    CampaignSpec spec = parse_or_die(kTinyMixtureSpec);
+    spec.threads = threads;
+    CampaignRunner runner(std::move(spec));
+    std::ostringstream csv_out;
+    CsvSink csv(csv_out);
+    runner.add_sink(csv);
+    runner.run();
+    return csv_out.str();
+  };
+  const std::string serial = artifacts_at(1);
+  EXPECT_EQ(serial, artifacts_at(4));
+  EXPECT_FALSE(serial.empty());
+}
+
+TEST(CampaignRunner, ParametricSweepDegradesWithSigma) {
+  CampaignSpec spec = parse_or_die(
+      "name = par\n"
+      "runs = 64\n"
+      "design = dtmb3_6\n"
+      "primaries = 30\n"
+      "injector = parametric\n"
+      "sigma_scale = 0.5, 2.5\n");
+  spec.threads = 1;
+  CampaignRunner runner(std::move(spec));
+  const auto results = runner.run();
+  ASSERT_EQ(results.size(), 2u);
+  // Half-sigma process: ~7+ sigma tolerances, fault-free in 64 runs.
+  EXPECT_DOUBLE_EQ(results[0].estimate.value, 1.0);
+  // 2.5x sigma: parametric faults everywhere, yield collapses.
+  EXPECT_LT(results[1].estimate.value, results[0].estimate.value);
+  EXPECT_EQ(runner.header()[4], "sigma_scale");
 }
 
 TEST(CampaignRunner, FixedCountBeyondCellCountIsRejected) {

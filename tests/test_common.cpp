@@ -129,6 +129,14 @@ TEST(Rng, UniformIntDegenerateRange) {
   EXPECT_EQ(rng.uniform_int(5, 5), 5);
 }
 
+TEST(Rng, UniformIntRejectsReversedRange) {
+  // The documented contract is lo <= hi; silently returning lo would skew
+  // samples at any misuse site, so it must fail loudly instead.
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform_int(3, 2), ContractViolation);
+  EXPECT_THROW(rng.uniform_int(0, -1), ContractViolation);
+}
+
 TEST(Rng, SplitStreamsAreDecorrelated) {
   Rng parent(1234);
   Rng child = parent.split();
@@ -284,6 +292,40 @@ TEST(Binomial, CdfMonotoneAndComplete) {
     prev = cdf;
   }
   EXPECT_NEAR(prev, 1.0, 1e-12);
+}
+
+TEST(Binomial, LargeNPmfIsFiniteAndNormalised) {
+  // The direct C(n,k) p^k (1-p)^(n-k) product produces inf * 0 = NaN for
+  // production-scale n; the log-space path must stay finite and sum to 1.
+  const int n = 10000;
+  const double p = 0.003;
+  double sum = 0.0;
+  for (int k = 0; k <= n; ++k) {
+    const double pmf = binomial_pmf(n, k, p);
+    ASSERT_TRUE(std::isfinite(pmf)) << "k = " << k;
+    ASSERT_GE(pmf, 0.0) << "k = " << k;
+    sum += pmf;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  // Centre-of-mass sanity: the mode sits near n p.
+  EXPECT_GT(binomial_pmf(n, 30, p), binomial_pmf(n, 300, p));
+}
+
+TEST(Binomial, LargeNPmfMatchesSmallNExactValues) {
+  // The log-space branch agrees with the exact product where both work.
+  for (const int k : {0, 1, 250, 500, 999, 1000}) {
+    const double exact = binomial_pmf(1000, k, 0.4);
+    const double via_logs =
+        std::exp(std::lgamma(1001.0) - std::lgamma(k + 1.0) -
+                 std::lgamma(1001.0 - k) + k * std::log(0.4) +
+                 (1000.0 - k) * std::log1p(-0.4));
+    EXPECT_NEAR(via_logs, exact, 1e-12 + 1e-10 * exact) << "k = " << k;
+  }
+  // p = 0 / 1 edges must not hit log(0).
+  EXPECT_DOUBLE_EQ(binomial_pmf(2000, 0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_pmf(2000, 5, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(binomial_pmf(2000, 2000, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_pmf(2000, 1999, 1.0), 0.0);
 }
 
 TEST(Binomial, PaperClusterTerm) {

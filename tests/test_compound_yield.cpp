@@ -40,6 +40,79 @@ TEST(DefectPmf, MeansMatchParameters) {
               1e-3);
 }
 
+bool pmf_is_finite(const DefectCountPmf& pmf) {
+  for (const double probability : pmf) {
+    if (!std::isfinite(probability) || probability < 0.0) return false;
+  }
+  return true;
+}
+
+TEST(DefectPmf, BinomialSurvivesProductionScaleCellCounts) {
+  // The old C(n,m)-based evaluation went inf * 0 = NaN for large n and
+  // tripped normalize()'s assert; the log-space recurrence must stay
+  // finite, normalised and centred at n q.
+  const auto pmf = binomial_defect_pmf(10000, 0.003);
+  ASSERT_TRUE(pmf_is_finite(pmf));
+  EXPECT_NEAR(pmf_sum(pmf), 1.0, 1e-9);
+  EXPECT_NEAR(pmf_mean(pmf), 30.0, 1e-6);
+  // A mid-p case drives the largest coefficients (C(10000, 5000)).
+  const auto wide = binomial_defect_pmf(10000, 0.5);
+  ASSERT_TRUE(pmf_is_finite(wide));
+  EXPECT_NEAR(pmf_sum(wide), 1.0, 1e-9);
+  EXPECT_NEAR(pmf_mean(wide), 5000.0, 1e-3);
+}
+
+TEST(DefectPmf, BinomialMatchesExactValuesForSmallN) {
+  const int n = 60;
+  const double q = 0.07;
+  const auto pmf = binomial_defect_pmf(n, q);
+  for (int m = 0; m <= n; ++m) {
+    const double exact = dmfb::binomial_pmf(n, m, q);
+    EXPECT_NEAR(pmf[static_cast<std::size_t>(m)], exact,
+                1e-12 + 1e-10 * exact)
+        << "m = " << m;
+  }
+  // Degenerate corners keep their all-or-nothing mass.
+  const auto certain = binomial_defect_pmf(40, 1.0);
+  EXPECT_DOUBLE_EQ(certain.back(), 1.0);
+  const auto none = binomial_defect_pmf(40, 0.0);
+  EXPECT_DOUBLE_EQ(none.front(), 1.0);
+}
+
+TEST(DefectPmf, PoissonSurvivesLargeMeans) {
+  // exp(-mean) underflows to an all-zero pmf past mean ~ 745 (assert); the
+  // shifted log-space recurrence must keep the truncated pmf well defined.
+  const auto pmf = poisson_defect_pmf(2000, 800.0);
+  ASSERT_TRUE(pmf_is_finite(pmf));
+  EXPECT_NEAR(pmf_sum(pmf), 1.0, 1e-9);
+  EXPECT_NEAR(pmf_mean(pmf), 800.0, 0.5);
+  // Truncation below the mean: the mass piles up at the cut, normalised.
+  const auto truncated = poisson_defect_pmf(100, 800.0);
+  ASSERT_TRUE(pmf_is_finite(truncated));
+  EXPECT_NEAR(pmf_sum(truncated), 1.0, 1e-9);
+  // Mass piles up at the cut with ratio p(m-1)/p(m) = m/mean = 1/8, so
+  // p(100) ~ 1 - 1/8 = 0.875 of the renormalised distribution.
+  EXPECT_NEAR(truncated.back(), 0.875, 0.01);
+}
+
+TEST(DefectPmf, PoissonLargeMeanAgreesWithSmallMeanRecurrence) {
+  // Both branches live just either side of the 700 threshold; the ratio
+  // structure p(m+1)/p(m) = mean/(m+1) must agree.
+  for (const auto& pmf :
+       {poisson_defect_pmf(800, 699.0), poisson_defect_pmf(800, 701.0)}) {
+    ASSERT_TRUE(pmf_is_finite(pmf));
+    EXPECT_NEAR(pmf_sum(pmf), 1.0, 1e-9);
+  }
+  const auto below = poisson_defect_pmf(800, 699.0);
+  const auto above = poisson_defect_pmf(800, 701.0);
+  for (const std::size_t m : {600u, 700u, 750u}) {
+    EXPECT_NEAR(below[m + 1] / below[m], 699.0 / (static_cast<double>(m) + 1.0),
+                1e-9);
+    EXPECT_NEAR(above[m + 1] / above[m], 701.0 / (static_cast<double>(m) + 1.0),
+                1e-9);
+  }
+}
+
 TEST(DefectPmf, NegativeBinomialHasFatterTailThanPoisson) {
   const auto poisson = poisson_defect_pmf(200, 5.0);
   const auto nb = negative_binomial_defect_pmf(200, 5.0, 1.5);

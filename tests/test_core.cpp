@@ -88,6 +88,52 @@ TEST(Facade, FixedFaultYieldDecreasesInM) {
   EXPECT_GT(y5, y25);
 }
 
+TEST(Facade, InjectParametricAndMixture) {
+  DefectTolerantBiochip chip(DtmbKind::kDtmb2_6, 10, 10);
+  Rng rng(9);
+  // Tight tolerances so a single draw produces faults deterministically.
+  fault::ProcessSpec spec = fault::ProcessSpec::typical();
+  for (auto& param : spec.parameters) param.tolerance = 0.5 * param.sigma;
+  const auto parametric = chip.inject_parametric(rng, spec);
+  EXPECT_GT(parametric.size(), 0u);
+  EXPECT_EQ(parametric.count_of(fault::FaultClass::kParametric),
+            static_cast<std::int32_t>(parametric.size()));
+  EXPECT_EQ(chip.array().faulty_count(),
+            static_cast<std::int32_t>(parametric.size()));
+  chip.heal();
+  const auto mixture = chip.inject_mixture(
+      {fault::BernoulliInjector(0.8), fault::ParametricInjector(spec)}, rng);
+  EXPECT_GT(mixture.count_of(fault::FaultClass::kCatastrophic), 0);
+  EXPECT_EQ(chip.array().faulty_count(),
+            static_cast<std::int32_t>(mixture.size()));
+}
+
+TEST(Facade, EstimateYieldModelMatchesSpecialisedEntryPointsAndHeals) {
+  DefectTolerantBiochip chip(DtmbKind::kDtmb2_6, 8, 8);
+  Rng rng(10);
+  yield::McOptions options;
+  options.runs = 400;
+  // The generic entry point serves the same session cache as the
+  // specialised ones — identical queries, identical estimates.
+  const auto via_bernoulli = chip.estimate_yield(0.95, options);
+  const auto via_model =
+      chip.estimate_yield_model(sim::FaultModel::bernoulli(0.95), options);
+  EXPECT_EQ(via_model.successes, via_bernoulli.successes);
+  // And it heals a faulty chip before snapshotting, like the others.
+  chip.inject_fixed(10, rng);
+  const auto mixture_estimate = chip.estimate_yield_model(
+      sim::FaultModel::mixture({sim::FaultModel::bernoulli(0.97),
+                                sim::FaultModel::parametric(1.2)}),
+      options);
+  EXPECT_EQ(chip.array().faulty_count(), 0);
+  EXPECT_EQ(mixture_estimate.runs, 400);
+  // The composite model can only hurt relative to its bernoulli component
+  // alone (the extra mechanisms add faults, never remove them).
+  const auto component_only =
+      chip.estimate_yield_model(sim::FaultModel::bernoulli(0.97), options);
+  EXPECT_LE(mixture_estimate.value, component_only.value);
+}
+
 // -------------------------------------------------------------- advisor
 
 TEST(Advisor, AssessesFiveDesigns) {
@@ -106,6 +152,44 @@ TEST(Advisor, AssessesFiveDesigns) {
                                        assessment.redundancy_ratio),
                 1e-12);
   }
+}
+
+TEST(Advisor, AssessModelCoversParametricAndMixtureKinds) {
+  yield::McOptions options;
+  options.runs = 400;
+  const DesignAdvisor advisor(100, options);
+  const Advice advice =
+      advisor.assess_model(sim::FaultModel::parametric(1.2));
+  ASSERT_EQ(advice.assessments.size(), 5u);  // MC baseline + 4 DTMB levels
+  EXPECT_EQ(advice.assessments.front().name, "no-redundancy");
+  // The baseline reports its realised plain-array geometry (10 x 10 here).
+  EXPECT_EQ(advice.assessments.front().primaries, 100);
+  EXPECT_EQ(advice.assessments.front().total_cells, 100);
+  EXPECT_DOUBLE_EQ(advice.p, 0.0);  // not a bernoulli operating point
+  for (const auto& assessment : advice.assessments) {
+    EXPECT_GE(assessment.yield, 0.0);
+    EXPECT_LE(assessment.yield, 1.0);
+  }
+  // Redundancy must beat the bare array under heavy parametric stress.
+  EXPECT_NE(advice.best_yield().name, "no-redundancy");
+
+  // Bernoulli via assess_model reproduces the DTMB rows of assess() (the
+  // baseline differs by design: MC vs the p^n closed form).
+  const Advice closed = advisor.assess(0.95);
+  const Advice sampled =
+      advisor.assess_model(sim::FaultModel::bernoulli(0.95));
+  EXPECT_DOUBLE_EQ(sampled.p, 0.95);
+  for (std::size_t i = 1; i < closed.assessments.size(); ++i) {
+    EXPECT_DOUBLE_EQ(sampled.assessments[i].yield,
+                     closed.assessments[i].yield)
+        << closed.assessments[i].name;
+  }
+  EXPECT_NEAR(sampled.assessments.front().yield,
+              closed.assessments.front().yield, 0.05);
+
+  const Advice mixed = advisor.assess_model(sim::FaultModel::mixture(
+      {sim::FaultModel::bernoulli(0.97), sim::FaultModel::parametric(1.0)}));
+  ASSERT_EQ(mixed.assessments.size(), 5u);
 }
 
 TEST(Advisor, RedundancyWinsAtLowSurvival) {

@@ -10,6 +10,7 @@
 #include "common/stats.hpp"
 #include "fault/fault_model.hpp"
 #include "fault/injector.hpp"
+#include "fault/mixture.hpp"
 #include "fault/parametric.hpp"
 
 namespace dmfb::fault {
@@ -186,6 +187,50 @@ TEST(Poisson, MeanAndVarianceMatch) {
   EXPECT_NEAR(stats.variance(), 2.5, 0.12);
 }
 
+TEST(Poisson, SmallMeanDrawSequenceIsFrozen) {
+  // The sim equivalence contract replays these draws bit-for-bit: the
+  // small-mean branch must keep consuming exactly Knuth's sequence. A
+  // parallel hand evaluation of the original algorithm must agree sample
+  // for sample on a shared stream.
+  Rng rng(23);
+  Rng reference_rng = rng;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int32_t sample = sample_poisson(3.7, rng);
+    const double limit = std::exp(-3.7);
+    std::int32_t k = 0;
+    double product = 1.0;
+    do {
+      ++k;
+      product *= reference_rng.uniform01();
+    } while (product > limit);
+    ASSERT_EQ(sample, k - 1) << "i = " << i;
+  }
+}
+
+TEST(Poisson, LargeMeanIsUnbiasedAndTerminates) {
+  // Knuth's direct method underflows exp(-mean) past mean ~ 745 and only
+  // stopped once the uniform product itself underflowed (~750 draws), so
+  // every sample came back biased toward ~750. The chunked-exponent fold
+  // must track mean and variance at mean = 1000.
+  Rng rng(29);
+  const double mean = 1000.0;
+  RunningStats stats;
+  const int trials = 4000;
+  for (int i = 0; i < trials; ++i) {
+    const std::int32_t sample = sample_poisson(mean, rng);
+    ASSERT_GE(sample, 0);
+    stats.add(static_cast<double>(sample));
+  }
+  // Sample mean within 3 standard errors; sigma = sqrt(mean).
+  const double standard_error = std::sqrt(mean / trials);
+  EXPECT_NEAR(stats.mean(), mean, 3.0 * standard_error);
+  EXPECT_NEAR(stats.variance(), mean, 0.1 * mean);
+  // And a far larger mean must still terminate and land in range.
+  const auto huge = sample_poisson(20000.0, rng);
+  EXPECT_GT(huge, 19000);
+  EXPECT_LT(huge, 21000);
+}
+
 // -------------------------------------------------------- ClusteredInjector
 
 TEST(ClusteredInjector, ValidatesArguments) {
@@ -323,6 +368,69 @@ TEST(Parametric, SampleCellReportsOutOfTolerance) {
   for (const Deviation& deviation : injector.sample_cell(rng)) {
     EXPECT_TRUE(deviation.out_of_tolerance);
   }
+}
+
+TEST(Parametric, ScaledSpecMultipliesSigmasOnly) {
+  const ProcessSpec base = ProcessSpec::typical();
+  const ProcessSpec scaled = base.scaled(2.0);
+  for (std::size_t i = 0; i < base.parameters.size(); ++i) {
+    EXPECT_DOUBLE_EQ(scaled.parameters[i].sigma,
+                     base.parameters[i].sigma * 2.0);
+    EXPECT_DOUBLE_EQ(scaled.parameters[i].tolerance,
+                     base.parameters[i].tolerance);
+  }
+  // Wider spread -> strictly higher per-cell fault probability.
+  EXPECT_GT(scaled.cell_fault_probability(), base.cell_fault_probability());
+  EXPECT_THROW(base.scaled(0.0), ContractViolation);
+}
+
+// ------------------------------------------------------------------ mixture
+
+TEST(MixtureInjector, ValidatesAndRequiresHealthyArray) {
+  EXPECT_THROW(MixtureInjector({}), ContractViolation);
+  auto array = test_array();
+  array.set_health(0, biochip::CellHealth::kFaulty);
+  Rng rng(1);
+  EXPECT_THROW(
+      MixtureInjector({BernoulliInjector(0.5)}).inject(array, rng),
+      ContractViolation);
+}
+
+TEST(MixtureInjector, SingleComponentMatchesStandaloneInjector) {
+  // mixture({X}) on a healthy chip replays X draw-for-draw, cell-for-cell.
+  auto mixture_array = test_array();
+  auto standalone_array = test_array();
+  const BernoulliInjector standalone(0.85);
+  const MixtureInjector mixture({BernoulliInjector(0.85)});
+  Rng rng(53);
+  Rng mixture_rng = rng;
+  for (int trial = 0; trial < 100; ++trial) {
+    const FaultMap expected = standalone.inject(standalone_array, rng);
+    const FaultMap actual = mixture.inject(mixture_array, mixture_rng);
+    ASSERT_EQ(actual.cells(), expected.cells()) << "trial = " << trial;
+    standalone_array.reset_health();
+    mixture_array.reset_health();
+  }
+  // The two Rngs consumed identical draw counts: they stay in lockstep.
+  EXPECT_EQ(rng(), mixture_rng());
+}
+
+TEST(MixtureInjector, ComposesCatastrophicAndParametricRecords) {
+  ProcessSpec spec = ProcessSpec::typical();
+  for (auto& param : spec.parameters) param.tolerance = 1.5 * param.sigma;
+  auto array = test_array();
+  const MixtureInjector injector(
+      {BernoulliInjector(0.9), ParametricInjector(spec)});
+  Rng rng(59);
+  const FaultMap map = injector.inject(array, rng);
+  EXPECT_GT(map.count_of(FaultClass::kCatastrophic), 0);
+  EXPECT_GT(map.count_of(FaultClass::kParametric), 0);
+  // First faulter wins: no cell is attributed twice.
+  const auto cells = map.cells();
+  const std::set<hex::CellIndex> unique(cells.begin(), cells.end());
+  EXPECT_EQ(unique.size(), cells.size());
+  // And the array's health agrees with the records.
+  EXPECT_EQ(array.faulty_count(), static_cast<std::int32_t>(map.size()));
 }
 
 }  // namespace

@@ -71,6 +71,11 @@ yield::YieldEstimate legacy_reference(biochip::HexArray& array,
           [&](biochip::HexArray& a, Rng& rng) { injector.inject(a, rng); },
           options);
     }
+    case FaultModel::Kind::kParametric:
+    case FaultModel::Kind::kMixture:
+      // Covered by the dedicated equivalence suite
+      // (tests/test_sim_fault_models.cpp).
+      break;
   }
   throw ContractViolation("unknown model kind");
 }
@@ -85,7 +90,7 @@ TEST(SimEquivalence, BitIdenticalToLegacyForEveryEngineCombination) {
   // run's cache entry instead of exercising the parallel path.
   Session serial_session(design);
   Session parallel_session(design);
-  for (const FaultModel model :
+  for (const FaultModel& model :
        {FaultModel::bernoulli(0.94), FaultModel::fixed_count(6),
         FaultModel::clustered(1.5, {1, 0.9, 0.3})}) {
     for (const CoveragePolicy policy :
