@@ -26,6 +26,7 @@
 #include "campaign/spec.hpp"
 #include "fault/injector.hpp"
 #include "reconfig/local_reconfig.hpp"
+#include "sim/assay_workload.hpp"
 #include "sim/session.hpp"
 #include "yield/monte_carlo.hpp"
 
@@ -113,6 +114,30 @@ void BM_McYieldRun_Mixture(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_McYieldRun_Mixture);
+
+// Operational-workload kernel (not part of the CI ratio gate): one full
+// operational run on the Section-7 multiplexed workload — inject, plan the
+// reconfiguration, re-schedule the assay on the surviving module pool,
+// re-route the droplet transports. Orders of magnitude heavier than the
+// structural kernel by construction; tracked so the fig13_operational
+// campaign cost stays visible.
+
+void BM_McYieldRun_Operational(benchmark::State& state) {
+  const auto workload = sim::AssayWorkload::multiplexed();
+  sim::OperationalState operational_state(workload);
+  const sim::FaultModel model = sim::FaultModel::fixed_count(25);
+  std::int32_t run = 0;
+  for (auto _ : state) {
+    Rng rng = sim::run_stream(kSeed, run++);
+    sim::inject(model, operational_state.faults(), rng);
+    benchmark::DoNotOptimize(operational_state.evaluate(
+        reconfig::CoveragePolicy::kUsedFaultyPrimaries,
+        graph::MatchingEngine::kHopcroftKarp,
+        reconfig::ReplacementPool::kSparesOnly));
+    operational_state.reset();
+  }
+}
+BENCHMARK(BM_McYieldRun_Operational);
 
 // Fig9-sized sweep (3 designs x 3 sizes x 9 p values) at reduced runs.
 

@@ -7,12 +7,7 @@
 
 namespace dmfb::assay {
 
-namespace {
-
-/// Resource class used by an op kind; store runs resource-free.
-enum class ResourceClass : std::uint8_t { kPort, kMixer, kDetector, kNone };
-
-ResourceClass resource_class(OpKind kind) {
+ResourceClass resource_class(OpKind kind) noexcept {
   switch (kind) {
     case OpKind::kDispense: return ResourceClass::kPort;
     case OpKind::kMix:
@@ -23,7 +18,7 @@ ResourceClass resource_class(OpKind kind) {
   return ResourceClass::kNone;
 }
 
-std::int32_t capacity_of(const ResourcePool& pool, ResourceClass rc) {
+std::int32_t capacity_of(const ResourcePool& pool, ResourceClass rc) noexcept {
   switch (rc) {
     case ResourceClass::kPort: return pool.dispense_ports;
     case ResourceClass::kMixer: return pool.mixers;
@@ -33,8 +28,6 @@ std::int32_t capacity_of(const ResourcePool& pool, ResourceClass rc) {
   }
   return 0;
 }
-
-}  // namespace
 
 double Schedule::makespan() const {
   double end = 0.0;

@@ -23,6 +23,16 @@ struct ResourcePool {
   /// Storage is effectively unbounded on a reconfigurable array.
 };
 
+/// Reconfigurable-resource class an operation kind occupies while it runs
+/// (kNone = storage, which is unbounded). The sim layer's operational
+/// kernel uses this to derive the surviving ResourcePool from a fault map.
+enum class ResourceClass : std::uint8_t { kPort, kMixer, kDetector, kNone };
+
+ResourceClass resource_class(OpKind kind) noexcept;
+
+/// Capacity of `rc` in `pool` (INT32_MAX for kNone).
+std::int32_t capacity_of(const ResourcePool& pool, ResourceClass rc) noexcept;
+
 /// One scheduled operation.
 struct ScheduledOp {
   std::int32_t op = 0;

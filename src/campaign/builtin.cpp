@@ -107,6 +107,29 @@ edge_kill = 0.3
 sink = console, csv, jsonl
 )";
 
+// Operational-phase companion to Figure 13: the same m random cell
+// failures on the multiplexed diagnostics chip, but each run continues past
+// structural repair — the reconfiguration plan is applied to the module
+// placement, the four-chain assay is re-scheduled on the surviving
+// dispense/mixer/detector pool and its droplets re-routed on the repaired
+// array. Rows carry both structural yield ("yield") and operational yield
+// plus completion-time slowdown. Reduced runs keep the golden-file diff
+// cheap in CI; rerun with --runs 10000 for the paper-scale curve.
+constexpr std::string_view kFig13Operational =
+    R"(# Operational Figure 13: the multiplexed assay re-scheduled and
+# re-routed on the repaired array, vs m random cell failures.
+name = fig13_operational
+runs = 500
+seed = 0xD0E5A11
+design = multiplexed
+workload = assay
+injector = fixed_count
+m = 0, 5, 10, 15, 20, 25, 30, 35, 40, 45, 50, 60
+policy = used_faulty_primaries
+pool = spares_only, spares_and_unused_primaries
+sink = console, csv, jsonl
+)";
+
 struct BuiltinEntry {
   std::string_view name;
   std::string_view text;
@@ -116,6 +139,7 @@ constexpr BuiltinEntry kBuiltins[] = {
     {"fig9", kFig9},
     {"fig9_smoke", kFig9Smoke},
     {"fig13", kFig13},
+    {"fig13_operational", kFig13Operational},
     {"effective_yield", kEffectiveYield},
     {"fig10_parametric", kFig10Parametric},
     {"mixture_ablation", kMixtureAblation},

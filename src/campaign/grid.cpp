@@ -47,6 +47,7 @@ std::vector<CampaignPoint> expand_grid(const CampaignSpec& spec) {
               CampaignPoint point;
               point.design = design;
               point.min_primaries = min_primaries;
+              point.workload = spec.workload;
               point.injector = spec.injector;
               point.sweep_kind = sweep;
               point.param = param;
@@ -83,8 +84,8 @@ bool uses_cluster_shape(const CampaignPoint& point) noexcept {
 std::string point_key(const CampaignPoint& point) {
   std::ostringstream key;
   key << to_string(point.design) << '/' << point.min_primaries << '/'
-      << to_string(point.injector) << '/' << std::hexfloat << point.param
-      << '/' << std::defaultfloat;
+      << to_string(point.workload) << '/' << to_string(point.injector) << '/'
+      << std::hexfloat << point.param << '/' << std::defaultfloat;
   for (const MixtureComponent& component : point.components) {
     key << to_string(component.kind) << ':' << std::hexfloat
         << component.param << '/' << std::defaultfloat;

@@ -30,6 +30,8 @@ struct CampaignPoint {
   Design design = Design::kDtmb2_6;
   /// Requested minimum primary count; 0 for the fixed-size multiplexed chip.
   std::int32_t min_primaries = 0;
+  /// What each run evaluates (copied from the spec; not a sweep dimension).
+  WorkloadKind workload = WorkloadKind::kStructural;
   InjectorKind injector = InjectorKind::kBernoulli;
   /// The concrete kind whose parameter this point's `param` is: `injector`
   /// itself, or a mixture's swept component.

@@ -87,6 +87,9 @@ sim::YieldQuery query_of(const CampaignPoint& point, const CampaignSpec& spec,
                          std::int32_t inner_threads) {
   sim::YieldQuery query;
   query.fault = fault_model_of(point);
+  query.workload = point.workload == WorkloadKind::kAssay
+                       ? sim::Workload::kAssay
+                       : sim::Workload::kStructural;
   query.runs = spec.runs;
   query.seed = spec.seed;
   query.threads = inner_threads;
@@ -103,11 +106,22 @@ CampaignRunner::CampaignRunner(CampaignSpec spec) : spec_(std::move(spec)) {}
 void CampaignRunner::add_sink(ArtifactSink& sink) { sinks_.push_back(&sink); }
 
 std::vector<std::string> CampaignRunner::header() const {
-  return {"campaign", "design", "primaries", "total_cells",
-          param_name(spec_.sweep_kind()),
-          "policy",   "engine", "pool",      "runs",        "seed",
-          "yield",    "ci_lo",  "ci_hi",     "successes",   "rr",
-          "effective_yield"};
+  std::vector<std::string> columns = {
+      "campaign", "design", "primaries", "total_cells",
+      param_name(spec_.sweep_kind()),
+      "policy",   "engine", "pool",      "runs",        "seed",
+      "yield",    "ci_lo",  "ci_hi",     "successes",   "rr",
+      "effective_yield"};
+  if (spec_.workload == WorkloadKind::kAssay) {
+    // "yield" stays the structural (repairability) leg; the operational
+    // (assay-completes) leg and its slowdown statistics ride alongside.
+    for (const char* column :
+         {"op_yield", "op_ci_lo", "op_ci_hi", "op_successes",
+          "mean_slowdown", "worst_slowdown"}) {
+      columns.emplace_back(column);
+    }
+  }
+  return columns;
 }
 
 std::vector<std::string> CampaignRunner::format_row(
@@ -117,22 +131,33 @@ std::vector<std::string> CampaignRunner::format_row(
       point.sweep_kind == InjectorKind::kFixedCount
           ? std::to_string(static_cast<std::int32_t>(point.param))
           : io::format_double(point.param, 4);
-  return {spec_.name,
-          to_string(point.design),
-          std::to_string(result.primaries),
-          std::to_string(result.total_cells),
-          param,
-          spec_token(point.policy),
-          spec_token(point.engine),
-          spec_token(point.pool),
-          std::to_string(spec_.runs),
-          std::to_string(spec_.seed),
-          io::format_double(result.estimate.value, 4),
-          io::format_double(result.estimate.ci95.lo, 4),
-          io::format_double(result.estimate.ci95.hi, 4),
-          std::to_string(result.estimate.successes),
-          io::format_double(result.redundancy_ratio, 4),
-          io::format_double(result.effective_yield, 4)};
+  std::vector<std::string> cells = {
+      spec_.name,
+      to_string(point.design),
+      std::to_string(result.primaries),
+      std::to_string(result.total_cells),
+      param,
+      spec_token(point.policy),
+      spec_token(point.engine),
+      spec_token(point.pool),
+      std::to_string(spec_.runs),
+      std::to_string(spec_.seed),
+      io::format_double(result.estimate.value, 4),
+      io::format_double(result.estimate.ci95.lo, 4),
+      io::format_double(result.estimate.ci95.hi, 4),
+      std::to_string(result.estimate.successes),
+      io::format_double(result.redundancy_ratio, 4),
+      io::format_double(result.effective_yield, 4)};
+  if (spec_.workload == WorkloadKind::kAssay) {
+    const sim::OperationalEstimate& op = result.operational;
+    cells.push_back(io::format_double(op.operational.value, 4));
+    cells.push_back(io::format_double(op.operational.ci95.lo, 4));
+    cells.push_back(io::format_double(op.operational.ci95.hi, 4));
+    cells.push_back(std::to_string(op.operational.successes));
+    cells.push_back(io::format_double(op.mean_slowdown, 4));
+    cells.push_back(io::format_double(op.worst_slowdown, 4));
+  }
+  return cells;
 }
 
 std::string CampaignRunner::title() const {
@@ -160,8 +185,16 @@ std::vector<PointResult> CampaignRunner::run() {
     const auto key = std::make_pair(point.design, point.min_primaries);
     auto& session = sessions[key];
     if (!session) {
-      session = std::make_unique<sim::Session>(
-          build_array(point.design, point.min_primaries));
+      if (point.workload == WorkloadKind::kAssay) {
+        // Parse-time validation pins assay campaigns to the multiplexed
+        // chip, whose workload (graph + placed modules) is compiled in.
+        DMFB_EXPECTS(point.design == Design::kMultiplexed);
+        session =
+            std::make_unique<sim::Session>(sim::AssayWorkload::multiplexed());
+      } else {
+        session = std::make_unique<sim::Session>(
+            build_array(point.design, point.min_primaries));
+      }
     }
     if (point.injector == InjectorKind::kFixedCount) {
       DMFB_EXPECTS(static_cast<std::int32_t>(point.param) <=
@@ -205,6 +238,7 @@ std::vector<PointResult> CampaignRunner::run() {
   const std::int32_t inner_threads = std::max(1, budget / workers);
 
   std::vector<yield::YieldEstimate> estimates(points.size());
+  std::vector<sim::OperationalEstimate> operationals(points.size());
   std::atomic<std::size_t> next_slot{0};
   std::exception_ptr first_error;
   std::mutex error_mutex;
@@ -219,7 +253,15 @@ std::vector<PointResult> CampaignRunner::run() {
         const CampaignPoint& point = points[i];
         sim::Session& session =
             *sessions.at({point.design, point.min_primaries});
-        estimates[i] = session.run(query_of(point, spec_, inner_threads));
+        const sim::YieldQuery query = query_of(point, spec_, inner_threads);
+        if (point.workload == WorkloadKind::kAssay) {
+          operationals[i] = session.run_operational(query);
+          // The structural leg keeps the "yield" column comparable with
+          // structural campaigns over the same grid.
+          estimates[i] = operationals[i].structural;
+        } else {
+          estimates[i] = session.run(query);
+        }
       }
     } catch (...) {
       const std::scoped_lock lock(error_mutex);
@@ -261,6 +303,7 @@ std::vector<PointResult> CampaignRunner::run() {
     result.estimate = estimates[i];
     result.effective_yield = yield::effective_yield(result.estimate.value,
                                                     result.redundancy_ratio);
+    result.operational = operationals[i];
     results.push_back(std::move(result));
   }
 

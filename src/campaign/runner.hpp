@@ -32,8 +32,13 @@ struct PointResult {
   std::int32_t primaries = 0;    ///< actual primary count of the built array
   std::int32_t total_cells = 0;
   double redundancy_ratio = 0.0;
+  /// Structural (repairability) estimate — for workload = assay campaigns
+  /// this is the structural leg of the operational query, so the "yield"
+  /// column keeps its meaning across workloads.
   yield::YieldEstimate estimate;
   double effective_yield = 0.0;  ///< EY = Y / (1 + RR)
+  /// Both legs + slowdown stats; populated when point.workload == kAssay.
+  sim::OperationalEstimate operational;
 };
 
 /// Work-dedup accounting for logs and tests (unique_points = distinct

@@ -53,6 +53,11 @@ constexpr TokenPair kSinkTokens[] = {
     {"jsonl", static_cast<std::uint8_t>(SinkKind::kJsonl)},
 };
 
+constexpr TokenPair kWorkloadTokens[] = {
+    {"structural", static_cast<std::uint8_t>(WorkloadKind::kStructural)},
+    {"assay", static_cast<std::uint8_t>(WorkloadKind::kAssay)},
+};
+
 constexpr TokenPair kPolicyTokens[] = {
     {"all_faulty_primaries",
      static_cast<std::uint8_t>(reconfig::CoveragePolicy::kAllFaultyPrimaries)},
@@ -207,6 +212,12 @@ class SpecParser {
                  spec_.designs);
     } else if (key == "primaries") {
       int_list(key, value, line_no, 1, kMaxPrimaries, spec_.primaries);
+    } else if (key == "workload") {
+      if (const auto workload = parse_workload(value)) {
+        spec_.workload = *workload;
+      } else {
+        error(line_no, bad_token_message(key, value, kWorkloadTokens));
+      }
     } else if (key == "injector") {
       if (const auto kind = parse_injector(value)) {
         spec_.injector = *kind;
@@ -381,6 +392,13 @@ class SpecParser {
     if (spec_.designs.empty()) {
       error(0, "spec must set 'design' to at least one design");
     }
+    if (spec_.workload == WorkloadKind::kAssay &&
+        std::any_of(spec_.designs.begin(), spec_.designs.end(),
+                    [](Design d) { return d != Design::kMultiplexed; })) {
+      error(line_of("workload"),
+            "workload 'assay' runs the Section-7 multiplexed bioassay and "
+            "requires 'design = multiplexed'");
+    }
     const bool needs_primaries =
         std::any_of(spec_.designs.begin(), spec_.designs.end(),
                     [](Design d) { return d != Design::kMultiplexed; });
@@ -464,6 +482,14 @@ std::optional<InjectorKind> parse_injector(std::string_view token) noexcept {
 
 std::optional<SinkKind> parse_sink(std::string_view token) noexcept {
   return lookup<SinkKind>(kSinkTokens, token);
+}
+
+const char* to_string(WorkloadKind workload) noexcept {
+  return reverse_lookup(kWorkloadTokens, static_cast<std::uint8_t>(workload));
+}
+
+std::optional<WorkloadKind> parse_workload(std::string_view token) noexcept {
+  return lookup<WorkloadKind>(kWorkloadTokens, token);
 }
 
 const char* spec_token(reconfig::CoveragePolicy policy) noexcept {
@@ -602,6 +628,7 @@ std::string to_spec_text(const CampaignSpec& spec) {
                 [](std::int32_t n) { return std::to_string(n); })
         << '\n';
   }
+  out << "workload = " << to_string(spec.workload) << '\n';
   out << "injector = " << to_string(spec.injector) << '\n';
   const auto emit_kind_grid = [&](InjectorKind kind) {
     switch (kind) {

@@ -63,13 +63,25 @@ enum class SinkKind : std::uint8_t {
   kJsonl,
 };
 
+/// What every Monte-Carlo run of the campaign evaluates.
+enum class WorkloadKind : std::uint8_t {
+  /// Structural repairability (the default; the Figs. 7/9/10 metric).
+  kStructural,
+  /// Operational completion of the multiplexed assay on the repaired array
+  /// (the Figs. 12/13 metric). Requires `design = multiplexed`; rows gain
+  /// the operational-yield and slowdown columns.
+  kAssay,
+};
+
 const char* to_string(Design design) noexcept;
 const char* to_string(InjectorKind kind) noexcept;
 const char* to_string(SinkKind kind) noexcept;
+const char* to_string(WorkloadKind workload) noexcept;
 
 std::optional<Design> parse_design(std::string_view token) noexcept;
 std::optional<InjectorKind> parse_injector(std::string_view token) noexcept;
 std::optional<SinkKind> parse_sink(std::string_view token) noexcept;
+std::optional<WorkloadKind> parse_workload(std::string_view token) noexcept;
 
 /// Spec-file tokens for the reconfiguration vocabulary (round-trip safe;
 /// reconfig::to_string / graph::to_string are display strings, not tokens).
@@ -97,6 +109,8 @@ struct CampaignSpec {
   std::uint64_t seed = 0xD0E5A11ULL;
   /// Total worker budget: 0 = one per hardware thread.
   std::int32_t threads = 0;
+  /// What each run evaluates (scalar knob, like `injector`).
+  WorkloadKind workload = WorkloadKind::kStructural;
 
   // -- sweep dimensions (cross product, in this order) ---------------------
   std::vector<Design> designs;

@@ -88,4 +88,19 @@ yield::YieldEstimate DefectTolerantBiochip::estimate_yield_model(
   return session().run(yield::to_query(options, model));
 }
 
+sim::OperationalEstimate estimate_operational_yield(
+    std::shared_ptr<const sim::AssayWorkload> workload,
+    const sim::FaultModel& model, const yield::McOptions& options) {
+  sim::Session session(std::move(workload));
+  sim::YieldQuery query = yield::to_query(options, model);
+  query.workload = sim::Workload::kAssay;
+  return session.run_operational(query);
+}
+
+sim::OperationalEstimate estimate_operational_yield(
+    const sim::FaultModel& model, const yield::McOptions& options) {
+  return estimate_operational_yield(sim::AssayWorkload::multiplexed(), model,
+                                    options);
+}
+
 }  // namespace dmfb::core

@@ -102,6 +102,7 @@ class DefectTolerantBiochip {
   yield::YieldEstimate estimate_yield_model(
       const sim::FaultModel& model, const yield::McOptions& options = {});
 
+
  private:
   biochip::HexArray array_;
   std::optional<biochip::DtmbKind> kind_;
@@ -111,5 +112,21 @@ class DefectTolerantBiochip {
   std::unique_ptr<sim::Session> session_;
   std::vector<hex::CellIndex> session_usage_;
 };
+
+/// Monte-Carlo *operational* yield of `workload` under `model`: each run
+/// injects faults, materialises the reconfiguration plan, re-schedules the
+/// assay on the surviving module pool and re-routes its droplets on the
+/// repaired array (sim::Session with Workload::kAssay). Returns both legs
+/// (structural + operational) plus completion-time slowdown statistics.
+/// For the paper's Fig. 13 reading set options.policy =
+/// kUsedFaultyPrimaries. Builds a one-shot session; hold a sim::Session
+/// over the workload yourself to amortise repeated queries.
+sim::OperationalEstimate estimate_operational_yield(
+    std::shared_ptr<const sim::AssayWorkload> workload,
+    const sim::FaultModel& model, const yield::McOptions& options = {});
+
+/// Convenience overload on the Section-7 multiplexed diagnostics workload.
+sim::OperationalEstimate estimate_operational_yield(
+    const sim::FaultModel& model, const yield::McOptions& options = {});
 
 }  // namespace dmfb::core

@@ -1,6 +1,7 @@
 #include "reconfig/local_reconfig.hpp"
 
 #include <algorithm>
+#include <unordered_set>
 
 #include "common/contracts.hpp"
 #include "graph/bipartite_graph.hpp"
@@ -162,6 +163,68 @@ bool LocalReconfigurer::feasible(const HexArray& array) const {
   }
   const ReconfigGraph rg = build_reconfig_graph(array, cover, pool_);
   return graph::maximum_matching(rg.graph, engine_).covers_all_left();
+}
+
+std::vector<CellIndex> replacement_neighborhood(
+    const HexArray& array, std::span<const CellIndex> cells,
+    ReplacementPool pool) {
+  std::vector<CellIndex> neighborhood;
+  std::unordered_set<CellIndex> seen;
+  for (const CellIndex cell : cells) {
+    for_each_candidate(array, cell, pool, [&](CellIndex candidate) {
+      if (seen.insert(candidate).second) neighborhood.push_back(candidate);
+    });
+  }
+  return neighborhood;
+}
+
+std::vector<CellIndex> hall_violator(const HexArray& array,
+                                     const ReconfigPlan& plan,
+                                     ReplacementPool pool) {
+  if (plan.success) return {};
+  // Rebuild BG(A, B, E) for the plan's cover set and replay the plan as a
+  // MatchingResult, then delegate the Koenig closure to
+  // graph::hall_violator — inheriting its checks that the plan is a valid
+  // matching of this array state and, via its alternating BFS invariant,
+  // that it is maximum (a greedy / non-maximum plan throws
+  // ContractViolation instead of yielding a bogus certificate).
+  std::vector<CellIndex> cover;
+  cover.reserve(plan.replacements.size() + plan.unrepairable.size());
+  for (const Replacement& replacement : plan.replacements) {
+    cover.push_back(replacement.faulty);
+  }
+  cover.insert(cover.end(), plan.unrepairable.begin(),
+               plan.unrepairable.end());
+  std::sort(cover.begin(), cover.end());  // cells_to_cover order
+
+  const ReconfigGraph rg = build_reconfig_graph(array, cover, pool);
+  std::unordered_map<CellIndex, std::int32_t> right_index;
+  for (std::size_t b = 0; b < rg.right_cells.size(); ++b) {
+    right_index.emplace(rg.right_cells[b], static_cast<std::int32_t>(b));
+  }
+  graph::MatchingResult matching;
+  matching.match_of_left.assign(cover.size(),
+                                graph::MatchingResult::kUnmatched);
+  matching.match_of_right.assign(rg.right_cells.size(),
+                                 graph::MatchingResult::kUnmatched);
+  for (std::size_t a = 0; a < cover.size(); ++a) {
+    const CellIndex spare = plan.replacement_for(cover[a]);
+    if (spare == hex::kInvalidCell) continue;
+    const auto found = right_index.find(spare);
+    // The plan must belong to this array state and pool, or its spare is
+    // not a candidate of the rebuilt graph.
+    DMFB_EXPECTS(found != right_index.end());
+    matching.match_of_left[a] = found->second;
+    matching.match_of_right[static_cast<std::size_t>(found->second)] =
+        static_cast<std::int32_t>(a);
+    ++matching.size;
+  }
+
+  std::vector<CellIndex> violator;
+  for (const std::int32_t a : graph::hall_violator(rg.graph, matching)) {
+    violator.push_back(cover[static_cast<std::size_t>(a)]);
+  }
+  return violator;
 }
 
 GreedyReconfigurer::GreedyReconfigurer(CoveragePolicy policy)

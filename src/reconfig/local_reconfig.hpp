@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -109,5 +110,27 @@ class GreedyReconfigurer {
 /// Faulty primaries that must be covered under `policy`.
 std::vector<CellIndex> cells_to_cover(const HexArray& array,
                                       CoveragePolicy policy);
+
+/// Replacement neighbourhood N(S) under `pool`: the healthy replacement
+/// candidates adjacent to at least one cell of `cells`, in first-discovery
+/// order.
+std::vector<CellIndex> replacement_neighborhood(
+    const HexArray& array, std::span<const CellIndex> cells,
+    ReplacementPool pool);
+
+/// Certificate extraction for a failed matching-based plan: the covered
+/// faulty primaries reachable from `plan.unrepairable` via alternating
+/// paths through the plan's matching — König/Hall's deficiency witness.
+/// The returned set S (cell-index order) satisfies
+/// |replacement_neighborhood(array, S, pool)| < |S|, i.e. it is a directly
+/// checkable proof that no spare assignment can exist; S is empty iff
+/// plan.success. Preconditions (ContractViolation otherwise): `array` must
+/// still carry the fault state the plan was computed for, `pool` must match
+/// the planner's, and the plan's matching must be *maximum* — i.e. a
+/// LocalReconfigurer plan; a failed GreedyReconfigurer plan proves nothing
+/// and is rejected, not certified.
+std::vector<CellIndex> hall_violator(const HexArray& array,
+                                     const ReconfigPlan& plan,
+                                     ReplacementPool pool);
 
 }  // namespace dmfb::reconfig

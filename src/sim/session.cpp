@@ -73,7 +73,8 @@ std::string query_key(const YieldQuery& query) {
   key << '|' << query.runs << '|' << query.seed << '|'
       << static_cast<int>(query.policy) << '|'
       << static_cast<int>(query.engine) << '|' << static_cast<int>(query.pool)
-      << '|' << std::bit_cast<std::uint64_t>(query.target_ci_half_width);
+      << '|' << std::bit_cast<std::uint64_t>(query.target_ci_half_width)
+      << '|' << static_cast<int>(query.workload);
   // `threads` is deliberately absent: it never affects the estimate.
   return key.str();
 }
@@ -86,12 +87,30 @@ Session::Session(std::shared_ptr<const ChipDesign> design)
 Session::Session(const biochip::HexArray& array)
     : Session(ChipDesign::make(array)) {}
 
+namespace {
+
+std::shared_ptr<const ChipDesign> design_of(
+    const std::shared_ptr<const AssayWorkload>& workload) {
+  DMFB_EXPECTS(workload != nullptr);
+  return workload->design_ptr();
+}
+
+}  // namespace
+
+Session::Session(std::shared_ptr<const AssayWorkload> workload)
+    : Session(design_of(workload)) {
+  workload_ = std::move(workload);
+}
+
 Session::Stats Session::stats() const {
   const std::scoped_lock lock(mutex_);
   return stats_;
 }
 
 YieldEstimate Session::run(const YieldQuery& query) {
+  if (query.workload == Workload::kAssay) {
+    return run_operational(query).operational;
+  }
   DMFB_EXPECTS(query.runs > 0);
   DMFB_EXPECTS(query.threads >= 0);
   DMFB_EXPECTS(query.target_ci_half_width >= 0.0);
@@ -122,6 +141,42 @@ YieldEstimate Session::run(const YieldQuery& query) {
       promise->set_exception(std::current_exception());
       const std::scoped_lock lock(mutex_);
       cache_.erase(key);
+    }
+  }
+  return future.get();
+}
+
+OperationalEstimate Session::run_operational(const YieldQuery& query) {
+  DMFB_EXPECTS(query.workload == Workload::kAssay);
+  DMFB_EXPECTS(workload_ != nullptr);
+  DMFB_EXPECTS(query.runs > 0);
+  DMFB_EXPECTS(query.threads >= 0);
+  DMFB_EXPECTS(query.target_ci_half_width >= 0.0);
+  validate(query.fault, *design_);
+
+  const std::string key = query_key(query);
+  std::optional<std::promise<OperationalEstimate>> promise;
+  std::shared_future<OperationalEstimate> future;
+  {
+    const std::scoped_lock lock(mutex_);
+    ++stats_.queries;
+    const auto found = operational_cache_.find(key);
+    if (found != operational_cache_.end()) {
+      future = found->second;
+    } else {
+      promise.emplace();
+      future = promise->get_future().share();
+      operational_cache_.emplace(key, future);
+      ++stats_.computed;
+    }
+  }
+  if (promise) {
+    try {
+      promise->set_value(execute_operational(query));
+    } catch (...) {
+      promise->set_exception(std::current_exception());
+      const std::scoped_lock lock(mutex_);
+      operational_cache_.erase(key);
     }
   }
   return future.get();
@@ -198,6 +253,111 @@ std::int64_t Session::successes_in_range(
   for (auto& thread : pool) thread.join();
   if (first_error) std::rethrow_exception(first_error);
   return total.load();
+}
+
+void Session::operational_runs_in_range(
+    const YieldQuery& query, std::int32_t begin, std::int32_t end,
+    std::int32_t threads,
+    std::vector<std::unique_ptr<OperationalState>>& scratch,
+    std::span<OperationalRun> out) const {
+  const auto state_at = [&](std::size_t slot) -> OperationalState& {
+    if (scratch.size() <= slot) scratch.resize(slot + 1);
+    if (!scratch[slot]) {
+      scratch[slot] = std::make_unique<OperationalState>(workload_);
+    }
+    return *scratch[slot];
+  };
+  const auto eval_range = [&](OperationalState& state, std::int32_t lo,
+                              std::int32_t hi) {
+    for (std::int32_t run = lo; run < hi; ++run) {
+      Rng rng = run_stream(query.seed, run);
+      inject(query.fault, state.faults(), rng);
+      out[static_cast<std::size_t>(run - begin)] =
+          state.evaluate(query.policy, query.engine, query.pool);
+      state.reset();
+    }
+  };
+
+  const std::int32_t batch_count = (end - begin + kBatchRuns - 1) / kBatchRuns;
+  const std::int32_t workers = std::min(threads, batch_count);
+  if (workers <= 1) {
+    eval_range(state_at(0), begin, end);
+    return;
+  }
+
+  for (std::int32_t t = 0; t < workers; ++t) {
+    state_at(static_cast<std::size_t>(t));
+  }
+  std::atomic<std::int32_t> next_batch{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  auto worker = [&](std::size_t slot) {
+    try {
+      OperationalState& state = *scratch[slot];
+      for (;;) {
+        const std::int32_t batch =
+            next_batch.fetch_add(1, std::memory_order_relaxed);
+        if (batch >= batch_count) break;
+        const std::int32_t lo = begin + batch * kBatchRuns;
+        eval_range(state, lo, std::min(end, lo + kBatchRuns));
+      }
+    } catch (...) {
+      const std::scoped_lock lock(error_mutex);
+      if (!first_error) first_error = std::current_exception();
+      next_batch.store(batch_count, std::memory_order_relaxed);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers));
+  for (std::int32_t t = 0; t < workers; ++t) {
+    pool.emplace_back(worker, static_cast<std::size_t>(t));
+  }
+  for (auto& thread : pool) thread.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+OperationalEstimate Session::execute_operational(
+    const YieldQuery& query) const {
+  const std::int32_t threads = common::resolve_worker_threads(query.threads);
+  const bool adaptive = query.target_ci_half_width > 0.0;
+  const std::int32_t chunk = adaptive ? kAdaptiveChunkRuns : query.runs;
+
+  std::vector<std::unique_ptr<OperationalState>> scratch;
+  std::vector<OperationalRun> chunk_runs;
+  std::int64_t structural = 0;
+  std::int64_t operational = 0;
+  double slowdown_sum = 0.0;
+  double worst_slowdown = 0.0;
+  std::int32_t done = 0;
+  while (done < query.runs) {
+    const std::int32_t end = std::min(query.runs, done + chunk);
+    chunk_runs.resize(static_cast<std::size_t>(end - done));
+    operational_runs_in_range(query, done, end, threads, scratch, chunk_runs);
+    // Serial fold in run order: chunk boundaries are fixed, so the floating
+    // accumulation order — and with it the estimate — never depends on the
+    // thread count.
+    for (const OperationalRun& run : chunk_runs) {
+      if (run.structural) ++structural;
+      if (run.operational) {
+        ++operational;
+        slowdown_sum += run.slowdown;
+        worst_slowdown = std::max(worst_slowdown, run.slowdown);
+      }
+    }
+    done = end;
+    if (adaptive) {
+      const Interval ci = wilson_interval(operational, done);
+      if (ci.width() / 2.0 <= query.target_ci_half_width) break;
+    }
+  }
+  OperationalEstimate estimate;
+  estimate.structural = YieldEstimate::from_counts(structural, done);
+  estimate.operational = YieldEstimate::from_counts(operational, done);
+  estimate.mean_slowdown =
+      operational == 0 ? 0.0
+                       : slowdown_sum / static_cast<double>(operational);
+  estimate.worst_slowdown = worst_slowdown;
+  return estimate;
 }
 
 YieldEstimate Session::execute(const YieldQuery& query) const {

@@ -30,6 +30,7 @@
 #include "common/stats.hpp"
 #include "graph/matching.hpp"
 #include "reconfig/local_reconfig.hpp"
+#include "sim/assay_workload.hpp"
 #include "sim/fault_model.hpp"
 
 namespace dmfb::sim {
@@ -56,11 +57,26 @@ inline constexpr std::uint64_t kDefaultSeed = 0xD0E5A11ULL;
 /// changes adaptive estimates (but never fixed-run ones).
 inline constexpr std::int32_t kAdaptiveChunkRuns = 1024;
 
+/// What a Monte-Carlo run evaluates.
+enum class Workload : std::uint8_t {
+  /// Structural repairability: the matching covers the faulty primaries
+  /// (the paper's Figs. 7/9/10 metric).
+  kStructural,
+  /// Operational completion: the reconfiguration plan is applied to the
+  /// session's AssayWorkload, the assay is re-scheduled and its droplets
+  /// re-routed on the repaired array (the Figs. 12-13 view). Requires a
+  /// session opened over an AssayWorkload.
+  kAssay,
+};
+
 /// One self-contained yield question: defect model, run budget, engine
 /// configuration. Subsumes the legacy yield::McOptions knob-bag plus the
 /// injector choice that used to travel separately.
 struct YieldQuery {
   FaultModel fault;  ///< what breaks per run
+
+  /// What each run evaluates (kAssay needs a workload-backed session).
+  Workload workload = Workload::kStructural;
 
   /// Monte-Carlo runs; with adaptive stopping this is the *cap*.
   std::int32_t runs = 10000;
@@ -89,22 +105,54 @@ std::string query_key(const YieldQuery& query);
 /// legacy yield::mc_run_stream derivation.
 Rng run_stream(std::uint64_t seed, std::int32_t run) noexcept;
 
+/// Both metrics of one operational (workload = kAssay) experiment, plus the
+/// completion-time degradation of the surviving runs. Structural and
+/// operational legs share the per-run fault draws, so for fixed-run
+/// queries `structural` is bit-identical to the same query asked with
+/// Workload::kStructural. (Adaptive queries stop on the *operational* CI,
+/// so their realised run count — and with it the structural leg — may
+/// differ from a structural-workload run of the same query.)
+struct OperationalEstimate {
+  YieldEstimate structural;   ///< reconfiguration plan covered the faults
+  YieldEstimate operational;  ///< remapped assay completed
+  /// Mean / worst completion-time ratio (degraded / healthy baseline) over
+  /// the operationally successful runs; 0 when none succeeded. Folded in
+  /// run order, so both are thread-count invariant bit-for-bit.
+  double mean_slowdown = 0.0;
+  double worst_slowdown = 0.0;
+};
+
 class Session {
  public:
   /// Opens a session over an existing shared design.
   explicit Session(std::shared_ptr<const ChipDesign> design);
   /// Convenience: snapshots `array` (must be healthy) into a fresh design.
   explicit Session(const biochip::HexArray& array);
+  /// Opens a session over an operational workload (shared, like the
+  /// design); such a session answers both workload kinds.
+  explicit Session(std::shared_ptr<const AssayWorkload> workload);
 
   const ChipDesign& design() const noexcept { return *design_; }
   std::shared_ptr<const ChipDesign> design_ptr() const noexcept {
     return design_;
   }
+  /// The attached operational workload, or nullptr for a design-only
+  /// session (which rejects Workload::kAssay queries).
+  std::shared_ptr<const AssayWorkload> workload_ptr() const noexcept {
+    return workload_;
+  }
 
   /// Answers one query, serving it from the cache when an identical query
   /// has already run (or is running — concurrent duplicates wait for the
-  /// first computation instead of recomputing). Thread-safe.
+  /// first computation instead of recomputing). Thread-safe. A
+  /// Workload::kAssay query returns the operational leg of
+  /// run_operational(query).
   YieldEstimate run(const YieldQuery& query);
+
+  /// Answers one operational query (query.workload must be kAssay and the
+  /// session must carry a workload) with both metrics. Same caching and
+  /// determinism contract as run().
+  OperationalEstimate run_operational(const YieldQuery& query);
 
   /// Answers a batch; duplicate queries within (and across) batches are
   /// computed once. Results are positionally parallel to `queries`.
@@ -120,16 +168,28 @@ class Session {
 
  private:
   YieldEstimate execute(const YieldQuery& query) const;
+  OperationalEstimate execute_operational(const YieldQuery& query) const;
   /// Counts successes over runs [begin, end); `scratch` holds one FaultState
   /// per worker slot, created on demand and reused across adaptive chunks.
   std::int64_t successes_in_range(
       const YieldQuery& query, std::int32_t begin, std::int32_t end,
       std::int32_t threads,
       std::vector<std::unique_ptr<FaultState>>& scratch) const;
+  /// Evaluates runs [begin, end) operationally into `out` (slot run-begin);
+  /// workers write disjoint slots, so the later fold is in run order
+  /// regardless of scheduling.
+  void operational_runs_in_range(
+      const YieldQuery& query, std::int32_t begin, std::int32_t end,
+      std::int32_t threads,
+      std::vector<std::unique_ptr<OperationalState>>& scratch,
+      std::span<OperationalRun> out) const;
 
   std::shared_ptr<const ChipDesign> design_;
+  std::shared_ptr<const AssayWorkload> workload_;
   mutable std::mutex mutex_;
   std::unordered_map<std::string, std::shared_future<YieldEstimate>> cache_;
+  std::unordered_map<std::string, std::shared_future<OperationalEstimate>>
+      operational_cache_;
   Stats stats_;
 };
 

@@ -1,6 +1,8 @@
 // Tests for the campaign engine: spec parsing and diagnostics, round-trip
 // serialisation, grid expansion, dedupe accounting, thread-count invariance
 // of the artifacts, spec/file sync, and the Fig. 9 golden CSV.
+#include <algorithm>
+#include <filesystem>
 #include <fstream>
 #include <set>
 #include <sstream>
@@ -88,11 +90,62 @@ TEST(CampaignSpecParse, RoundTripThroughSpecText) {
     EXPECT_EQ(original.mean_spots_grid, reparsed.mean_spots_grid);
     EXPECT_EQ(original.sigma_scale_grid, reparsed.sigma_scale_grid);
     EXPECT_EQ(original.mixture_components, reparsed.mixture_components);
+    EXPECT_EQ(original.workload, reparsed.workload);
     EXPECT_EQ(original.policies, reparsed.policies);
     EXPECT_EQ(original.engines, reparsed.engines);
     EXPECT_EQ(original.pools, reparsed.pools);
     EXPECT_EQ(original.sinks, reparsed.sinks);
   }
+}
+
+// ----------------------------------------------------------- workload axis
+
+TEST(CampaignSpecParse, OperationalBuiltinSelectsTheAssayWorkload) {
+  const CampaignSpec spec = parse_or_die(builtin_campaign("fig13_operational"));
+  EXPECT_EQ(spec.workload, WorkloadKind::kAssay);
+  EXPECT_EQ(spec.designs, (std::vector<Design>{Design::kMultiplexed}));
+  EXPECT_EQ(spec.injector, InjectorKind::kFixedCount);
+  // Structural stays the default everywhere else.
+  EXPECT_EQ(parse_or_die(builtin_campaign("fig13")).workload,
+            WorkloadKind::kStructural);
+}
+
+TEST(CampaignSpecParse, UnknownWorkloadListsTheAlternatives) {
+  const ParseResult result = parse_campaign_spec(
+      "design = multiplexed\n"
+      "workload = fluidic\n"
+      "m = 5\n"
+      "injector = fixed_count\n");
+  ASSERT_FALSE(result.ok());
+  ASSERT_EQ(result.errors.size(), 1u);
+  EXPECT_EQ(result.errors[0].line, 2);
+  EXPECT_NE(result.errors[0].message.find("structural"), std::string::npos);
+  EXPECT_NE(result.errors[0].message.find("assay"), std::string::npos);
+}
+
+TEST(CampaignSpecParse, AssayWorkloadRequiresTheMultiplexedChip) {
+  const ParseResult result = parse_campaign_spec(
+      "workload = assay\n"
+      "design = dtmb2_6, multiplexed\n"
+      "primaries = 60\n"
+      "injector = fixed_count\n"
+      "m = 5\n");
+  ASSERT_FALSE(result.ok());
+  ASSERT_EQ(result.errors.size(), 1u);
+  EXPECT_EQ(result.errors[0].line, 1);  // anchored at the workload key
+  EXPECT_NE(result.errors[0].message.find("multiplexed"), std::string::npos);
+}
+
+TEST(CampaignGridWorkload, PointsInheritTheWorkloadAndKeyOnIt) {
+  CampaignSpec spec = parse_or_die(builtin_campaign("fig13_operational"));
+  const std::vector<CampaignPoint> points = expand_grid(spec);
+  ASSERT_FALSE(points.empty());
+  for (const CampaignPoint& point : points) {
+    EXPECT_EQ(point.workload, WorkloadKind::kAssay);
+  }
+  CampaignPoint structural = points.front();
+  structural.workload = WorkloadKind::kStructural;
+  EXPECT_NE(point_key(structural), point_key(points.front()));
 }
 
 TEST(CampaignSpecParse, UnknownKeyIsDiagnosedWithLine) {
@@ -576,6 +629,41 @@ TEST(CampaignRunner, NoneDesignHasZeroRedundancy) {
   EXPECT_DOUBLE_EQ(results[0].effective_yield, results[0].estimate.value);
 }
 
+TEST(CampaignRunner, AssayWorkloadRowsCarryTheOperationalColumns) {
+  CampaignSpec spec = parse_or_die(
+      "runs = 48\n"
+      "design = multiplexed\n"
+      "workload = assay\n"
+      "injector = fixed_count\n"
+      "m = 0, 25\n"
+      "policy = used_faulty_primaries\n");
+  spec.threads = 1;
+  CampaignRunner runner(std::move(spec));
+  const std::vector<std::string> header = runner.header();
+  EXPECT_TRUE(std::find(header.begin(), header.end(), "op_yield") !=
+              header.end());
+  EXPECT_TRUE(std::find(header.begin(), header.end(), "mean_slowdown") !=
+              header.end());
+  const auto results = runner.run();
+  ASSERT_EQ(results.size(), 2u);
+  for (const PointResult& result : results) {
+    EXPECT_EQ(runner.format_row(result).size(), header.size());
+    // Both legs ran over the same draws.
+    EXPECT_EQ(result.operational.structural.runs,
+              result.operational.operational.runs);
+    EXPECT_EQ(result.estimate.successes,
+              result.operational.structural.successes);
+  }
+  // m = 0: nothing fails, the assay completes at the baseline everywhere.
+  EXPECT_DOUBLE_EQ(results[0].operational.operational.value, 1.0);
+  EXPECT_DOUBLE_EQ(results[0].operational.mean_slowdown, 1.0);
+  EXPECT_DOUBLE_EQ(results[0].operational.worst_slowdown, 1.0);
+  // Operational (graceful-degradation) yield dominates structural yield on
+  // this workload: an unrepairable chip can still run the assay slower.
+  EXPECT_GE(results[1].operational.operational.value,
+            results[1].estimate.value);
+}
+
 // ----------------------------------------------------------- spec files
 
 TEST(CampaignFiles, CheckedInSpecsMatchBuiltins) {
@@ -589,6 +677,29 @@ TEST(CampaignFiles, CheckedInSpecsMatchBuiltins) {
     EXPECT_EQ(text.str(), builtin_campaign(name))
         << path << " has drifted from builtin_campaign(\"" << name << "\")";
   }
+}
+
+TEST(CampaignFiles, EveryCheckedInSpecIsABuiltin) {
+  // The reverse direction: campaigns/ may not grow files the binary does
+  // not carry (they would silently skip the sync test above), and every
+  // file must parse on its own.
+  const std::vector<std::string_view> names = builtin_campaign_names();
+  std::size_t files = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(
+           std::string(DMFB_SOURCE_DIR) + "/campaigns")) {
+    if (entry.path().extension() != ".campaign") continue;
+    ++files;
+    const std::string stem = entry.path().stem().string();
+    EXPECT_TRUE(std::find(names.begin(), names.end(), stem) != names.end())
+        << entry.path() << " has no compiled-in builtin";
+    std::ifstream file(entry.path());
+    ASSERT_TRUE(file.is_open()) << entry.path();
+    std::ostringstream text;
+    text << file.rdbuf();
+    const ParseResult parsed = parse_campaign_spec(text.str());
+    EXPECT_TRUE(parsed.ok()) << entry.path() << ":\n" << parsed.error_text();
+  }
+  EXPECT_EQ(files, names.size());
 }
 
 // ------------------------------------------------------------ golden file

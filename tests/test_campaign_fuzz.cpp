@@ -1,0 +1,125 @@
+// Fuzz suite for the campaign spec parser: seeded random mutations of the
+// valid builtin specs (byte edits, insertions, deletions, line splices and
+// duplications) must never crash the parser, and every rejection must carry
+// usable, line-anchored diagnostics. The spec dialect is the public surface
+// operators feed files into, so "garbage in, diagnostic out" is a contract,
+// not a nicety.
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "campaign/builtin.hpp"
+#include "campaign/spec.hpp"
+#include "common/rng.hpp"
+
+namespace dmfb::campaign {
+namespace {
+
+/// Printable-ish mutation alphabet, biased toward the dialect's own
+/// metacharacters so mutations hit parser edge cases instead of just
+/// producing unknown-key noise.
+char random_char(Rng& rng) {
+  static constexpr char kAlphabet[] =
+      "=,#.-_0123456789abcxyzABCXYZ \t\r\n";
+  return kAlphabet[rng.uniform_below(sizeof(kAlphabet) - 1)];
+}
+
+std::string mutate(std::string text, Rng& rng) {
+  const std::int32_t edits = rng.uniform_int(1, 8);
+  for (std::int32_t edit = 0; edit < edits; ++edit) {
+    if (text.empty()) {
+      text.push_back(random_char(rng));
+      continue;
+    }
+    const auto at = static_cast<std::size_t>(
+        rng.uniform_below(text.size()));
+    switch (rng.uniform_int(0, 3)) {
+      case 0:  // substitute
+        text[at] = random_char(rng);
+        break;
+      case 1:  // insert
+        text.insert(text.begin() + static_cast<std::ptrdiff_t>(at),
+                    random_char(rng));
+        break;
+      case 2:  // delete a short span
+        text.erase(at, static_cast<std::size_t>(rng.uniform_int(1, 5)));
+        break;
+      case 3: {  // duplicate a line somewhere else
+        const std::size_t line_start = text.rfind('\n', at);
+        const std::size_t begin =
+            line_start == std::string::npos ? 0 : line_start + 1;
+        std::size_t end = text.find('\n', at);
+        if (end == std::string::npos) end = text.size();
+        text.insert(begin, text.substr(begin, end - begin) + "\n");
+        break;
+      }
+    }
+  }
+  return text;
+}
+
+int line_count(const std::string& text) {
+  return 1 + static_cast<int>(std::count(text.begin(), text.end(), '\n'));
+}
+
+TEST(CampaignSpecFuzz, MutatedBuiltinsNeverCrashAndAlwaysDiagnose) {
+  Rng rng(0xCAFEF00DULL);
+  std::vector<std::string> corpus;
+  for (const std::string_view name : builtin_campaign_names()) {
+    corpus.emplace_back(builtin_campaign(name));
+  }
+  for (std::int32_t trial = 0; trial < 2000; ++trial) {
+    const std::string& base =
+        corpus[rng.uniform_below(corpus.size())];
+    const std::string mutated = mutate(base, rng);
+    const ParseResult result = parse_campaign_spec(mutated);
+    if (result.ok()) continue;  // still a valid spec — fine
+    ASSERT_FALSE(result.errors.empty()) << "rejected without diagnostics";
+    for (const SpecError& error : result.errors) {
+      // Every rejection is line-anchored: a 1-based source line, or 0 for
+      // whole-spec (cross-line) validation errors.
+      EXPECT_GE(error.line, 0) << "trial=" << trial;
+      EXPECT_LE(error.line, line_count(mutated)) << "trial=" << trial;
+      EXPECT_FALSE(error.message.empty()) << "trial=" << trial;
+    }
+    EXPECT_FALSE(result.error_text().empty());
+  }
+}
+
+TEST(CampaignSpecFuzz, RandomGarbageIsRejectedWithLineNumbers) {
+  Rng rng(0xDEADBEEFULL);
+  for (std::int32_t trial = 0; trial < 500; ++trial) {
+    std::string garbage;
+    const std::int32_t length = rng.uniform_int(0, 400);
+    garbage.reserve(static_cast<std::size_t>(length));
+    for (std::int32_t i = 0; i < length; ++i) {
+      garbage.push_back(random_char(rng));
+    }
+    const ParseResult result = parse_campaign_spec(garbage);
+    if (result.ok()) continue;  // astronomically unlikely, but not a bug
+    for (const SpecError& error : result.errors) {
+      EXPECT_GE(error.line, 0);
+      EXPECT_LE(error.line, line_count(garbage));
+      EXPECT_FALSE(error.message.empty());
+    }
+  }
+}
+
+TEST(CampaignSpecFuzz, EveryBuiltinSurvivesARoundTripUnderMutationSeeds) {
+  // Sanity anchor for the corpus itself: the unmutated builtins parse, and
+  // parse(to_spec_text(spec)) reproduces the spec (the round-trip contract
+  // the fuzz corpus builds on).
+  for (const std::string_view name : builtin_campaign_names()) {
+    const ParseResult first = parse_campaign_spec(builtin_campaign(name));
+    ASSERT_TRUE(first.ok()) << name << ": " << first.error_text();
+    const ParseResult second =
+        parse_campaign_spec(to_spec_text(*first.spec));
+    ASSERT_TRUE(second.ok()) << name << ": " << second.error_text();
+    EXPECT_EQ(to_spec_text(*first.spec), to_spec_text(*second.spec)) << name;
+  }
+}
+
+}  // namespace
+}  // namespace dmfb::campaign

@@ -26,6 +26,49 @@ double pmf_mean(const DefectCountPmf& pmf) {
   return mean;
 }
 
+/// True iff every term is finite and non-negative.
+bool pmf_well_formed(const DefectCountPmf& pmf) {
+  for (const double term : pmf) {
+    if (!std::isfinite(term) || term < 0.0) return false;
+  }
+  return true;
+}
+
+TEST(DefectPmfProperty, NormalisedAndFiniteAcrossTheParameterGrid) {
+  // PR 4 moved these pmfs to log-space recurrences so they survive large n
+  // and large means; this grid pins that contract: every cell normalises to
+  // 1 +/- 1e-9 with finite non-negative terms, up to n = 10000 cells and a
+  // mean of 800 defects.
+  const std::int32_t cell_counts[] = {1, 16, 257, 1024, 10000};
+  const double qs[] = {0.0, 1e-6, 0.03, 0.5, 0.97, 1.0};
+  const double means[] = {0.0, 0.5, 8.0, 80.0, 800.0};
+  for (const std::int32_t n : cell_counts) {
+    for (const double q : qs) {
+      const DefectCountPmf pmf = binomial_defect_pmf(n, q);
+      ASSERT_EQ(pmf.size(), static_cast<std::size_t>(n) + 1);
+      EXPECT_TRUE(pmf_well_formed(pmf)) << "binomial n=" << n << " q=" << q;
+      EXPECT_NEAR(pmf_sum(pmf), 1.0, 1e-9) << "binomial n=" << n
+                                           << " q=" << q;
+    }
+    for (const double mean : means) {
+      const DefectCountPmf poisson = poisson_defect_pmf(n, mean);
+      ASSERT_EQ(poisson.size(), static_cast<std::size_t>(n) + 1);
+      EXPECT_TRUE(pmf_well_formed(poisson))
+          << "poisson n=" << n << " mean=" << mean;
+      EXPECT_NEAR(pmf_sum(poisson), 1.0, 1e-9)
+          << "poisson n=" << n << " mean=" << mean;
+      if (mean > 0.0) {
+        const DefectCountPmf stapper =
+            negative_binomial_defect_pmf(n, mean, 2.0);
+        EXPECT_TRUE(pmf_well_formed(stapper))
+            << "negative binomial n=" << n << " mean=" << mean;
+        EXPECT_NEAR(pmf_sum(stapper), 1.0, 1e-9)
+            << "negative binomial n=" << n << " mean=" << mean;
+      }
+    }
+  }
+}
+
 TEST(DefectPmf, AllModelsNormalised) {
   EXPECT_NEAR(pmf_sum(binomial_defect_pmf(100, 0.03)), 1.0, 1e-12);
   EXPECT_NEAR(pmf_sum(poisson_defect_pmf(100, 3.0)), 1.0, 1e-12);

@@ -231,6 +231,27 @@ TEST(Poisson, LargeMeanIsUnbiasedAndTerminates) {
   EXPECT_LT(huge, 21000);
 }
 
+TEST(Poisson, MomentsSaneAcrossTheMeanRegimes) {
+  // One property sweep across the sampler's three regimes: small mean
+  // (Knuth direct), mid mean, and the chunked-exponent fold territory just
+  // above the exp(-mean) underflow threshold. Sample mean within 4
+  // standard errors, variance within 10% — seeded, so deterministic.
+  for (const double mean : {0.5, 50.0, 750.0}) {
+    Rng rng(0x9015504 + static_cast<std::uint64_t>(mean * 16.0));
+    RunningStats stats;
+    const int trials = 20000;
+    for (int i = 0; i < trials; ++i) {
+      const std::int32_t sample = sample_poisson(mean, rng);
+      ASSERT_GE(sample, 0) << "mean=" << mean;
+      stats.add(static_cast<double>(sample));
+    }
+    const double standard_error = std::sqrt(mean / trials);
+    EXPECT_NEAR(stats.mean(), mean, 4.0 * standard_error) << "mean=" << mean;
+    EXPECT_NEAR(stats.variance(), mean, 0.1 * mean + 0.02)
+        << "mean=" << mean;
+  }
+}
+
 // -------------------------------------------------------- ClusteredInjector
 
 TEST(ClusteredInjector, ValidatesArguments) {

@@ -1,0 +1,152 @@
+// Fuzz/equivalence suite for the matching engines: on seeded random
+// bipartite graphs (including empty and degenerate sides), Kuhn,
+// Hopcroft-Karp and Dinic must agree on the maximum-matching size, and the
+// allocation-free CSR matcher must agree with the legacy BipartiteGraph
+// engines instance-for-instance. This is the algebra local reconfiguration
+// stands on: engines is a campaign sweep axis, so a single disagreeing
+// instance would split yield curves by engine.
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "graph/bipartite_graph.hpp"
+#include "graph/csr_matching.hpp"
+#include "graph/matching.hpp"
+
+namespace dmfb::graph {
+namespace {
+
+constexpr MatchingEngine kEngines[] = {
+    MatchingEngine::kHopcroftKarp,
+    MatchingEngine::kKuhn,
+    MatchingEngine::kDinic,
+};
+
+/// One random instance: edges[a] lists a's right neighbours (sorted,
+/// deduplicated by construction order).
+struct Instance {
+  std::int32_t left = 0;
+  std::int32_t right = 0;
+  std::vector<std::vector<std::int32_t>> edges;
+};
+
+Instance random_instance(Rng& rng) {
+  Instance instance;
+  instance.left = rng.uniform_int(0, 9);
+  instance.right = rng.uniform_int(0, 9);
+  instance.edges.resize(static_cast<std::size_t>(instance.left));
+  if (instance.right == 0) return instance;
+  // Edge density from empty to near-complete.
+  const double density = rng.uniform01();
+  for (auto& row : instance.edges) {
+    for (std::int32_t b = 0; b < instance.right; ++b) {
+      if (rng.bernoulli(density)) row.push_back(b);
+    }
+  }
+  return instance;
+}
+
+BipartiteGraph legacy_graph(const Instance& instance) {
+  BipartiteGraph graph(instance.left, instance.right);
+  for (std::int32_t a = 0; a < instance.left; ++a) {
+    for (const std::int32_t b :
+         instance.edges[static_cast<std::size_t>(a)]) {
+      graph.add_edge(a, b);
+    }
+  }
+  return graph;
+}
+
+void build_csr(const Instance& instance, CsrBipartiteGraph& graph) {
+  graph.clear();
+  for (std::int32_t a = 0; a < instance.left; ++a) {
+    graph.open_row();
+    for (const std::int32_t b :
+         instance.edges[static_cast<std::size_t>(a)]) {
+      graph.add_edge(b);
+    }
+  }
+}
+
+TEST(MatchingFuzz, EnginesAndCsrAgreeOnRandomInstances) {
+  Rng rng(0x5EED5EEDULL);
+  CsrBipartiteGraph csr;     // reused across instances, as in the hot loop
+  CsrMatcher matcher;
+  for (std::int32_t trial = 0; trial < 3000; ++trial) {
+    const Instance instance = random_instance(rng);
+    const BipartiteGraph legacy = legacy_graph(instance);
+    build_csr(instance, csr);
+
+    const MatchingResult reference = maximum_matching(legacy, kEngines[0]);
+    EXPECT_TRUE(is_valid_matching(legacy, reference)) << "trial=" << trial;
+    for (const MatchingEngine engine : kEngines) {
+      const MatchingResult result = maximum_matching(legacy, engine);
+      EXPECT_TRUE(is_valid_matching(legacy, result)) << "trial=" << trial;
+      EXPECT_EQ(result.size, reference.size)
+          << "trial=" << trial << " engine=" << static_cast<int>(engine);
+      EXPECT_EQ(matcher.maximum_matching_size(csr, engine), reference.size)
+          << "trial=" << trial << " csr engine=" << static_cast<int>(engine);
+      EXPECT_EQ(matcher.covers_all_left(csr, engine),
+                reference.covers_all_left())
+          << "trial=" << trial;
+    }
+  }
+}
+
+TEST(MatchingFuzz, DegenerateSidesMatchEverywhere) {
+  CsrBipartiteGraph csr;
+  CsrMatcher matcher;
+  // (left, right) with no edges: matching size is always 0, and
+  // covers_all_left holds iff the left side is empty.
+  constexpr std::pair<std::int32_t, std::int32_t> kShapes[] = {
+      {0, 0}, {0, 5}, {5, 0}, {3, 3}};
+  for (const auto& [left, right] : kShapes) {
+    const Instance instance{
+        left, right,
+        std::vector<std::vector<std::int32_t>>(
+            static_cast<std::size_t>(left))};
+    const BipartiteGraph legacy = legacy_graph(instance);
+    build_csr(instance, csr);
+    for (const MatchingEngine engine : kEngines) {
+      EXPECT_EQ(maximum_matching(legacy, engine).size, 0);
+      EXPECT_EQ(matcher.maximum_matching_size(csr, engine), 0);
+      EXPECT_EQ(matcher.covers_all_left(csr, engine), left == 0);
+    }
+  }
+}
+
+TEST(MatchingFuzz, HallViolatorWitnessesEveryDeficientInstance) {
+  // Piggyback on the fuzz stream: whenever the matching misses a left
+  // vertex, the extracted Hall violator must certify it.
+  Rng rng(0xB1A5ULL);
+  for (std::int32_t trial = 0; trial < 500; ++trial) {
+    const Instance instance = random_instance(rng);
+    const BipartiteGraph legacy = legacy_graph(instance);
+    const MatchingResult result = maximum_matching(legacy);
+    const std::vector<std::int32_t> violator = hall_violator(legacy, result);
+    if (result.covers_all_left()) {
+      EXPECT_TRUE(violator.empty()) << "trial=" << trial;
+      continue;
+    }
+    ASSERT_FALSE(violator.empty()) << "trial=" << trial;
+    // |N(S)| < |S|, computed straight from the edge lists.
+    std::vector<char> in_neighborhood(
+        static_cast<std::size_t>(instance.right), 0);
+    for (const std::int32_t a : violator) {
+      for (const std::int32_t b :
+           instance.edges[static_cast<std::size_t>(a)]) {
+        in_neighborhood[static_cast<std::size_t>(b)] = 1;
+      }
+    }
+    std::int64_t neighborhood = 0;
+    for (const char bit : in_neighborhood) neighborhood += bit;
+    EXPECT_LT(neighborhood, static_cast<std::int64_t>(violator.size()))
+        << "trial=" << trial;
+  }
+}
+
+}  // namespace
+}  // namespace dmfb::graph

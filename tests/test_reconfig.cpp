@@ -366,5 +366,105 @@ TEST(ShiftedReplacement, SuccessIffEveryColumnHasAtMostOneFault) {
   }
 }
 
+// ------------------------------------------------- Hall-violator property
+
+// Whenever the matching-based planner fails, plan.unrepairable extended by
+// its alternating-path closure through the plan's matching must be a
+// directly checkable Hall violator: |N(S)| < |S| with N(S) the replacement
+// neighbourhood under the planner's pool. Verified on randomized fault maps
+// across both coverage policies and both replacement pools.
+TEST(LocalReconfig, FailedPlansCarryACheckableHallViolator) {
+  Rng rng(0x4A11);
+  std::int32_t failures_witnessed = 0;
+  for (std::int32_t trial = 0; trial < 300; ++trial) {
+    auto array = array_2_6();
+    // Mark some primaries used so kUsedFaultyPrimaries has real structure.
+    std::int32_t marked = 0;
+    for (const auto primary : array.primaries()) {
+      if (marked >= array.primary_count() / 3) break;
+      array.set_usage(primary, CellUsage::kAssayUsed);
+      ++marked;
+    }
+    // Heavy enough fault load that repair often fails.
+    fault::FixedCountInjector(rng.uniform_int(10, 45)).inject(array, rng);
+    for (const CoveragePolicy policy :
+         {CoveragePolicy::kAllFaultyPrimaries,
+          CoveragePolicy::kUsedFaultyPrimaries}) {
+      for (const ReplacementPool pool :
+           {ReplacementPool::kSparesOnly,
+            ReplacementPool::kSparesAndUnusedPrimaries}) {
+        const LocalReconfigurer reconfigurer(
+            policy, graph::MatchingEngine::kHopcroftKarp, pool);
+        const ReconfigPlan plan = reconfigurer.plan(array);
+        const std::vector<CellIndex> violator =
+            hall_violator(array, plan, pool);
+        if (plan.success) {
+          EXPECT_TRUE(violator.empty()) << "trial=" << trial;
+          continue;
+        }
+        ++failures_witnessed;
+        ASSERT_FALSE(violator.empty()) << "trial=" << trial;
+        // The uncovered cells are all in the witness set…
+        for (const CellIndex cell : plan.unrepairable) {
+          EXPECT_TRUE(std::binary_search(violator.begin(), violator.end(),
+                                         cell))
+              << "trial=" << trial;
+        }
+        // …every witness cell is a covered faulty primary…
+        const std::vector<CellIndex> cover = cells_to_cover(array, policy);
+        for (const CellIndex cell : violator) {
+          EXPECT_TRUE(std::find(cover.begin(), cover.end(), cell) !=
+                      cover.end())
+              << "trial=" << trial;
+        }
+        // …and Hall's condition fails on it: |N(S)| < |S|.
+        const std::vector<CellIndex> neighborhood =
+            replacement_neighborhood(array, violator, pool);
+        EXPECT_LT(neighborhood.size(), violator.size())
+            << "trial=" << trial << " policy=" << static_cast<int>(policy)
+            << " pool=" << static_cast<int>(pool);
+        // Exact deficiency: the closure reaches only matched candidates, so
+        // |S| - |N(S)| counts precisely the unmatched (unrepairable) cells
+        // that seeded it.
+        EXPECT_EQ(violator.size() - neighborhood.size(),
+                  static_cast<std::size_t>(std::count_if(
+                      violator.begin(), violator.end(),
+                      [&](CellIndex cell) {
+                        return std::find(plan.unrepairable.begin(),
+                                         plan.unrepairable.end(),
+                                         cell) != plan.unrepairable.end();
+                      })))
+            << "trial=" << trial;
+      }
+    }
+  }
+  // The fault loads are chosen so the property is exercised, not vacuous.
+  EXPECT_GT(failures_witnessed, 50);
+}
+
+TEST(LocalReconfig, HallViolatorRejectsNonMaximumPlans) {
+  // A failed greedy plan proves nothing: its matching need not be maximum,
+  // so certificate extraction must refuse it rather than hand back a set
+  // that fails the |N(S)| < |S| check. Hunt a seed where greedy fails but
+  // the maximum matching differs from greedy's.
+  Rng rng(0xBAD5EED);
+  for (std::int32_t trial = 0; trial < 400; ++trial) {
+    auto array = array_2_6();
+    fault::FixedCountInjector(rng.uniform_int(15, 40)).inject(array, rng);
+    const ReconfigPlan greedy = GreedyReconfigurer().plan(array);
+    if (greedy.success) continue;
+    const ReconfigPlan optimal = LocalReconfigurer().plan(array);
+    if (greedy.replacements.size() == optimal.replacements.size()) continue;
+    // Greedy matched fewer cells than the maximum: the closure from its
+    // unmatched cells reaches an augmenting path, which the certificate
+    // extractor reports as a contract violation.
+    EXPECT_THROW(hall_violator(array, greedy,
+                               ReplacementPool::kSparesOnly),
+                 ContractViolation);
+    return;
+  }
+  GTEST_SKIP() << "no greedy-vs-maximum gap found in the seeded stream";
+}
+
 }  // namespace
 }  // namespace dmfb::reconfig
