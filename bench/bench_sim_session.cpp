@@ -43,6 +43,12 @@ biochip::HexArray bench_array() {
                                                  120);
 }
 
+biochip::HexArray dtmb16_array() {
+  // The paper's standard design: DTMB(1,6) at >= 120 primaries.
+  return biochip::make_dtmb_array_with_primaries(biochip::DtmbKind::kDtmb1_6,
+                                                 120);
+}
+
 void BM_McYieldRun_Legacy(benchmark::State& state) {
   auto array = bench_array();
   const fault::BernoulliInjector injector(kSurvivalP);
@@ -73,6 +79,105 @@ void BM_McYieldRun_Session(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_McYieldRun_Session);
+
+// Engine variants of the session kernel (not part of the CI ratio gate):
+// the same fault stream checked by the push-relabel batch engine, by the
+// diff-based incremental repair path, and at the low-density operating
+// point where the incremental diff actually pays (p = 0.99 leaves ~2 faults
+// per run, so consecutive runs differ in a handful of cells).
+
+void BM_McYieldRun_PushRelabel(benchmark::State& state) {
+  const auto design = sim::ChipDesign::make(bench_array());
+  sim::FaultState fault_state(design);
+  const sim::FaultModel model = sim::FaultModel::bernoulli(kSurvivalP);
+  std::int32_t run = 0;
+  for (auto _ : state) {
+    Rng rng = sim::run_stream(kSeed, run++);
+    sim::inject(model, fault_state, rng);
+    benchmark::DoNotOptimize(fault_state.repairable(
+        reconfig::CoveragePolicy::kAllFaultyPrimaries,
+        graph::MatchingEngine::kPushRelabel,
+        reconfig::ReplacementPool::kSparesOnly));
+    fault_state.reset();
+  }
+}
+BENCHMARK(BM_McYieldRun_PushRelabel);
+
+void BM_McYieldRun_Incremental(benchmark::State& state) {
+  const auto design = sim::ChipDesign::make(bench_array());
+  sim::FaultState fault_state(design);
+  const sim::FaultModel model = sim::FaultModel::bernoulli(kSurvivalP);
+  std::int32_t run = 0;
+  for (auto _ : state) {
+    Rng rng = sim::run_stream(kSeed, run++);
+    sim::inject(model, fault_state, rng);
+    benchmark::DoNotOptimize(fault_state.repairable_incremental(
+        reconfig::CoveragePolicy::kAllFaultyPrimaries,
+        reconfig::ReplacementPool::kSparesOnly));
+    fault_state.reset();
+  }
+}
+BENCHMARK(BM_McYieldRun_Incremental);
+
+void BM_McYieldRun_IncrementalSparse(benchmark::State& state) {
+  const auto design = sim::ChipDesign::make(bench_array());
+  sim::FaultState fault_state(design);
+  const sim::FaultModel model = sim::FaultModel::bernoulli(0.99);
+  std::int32_t run = 0;
+  for (auto _ : state) {
+    Rng rng = sim::run_stream(kSeed, run++);
+    sim::inject(model, fault_state, rng);
+    benchmark::DoNotOptimize(fault_state.repairable_incremental(
+        reconfig::CoveragePolicy::kAllFaultyPrimaries,
+        reconfig::ReplacementPool::kSparesOnly));
+    fault_state.reset();
+  }
+}
+BENCHMARK(BM_McYieldRun_IncrementalSparse);
+
+// The standard DTMB(1,6) query (the paper's principal design) under the
+// auto-planned path, against its legacy counterpart: the pair the ROADMAP
+// item-2 kernel target is quoted on.
+
+void BM_McYieldRun_Dtmb16_Legacy(benchmark::State& state) {
+  auto array = dtmb16_array();
+  const fault::BernoulliInjector injector(kSurvivalP);
+  const reconfig::LocalReconfigurer reconfigurer;
+  std::int32_t run = 0;
+  for (auto _ : state) {
+    Rng rng = sim::run_stream(kSeed, run++);
+    injector.inject(array, rng);
+    benchmark::DoNotOptimize(reconfigurer.feasible(array));
+    array.reset_health();
+  }
+}
+BENCHMARK(BM_McYieldRun_Dtmb16_Legacy);
+
+void BM_McYieldRun_Dtmb16_Auto(benchmark::State& state) {
+  const auto design = sim::ChipDesign::make(dtmb16_array());
+  sim::FaultState fault_state(design);
+  const sim::FaultModel model = sim::FaultModel::bernoulli(kSurvivalP);
+  sim::YieldQuery query;
+  query.fault = model;
+  query.engine = graph::MatchingEngine::kAuto;
+  const sim::EnginePlan plan = sim::plan_engine(query, *design);
+  std::int32_t run = 0;
+  for (auto _ : state) {
+    Rng rng = sim::run_stream(kSeed, run++);
+    sim::inject(model, fault_state, rng);
+    const bool ok =
+        plan.incremental
+            ? fault_state.repairable_incremental(
+                  reconfig::CoveragePolicy::kAllFaultyPrimaries,
+                  reconfig::ReplacementPool::kSparesOnly)
+            : fault_state.repairable(
+                  reconfig::CoveragePolicy::kAllFaultyPrimaries, plan.engine,
+                  reconfig::ReplacementPool::kSparesOnly);
+    benchmark::DoNotOptimize(ok);
+    fault_state.reset();
+  }
+}
+BENCHMARK(BM_McYieldRun_Dtmb16_Auto);
 
 // Composable-model kernels (not part of the CI ratio gate): the parametric
 // injector's per-cell Gaussian sampling dominates its run cost, and the

@@ -71,6 +71,9 @@ constexpr TokenPair kEngineTokens[] = {
      static_cast<std::uint8_t>(graph::MatchingEngine::kHopcroftKarp)},
     {"kuhn", static_cast<std::uint8_t>(graph::MatchingEngine::kKuhn)},
     {"dinic", static_cast<std::uint8_t>(graph::MatchingEngine::kDinic)},
+    {"push_relabel",
+     static_cast<std::uint8_t>(graph::MatchingEngine::kPushRelabel)},
+    {"auto", static_cast<std::uint8_t>(graph::MatchingEngine::kAuto)},
 };
 
 constexpr TokenPair kPoolTokens[] = {

@@ -28,17 +28,52 @@ class Rng {
     return std::numeric_limits<result_type>::max();
   }
 
-  /// Next raw 64-bit output.
-  result_type operator()() noexcept;
+  /// Next raw 64-bit output. Inline: the Monte-Carlo injection loops draw
+  /// once per cell, so a cross-TU call per draw would dominate the run
+  /// kernel (the draw *sequence* is pinned by the replay contract; only the
+  /// cost per draw is negotiable).
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
 
   /// Uniform double in [0, 1) with 53 random bits.
-  double uniform01() noexcept;
+  double uniform01() noexcept {
+    // Top 53 bits scaled by 2^-53: the canonical xoshiro double recipe.
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
 
   /// Bernoulli trial: true with probability `prob` (clamped to [0,1]).
-  bool bernoulli(double prob) noexcept;
+  bool bernoulli(double prob) noexcept {
+    if (prob <= 0.0) return false;
+    if (prob >= 1.0) return true;
+    return uniform01() < prob;
+  }
 
   /// Unbiased uniform integer in [0, bound); bound must be > 0.
-  std::uint64_t uniform_below(std::uint64_t bound) noexcept;
+  std::uint64_t uniform_below(std::uint64_t bound) noexcept {
+    // Lemire's nearly-divisionless unbiased bounded generation.
+    if (bound == 0) return 0;
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto low = static_cast<std::uint64_t>(m);
+    if (low < bound) {
+      const std::uint64_t threshold = -bound % bound;
+      while (low < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * bound;
+        low = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
 
   /// Unbiased uniform integer in [lo, hi] (inclusive); lo <= hi is enforced
   /// (ContractViolation otherwise — a reversed range would silently skew
@@ -64,6 +99,10 @@ class Rng {
                                                        std::int32_t k);
 
  private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
   std::uint64_t state_[4];
 };
 

@@ -15,13 +15,6 @@ namespace {
 /// double, with plenty of margin to the ~745 underflow edge.
 constexpr double kPoissonDirectMeanLimit = 700.0;
 
-/// Relative frequencies of the three catastrophic defect mechanisms.
-/// Dielectric breakdown dominates in electrowetting devices (high-voltage
-/// stress), shorts and opens split the remainder.
-constexpr double kBreakdownWeight = 0.5;
-constexpr double kShortWeight = 0.3;
-// open-connection weight = 0.2 (remainder)
-
 FaultRecord make_catastrophic_record(hex::CellIndex cell, Rng& rng) {
   FaultRecord record;
   record.cell = cell;
@@ -31,15 +24,6 @@ FaultRecord make_catastrophic_record(hex::CellIndex cell, Rng& rng) {
 }
 
 }  // namespace
-
-CatastrophicDefect sample_catastrophic_defect(Rng& rng) {
-  const double u = rng.uniform01();
-  if (u < kBreakdownWeight) return CatastrophicDefect::kDielectricBreakdown;
-  if (u < kBreakdownWeight + kShortWeight) {
-    return CatastrophicDefect::kElectrodeShort;
-  }
-  return CatastrophicDefect::kOpenConnection;
-}
 
 BernoulliInjector::BernoulliInjector(double survival_p)
     : survival_p_(survival_p) {

@@ -25,9 +25,25 @@
 
 namespace dmfb::fault {
 
+/// Relative frequencies of the three catastrophic defect mechanisms.
+/// Dielectric breakdown dominates in electrowetting devices (high-voltage
+/// stress), shorts and opens split the remainder (open-connection weight is
+/// the 0.2 remainder).
+inline constexpr double kBreakdownWeight = 0.5;
+inline constexpr double kShortWeight = 0.3;
+
 /// Samples a catastrophic defect type with the given relative weights
-/// (breakdown : short : open). Exposed for tests.
-CatastrophicDefect sample_catastrophic_defect(Rng& rng);
+/// (breakdown : short : open). Exposed for tests. Inline: the MC injection
+/// loops burn one classification draw per injected fault, in sequence with
+/// the per-cell draws.
+inline CatastrophicDefect sample_catastrophic_defect(Rng& rng) {
+  const double u = rng.uniform01();
+  if (u < kBreakdownWeight) return CatastrophicDefect::kDielectricBreakdown;
+  if (u < kBreakdownWeight + kShortWeight) {
+    return CatastrophicDefect::kElectrodeShort;
+  }
+  return CatastrophicDefect::kOpenConnection;
+}
 
 /// Each cell fails independently with probability 1 - survival_p.
 class BernoulliInjector {

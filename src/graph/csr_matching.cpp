@@ -16,10 +16,12 @@ std::int32_t CsrMatcher::maximum_matching_size(const CsrBipartiteGraph& graph,
   match_left_.assign(static_cast<std::size_t>(graph.left_count()), kUnmatched);
   match_right_.assign(static_cast<std::size_t>(graph.right_count()),
                       kUnmatched);
-  switch (engine) {
+  switch (resolve_engine(engine, graph.left_count())) {
     case MatchingEngine::kHopcroftKarp: return run_hopcroft_karp(graph);
     case MatchingEngine::kKuhn: return run_kuhn(graph);
     case MatchingEngine::kDinic: return run_dinic(graph);
+    case MatchingEngine::kPushRelabel: return run_push_relabel(graph);
+    case MatchingEngine::kAuto: break;  // resolved above
   }
   DMFB_ASSERT(!"unknown matching engine");
   return 0;

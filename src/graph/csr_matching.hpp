@@ -9,7 +9,7 @@
 // (graph, matcher) pair serves an entire Monte-Carlo experiment with zero
 // steady-state allocation.
 //
-// All three engines compute a maximum matching, so matching *size* — and
+// All engines compute a maximum matching, so matching *size* — and
 // therefore repairability — is identical across engines and identical to
 // the BipartiteGraph-based detail:: implementations (pinned by tests).
 #pragma once
@@ -96,6 +96,7 @@ class CsrMatcher {
   std::int32_t run_kuhn(const CsrBipartiteGraph& graph);
   std::int32_t run_hopcroft_karp(const CsrBipartiteGraph& graph);
   std::int32_t run_dinic(const CsrBipartiteGraph& graph);
+  std::int32_t run_push_relabel(const CsrBipartiteGraph& graph);  // push_relabel.cpp
 
   bool kuhn_augment(const CsrBipartiteGraph& graph, std::int32_t a);
   bool hk_bfs(const CsrBipartiteGraph& graph);
@@ -108,6 +109,7 @@ class CsrMatcher {
   std::vector<std::int32_t> queue_;       // flat BFS queue
   std::vector<std::int32_t> visit_stamp_; // Kuhn right-visited epochs
   std::vector<std::int32_t> cursor_;      // Dinic current-arc per left vertex
+  std::vector<std::int32_t> label_right_; // push-relabel right labels
   std::int32_t stamp_ = 0;
 };
 

@@ -39,11 +39,18 @@ ChipDesign::ChipDesign(biochip::HexArray array) : array_(std::move(array)) {
           ReplacementPool::kSparesAndUnusedPrimaries}) {
       Skeleton& skeleton = skeletons_[skeleton_index(policy, pool)];
       skeleton.candidate_offset.push_back(0);
+      skeleton.cover_row_of_cell.assign(
+          static_cast<std::size_t>(array_.cell_count()), -1);
+      skeleton.cover_words.assign(fault_word_count(array_.cell_count()), 0);
       for (const CellIndex primary : array_.primaries()) {
         if (policy == CoveragePolicy::kUsedFaultyPrimaries &&
             array_.usage(primary) != CellUsage::kAssayUsed) {
           continue;
         }
+        skeleton.cover_row_of_cell[static_cast<std::size_t>(primary)] =
+            static_cast<std::int32_t>(skeleton.cover.size());
+        skeleton.cover_words[static_cast<std::size_t>(primary) >> 6] |=
+            std::uint64_t{1} << (primary & 63);
         skeleton.cover.push_back(primary);
         append_candidates(array_, primary, pool, skeleton.candidate_flat);
         skeleton.candidate_offset.push_back(

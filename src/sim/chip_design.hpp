@@ -25,6 +25,13 @@ namespace dmfb::sim {
 
 using hex::CellIndex;
 
+/// 64-bit words needed for one fault/cover bit per cell (see
+/// FaultState::fault_words: cell i lives in word i/64, bit i%64; the
+/// trailing bits of the last word stay zero).
+inline constexpr std::size_t fault_word_count(std::int32_t cells) noexcept {
+  return (static_cast<std::size_t>(cells) + 63) / 64;
+}
+
 class ChipDesign {
  public:
   /// Snapshots `array`'s topology, roles and usage. The array must be
@@ -55,6 +62,13 @@ class ChipDesign {
     /// filtered per run by fault bit only.
     std::vector<CellIndex> candidate_flat;
     std::vector<std::int32_t> candidate_offset;  // cover.size() + 1 entries
+    /// Inverse of `cover`: cell -> its cover row, -1 for uncovered cells
+    /// (spares, and unused primaries under the used-faulty policy).
+    std::vector<std::int32_t> cover_row_of_cell;
+    /// Word-packed coverage mask (same layout as FaultState::fault_words):
+    /// `faults & cover_words` yields the faulty primaries the policy must
+    /// cover, one word-parallel AND per 64 cells.
+    std::vector<std::uint64_t> cover_words;
 
     std::span<const CellIndex> candidates_of(std::size_t cover_index) const {
       return {candidate_flat.data() + candidate_offset[cover_index],

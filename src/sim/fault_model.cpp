@@ -1,5 +1,6 @@
 #include "sim/fault_model.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/contracts.hpp"
@@ -148,6 +149,43 @@ void validate(const FaultModel& model, const ChipDesign& design) {
 void inject(const FaultModel& model, FaultState& state, Rng& rng) {
   DMFB_EXPECTS(state.faulty_count() == 0);
   inject_component(model, state, rng);
+}
+
+double expected_fault_fraction(const FaultModel& model,
+                               const ChipDesign& design) {
+  const double cells = static_cast<double>(design.cell_count());
+  switch (model.kind) {
+    case FaultModel::Kind::kBernoulli:
+      return 1.0 - model.param;  // param is the survival probability
+    case FaultModel::Kind::kFixedCount:
+      return cells == 0.0 ? 0.0 : model.param / cells;
+    case FaultModel::Kind::kClustered: {
+      // Mean-field: each spot kills ~disk-area x mean kill probability
+      // cells; boundary clipping and spot overlap only lower the truth, so
+      // this over-estimates — safe for an engine heuristic.
+      const double radius = static_cast<double>(model.cluster.radius);
+      const double disk = 1.0 + 3.0 * radius * (radius + 1.0);
+      const double mean_kill =
+          (model.cluster.core_kill + model.cluster.edge_kill) / 2.0;
+      if (cells == 0.0) return 0.0;
+      return std::min(1.0, model.param * disk * mean_kill / cells);
+    }
+    case FaultModel::Kind::kParametric:
+      return fault::ProcessSpec::typical()
+          .scaled(model.param)
+          .cell_fault_probability();
+    case FaultModel::Kind::kMixture: {
+      // Components are conditionally independent given the design, so the
+      // per-cell fault probability unions as 1 - prod(1 - f_i).
+      double survive = 1.0;
+      for (const FaultModel& component : model.components) {
+        survive *= 1.0 - expected_fault_fraction(component, design);
+      }
+      return 1.0 - survive;
+    }
+  }
+  DMFB_ASSERT(!"unknown fault model kind");
+  return 0.0;
 }
 
 }  // namespace dmfb::sim

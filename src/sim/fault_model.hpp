@@ -102,4 +102,14 @@ void validate(const FaultModel& model, const ChipDesign& design);
 /// fault::MixtureInjector) on a HexArray.
 void inject(const FaultModel& model, FaultState& state, Rng& rng);
 
+/// Expected fraction of `design`'s cells a single run of `model` faults,
+/// in [0, 1]. Exact for bernoulli / fixed-count / parametric, a documented
+/// mean-field approximation for clustered (mean spots x full-disk area x
+/// average kill probability, ignoring boundary clipping and overlap), and
+/// the independent-union combination for mixtures. Deterministic — it feeds
+/// Session's engine auto-selection, which must never depend on sampled
+/// state.
+double expected_fault_fraction(const FaultModel& model,
+                               const ChipDesign& design);
+
 }  // namespace dmfb::sim

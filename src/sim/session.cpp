@@ -190,6 +190,22 @@ std::vector<YieldEstimate> Session::run_all(
   return results;
 }
 
+EnginePlan plan_engine(const YieldQuery& query, const ChipDesign& design) {
+  if (query.engine != graph::MatchingEngine::kAuto) {
+    return {false, query.engine};
+  }
+  if (expected_fault_fraction(query.fault, design) <=
+      kAutoIncrementalDensityMax) {
+    return {true, graph::MatchingEngine::kHopcroftKarp};
+  }
+  const ChipDesign::Skeleton& skeleton =
+      design.skeleton(query.policy, query.pool);
+  return {false,
+          graph::resolve_engine(
+              graph::MatchingEngine::kAuto,
+              static_cast<std::int32_t>(skeleton.cover.size()))};
+}
+
 std::int64_t Session::successes_in_range(
     const YieldQuery& query, std::int32_t begin, std::int32_t end,
     std::int32_t threads,
@@ -201,15 +217,21 @@ std::int64_t Session::successes_in_range(
     if (!scratch[slot]) scratch[slot] = std::make_unique<FaultState>(design_);
     return *scratch[slot];
   };
+  // Either path returns the same verdict per run (a pure function of the
+  // fault set), so partitioning runs over workers — each with its own
+  // incremental history — never changes the estimate.
+  const EnginePlan plan = plan_engine(query, *design_);
   const auto count_range = [&](FaultState& state, std::int32_t lo,
                                std::int32_t hi) {
     std::int64_t successes = 0;
     for (std::int32_t run = lo; run < hi; ++run) {
       Rng rng = run_stream(query.seed, run);
       inject(query.fault, state, rng);
-      if (state.repairable(query.policy, query.engine, query.pool)) {
-        ++successes;
-      }
+      const bool ok =
+          plan.incremental
+              ? state.repairable_incremental(query.policy, query.pool)
+              : state.repairable(query.policy, plan.engine, query.pool);
+      if (ok) ++successes;
       state.reset();
     }
     return successes;

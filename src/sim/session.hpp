@@ -87,6 +87,12 @@ struct YieldQuery {
 
   reconfig::CoveragePolicy policy =
       reconfig::CoveragePolicy::kAllFaultyPrimaries;
+  /// Matching engine for the per-run repairability check. kAuto lets the
+  /// session pick per (array size, expected defect density) — see
+  /// plan_engine; estimates never depend on the choice (every engine
+  /// computes a maximum matching), only run time does. For operational
+  /// (kAssay) queries kAuto resolves per instance inside the reconfigurer,
+  /// deterministically.
   graph::MatchingEngine engine = graph::MatchingEngine::kHopcroftKarp;
   reconfig::ReplacementPool pool = reconfig::ReplacementPool::kSparesOnly;
 
@@ -104,6 +110,27 @@ std::string query_key(const YieldQuery& query);
 /// The Rng stream run `run` of an experiment draws from; identical to the
 /// legacy yield::mc_run_stream derivation.
 Rng run_stream(std::uint64_t seed, std::int32_t run) noexcept;
+
+/// How a structural query's per-run repairability check executes.
+struct EnginePlan {
+  /// True: the diff-based FaultState::repairable_incremental path.
+  bool incremental = false;
+  /// Batch engine otherwise (never kAuto after planning).
+  graph::MatchingEngine engine = graph::MatchingEngine::kHopcroftKarp;
+};
+
+/// Expected per-cell fault probability at or below which an auto-engine
+/// query takes the incremental repair path: consecutive runs then differ in
+/// few cells, so diff + re-augment beats any from-scratch engine.
+inline constexpr double kAutoIncrementalDensityMax = 0.125;
+
+/// Resolves the query's engine choice against `design`. Explicit engines
+/// pass through as batch plans (bit-compatible with the legacy behaviour);
+/// kAuto picks incremental repair when expected_fault_fraction(fault) <=
+/// kAutoIncrementalDensityMax, else a batch engine by skeleton size via
+/// graph::resolve_engine. Deterministic: the plan depends only on
+/// (query, design), never on sampled state or threads.
+EnginePlan plan_engine(const YieldQuery& query, const ChipDesign& design);
 
 /// Both metrics of one operational (workload = kAssay) experiment, plus the
 /// completion-time degradation of the surviving runs. Structural and

@@ -1,20 +1,29 @@
 // Fuzz/equivalence suite for the matching engines: on seeded random
 // bipartite graphs (including empty and degenerate sides), Kuhn,
-// Hopcroft-Karp and Dinic must agree on the maximum-matching size, and the
-// allocation-free CSR matcher must agree with the legacy BipartiteGraph
-// engines instance-for-instance. This is the algebra local reconfiguration
-// stands on: engines is a campaign sweep axis, so a single disagreeing
-// instance would split yield curves by engine.
+// Hopcroft-Karp, Dinic and push-relabel must agree on the maximum-matching
+// size, and the allocation-free CSR matcher must agree with the legacy
+// BipartiteGraph engines instance-for-instance. This is the algebra local
+// reconfiguration stands on: engines is a campaign sweep axis, so a single
+// disagreeing instance would split yield curves by engine.
+//
+// The second half fuzzes sim::FaultState's incremental-repair path:
+// randomized insert/remove fault sequences replayed incrementally must give
+// the same verdict as a from-scratch check by every batch engine, with the
+// incremental matching passing its full invariant check after every step.
+#include <bit>
 #include <cstdint>
 #include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "biochip/dtmb.hpp"
 #include "common/rng.hpp"
 #include "graph/bipartite_graph.hpp"
 #include "graph/csr_matching.hpp"
 #include "graph/matching.hpp"
+#include "sim/chip_design.hpp"
+#include "sim/fault_state.hpp"
 
 namespace dmfb::graph {
 namespace {
@@ -23,6 +32,8 @@ constexpr MatchingEngine kEngines[] = {
     MatchingEngine::kHopcroftKarp,
     MatchingEngine::kKuhn,
     MatchingEngine::kDinic,
+    MatchingEngine::kPushRelabel,
+    MatchingEngine::kAuto,  // resolves per instance; must still agree
 };
 
 /// One random instance: edges[a] lists a's right neighbours (sorted,
@@ -145,6 +156,127 @@ TEST(MatchingFuzz, HallViolatorWitnessesEveryDeficientInstance) {
     for (const char bit : in_neighborhood) neighborhood += bit;
     EXPECT_LT(neighborhood, static_cast<std::int64_t>(violator.size()))
         << "trial=" << trial;
+  }
+}
+
+// ----------------------------------------------------------------------
+// Incremental-repair fuzz: evolving fault sets on a real DTMB design.
+
+/// The faulty primaries the (policy, pool) skeleton must cover, straight
+/// from the packed words — the ground truth incremental_matched_count()
+/// must reach on every feasible verdict.
+std::int32_t covered_faulty(const sim::FaultState& state,
+                            const sim::ChipDesign::Skeleton& skeleton) {
+  std::int32_t count = 0;
+  const auto words = state.fault_words();
+  for (std::size_t w = 0; w < words.size(); ++w) {
+    count += std::popcount(words[w] & skeleton.cover_words[w]);
+  }
+  return count;
+}
+
+sim::FaultState& load_faults(sim::FaultState& state,
+                             const std::vector<char>& faulty) {
+  state.reset();
+  for (std::size_t cell = 0; cell < faulty.size(); ++cell) {
+    if (faulty[cell]) state.set_faulty(static_cast<std::int32_t>(cell));
+  }
+  return state;
+}
+
+std::shared_ptr<const sim::ChipDesign> fuzz_design() {
+  // 9x9 DTMB(2,6): 81 cells, so the fault bitmap crosses a word boundary.
+  // A quarter of the primaries are assay-used to give the used-faulty
+  // policy and the spares-and-unused pool real work.
+  auto array = biochip::make_dtmb_array(biochip::DtmbKind::kDtmb2_6, 9, 9);
+  std::int32_t marked = 0;
+  for (const auto primary : array.primaries()) {
+    if (marked >= array.primary_count() / 4) break;
+    array.set_usage(primary, biochip::CellUsage::kAssayUsed);
+    ++marked;
+  }
+  return sim::ChipDesign::make(array);
+}
+
+TEST(IncrementalRepairFuzz, AgreesWithEveryScratchEngineOnRandomSequences) {
+  const auto design = fuzz_design();
+  const auto n = static_cast<std::size_t>(design->cell_count());
+  constexpr reconfig::CoveragePolicy kPolicies[] = {
+      reconfig::CoveragePolicy::kAllFaultyPrimaries,
+      reconfig::CoveragePolicy::kUsedFaultyPrimaries};
+  constexpr reconfig::ReplacementPool kPools[] = {
+      reconfig::ReplacementPool::kSparesOnly,
+      reconfig::ReplacementPool::kSparesAndUnusedPrimaries};
+  Rng rng(0x19C4E5ULL);
+  for (const auto policy : kPolicies) {
+    for (const auto pool : kPools) {
+      const auto& skeleton = design->skeleton(policy, pool);
+      sim::FaultState inc(design);      // carries history across steps
+      sim::FaultState scratch(design);  // always batch, per engine
+      std::vector<char> faulty(n, 0);
+      for (std::int32_t step = 0; step < 400; ++step) {
+        if (rng.bernoulli(0.15)) {
+          // Heavy churn: resample the whole set (exercises the rebuild
+          // threshold and the post-rebuild diff baseline).
+          const double density = rng.uniform01() * 0.35;
+          for (auto& bit : faulty) bit = rng.bernoulli(density) ? 1 : 0;
+        } else {
+          // Light churn: toggle a few cells (the diff path's home turf).
+          const std::int32_t flips = rng.uniform_int(1, 6);
+          for (std::int32_t f = 0; f < flips; ++f) {
+            const auto cell = static_cast<std::size_t>(
+                rng.uniform_int(0, static_cast<std::int32_t>(n) - 1));
+            faulty[cell] ^= 1;
+          }
+        }
+        const bool verdict =
+            load_faults(inc, faulty).repairable_incremental(policy, pool);
+        EXPECT_TRUE(inc.incremental_matching_valid()) << "step=" << step;
+        if (verdict) {
+          EXPECT_EQ(inc.incremental_matched_count(),
+                    covered_faulty(inc, skeleton))
+              << "step=" << step;
+        }
+        load_faults(scratch, faulty);
+        for (const MatchingEngine engine : kEngines) {
+          EXPECT_EQ(scratch.repairable(policy, engine, pool), verdict)
+              << "step=" << step << " engine=" << static_cast<int>(engine);
+        }
+      }
+    }
+  }
+}
+
+TEST(IncrementalRepairFuzz, SurvivesConfigSwitchesMidSequence) {
+  // Switching (policy, pool) between calls invalidates the diff baseline;
+  // the state must rebuild and stay correct rather than diff across
+  // incompatible skeletons.
+  const auto design = fuzz_design();
+  const auto n = static_cast<std::size_t>(design->cell_count());
+  Rng rng(0xC0F19ULL);
+  sim::FaultState inc(design);
+  sim::FaultState scratch(design);
+  std::vector<char> faulty(n, 0);
+  for (std::int32_t step = 0; step < 200; ++step) {
+    const std::int32_t flips = rng.uniform_int(1, 4);
+    for (std::int32_t f = 0; f < flips; ++f) {
+      faulty[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int32_t>(n) - 1))] ^= 1;
+    }
+    const auto policy = rng.bernoulli(0.5)
+                            ? reconfig::CoveragePolicy::kAllFaultyPrimaries
+                            : reconfig::CoveragePolicy::kUsedFaultyPrimaries;
+    const auto pool =
+        rng.bernoulli(0.5)
+            ? reconfig::ReplacementPool::kSparesOnly
+            : reconfig::ReplacementPool::kSparesAndUnusedPrimaries;
+    const bool verdict =
+        load_faults(inc, faulty).repairable_incremental(policy, pool);
+    EXPECT_TRUE(inc.incremental_matching_valid()) << "step=" << step;
+    EXPECT_EQ(load_faults(scratch, faulty)
+                  .repairable(policy, MatchingEngine::kHopcroftKarp, pool),
+              verdict)
+        << "step=" << step;
   }
 }
 
