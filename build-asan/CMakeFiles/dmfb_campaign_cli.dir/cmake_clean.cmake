@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmfb_campaign_cli.dir/tools/dmfb_campaign.cpp.o"
+  "CMakeFiles/dmfb_campaign_cli.dir/tools/dmfb_campaign.cpp.o.d"
+  "dmfb_campaign"
+  "dmfb_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmfb_campaign_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

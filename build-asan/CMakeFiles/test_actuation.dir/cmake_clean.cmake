@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_actuation.dir/tests/test_actuation.cpp.o"
+  "CMakeFiles/test_actuation.dir/tests/test_actuation.cpp.o.d"
+  "test_actuation"
+  "test_actuation.pdb"
+  "test_actuation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_actuation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_assay.dir/tests/test_assay.cpp.o"
+  "CMakeFiles/test_assay.dir/tests/test_assay.cpp.o.d"
+  "test_assay"
+  "test_assay.pdb"
+  "test_assay[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_assay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_biochip.dir/tests/test_biochip.cpp.o"
+  "CMakeFiles/test_biochip.dir/tests/test_biochip.cpp.o.d"
+  "test_biochip"
+  "test_biochip.pdb"
+  "test_biochip[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_biochip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

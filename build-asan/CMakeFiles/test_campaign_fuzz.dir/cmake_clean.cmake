@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_campaign_fuzz.dir/tests/test_campaign_fuzz.cpp.o"
+  "CMakeFiles/test_campaign_fuzz.dir/tests/test_campaign_fuzz.cpp.o.d"
+  "test_campaign_fuzz"
+  "test_campaign_fuzz.pdb"
+  "test_campaign_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_campaign_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_compound_yield.dir/tests/test_compound_yield.cpp.o"
+  "CMakeFiles/test_compound_yield.dir/tests/test_compound_yield.cpp.o.d"
+  "test_compound_yield"
+  "test_compound_yield.pdb"
+  "test_compound_yield[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_compound_yield.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_concurrent.dir/tests/test_concurrent.cpp.o"
+  "CMakeFiles/test_concurrent.dir/tests/test_concurrent.cpp.o.d"
+  "test_concurrent"
+  "test_concurrent.pdb"
+  "test_concurrent[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_concurrent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

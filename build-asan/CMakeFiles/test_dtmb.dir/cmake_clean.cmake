@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dtmb.dir/tests/test_dtmb.cpp.o"
+  "CMakeFiles/test_dtmb.dir/tests/test_dtmb.cpp.o.d"
+  "test_dtmb"
+  "test_dtmb.pdb"
+  "test_dtmb[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dtmb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fault_state_words.dir/tests/test_fault_state_words.cpp.o"
+  "CMakeFiles/test_fault_state_words.dir/tests/test_fault_state_words.cpp.o.d"
+  "test_fault_state_words"
+  "test_fault_state_words.pdb"
+  "test_fault_state_words[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fault_state_words.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

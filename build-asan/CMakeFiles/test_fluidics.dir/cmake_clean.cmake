@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fluidics.dir/tests/test_fluidics.cpp.o"
+  "CMakeFiles/test_fluidics.dir/tests/test_fluidics.cpp.o.d"
+  "test_fluidics"
+  "test_fluidics.pdb"
+  "test_fluidics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fluidics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hexgrid.dir/tests/test_hexgrid.cpp.o"
+  "CMakeFiles/test_hexgrid.dir/tests/test_hexgrid.cpp.o.d"
+  "test_hexgrid"
+  "test_hexgrid.pdb"
+  "test_hexgrid[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hexgrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

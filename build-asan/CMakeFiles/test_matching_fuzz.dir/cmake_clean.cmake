@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_matching_fuzz.dir/tests/test_matching_fuzz.cpp.o"
+  "CMakeFiles/test_matching_fuzz.dir/tests/test_matching_fuzz.cpp.o.d"
+  "test_matching_fuzz"
+  "test_matching_fuzz.pdb"
+  "test_matching_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_matching_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_reconfig.cpp" "CMakeFiles/test_reconfig.dir/tests/test_reconfig.cpp.o" "gcc" "CMakeFiles/test_reconfig.dir/tests/test_reconfig.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/_deps/googletest-build/googletest/CMakeFiles/gtest_main.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/core/CMakeFiles/dmfb_core.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/campaign/CMakeFiles/dmfb_campaign.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/testplan/CMakeFiles/dmfb_testplan.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/io/CMakeFiles/dmfb_io.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/yield/CMakeFiles/dmfb_yield.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/dmfb_sim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/assay/CMakeFiles/dmfb_assay.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/fluidics/CMakeFiles/dmfb_fluidics.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/reconfig/CMakeFiles/dmfb_reconfig.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/fault/CMakeFiles/dmfb_fault.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/biochip/CMakeFiles/dmfb_biochip.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/graph/CMakeFiles/dmfb_graph.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/hexgrid/CMakeFiles/dmfb_hexgrid.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/common/CMakeFiles/dmfb_common.dir/DependInfo.cmake"
+  "/root/repo/build-asan/_deps/googletest-build/googletest/CMakeFiles/gtest.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

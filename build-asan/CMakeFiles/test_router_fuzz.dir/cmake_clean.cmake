@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_router_fuzz.dir/tests/test_router_fuzz.cpp.o"
+  "CMakeFiles/test_router_fuzz.dir/tests/test_router_fuzz.cpp.o.d"
+  "test_router_fuzz"
+  "test_router_fuzz.pdb"
+  "test_router_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_router_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_session_thread_invariance.dir/tests/test_session_thread_invariance.cpp.o"
+  "CMakeFiles/test_session_thread_invariance.dir/tests/test_session_thread_invariance.cpp.o.d"
+  "test_session_thread_invariance"
+  "test_session_thread_invariance.pdb"
+  "test_session_thread_invariance[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_session_thread_invariance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

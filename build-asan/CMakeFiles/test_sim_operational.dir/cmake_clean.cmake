@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_operational.dir/tests/test_sim_operational.cpp.o"
+  "CMakeFiles/test_sim_operational.dir/tests/test_sim_operational.cpp.o.d"
+  "test_sim_operational"
+  "test_sim_operational.pdb"
+  "test_sim_operational[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_operational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

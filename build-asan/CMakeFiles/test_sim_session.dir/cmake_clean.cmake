@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_session.dir/tests/test_sim_session.cpp.o"
+  "CMakeFiles/test_sim_session.dir/tests/test_sim_session.cpp.o.d"
+  "test_sim_session"
+  "test_sim_session.pdb"
+  "test_sim_session[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_testplan.dir/tests/test_testplan.cpp.o"
+  "CMakeFiles/test_testplan.dir/tests/test_testplan.cpp.o.d"
+  "test_testplan"
+  "test_testplan.pdb"
+  "test_testplan[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_testplan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

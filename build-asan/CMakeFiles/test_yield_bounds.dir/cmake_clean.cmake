@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_yield_bounds.dir/tests/test_yield_bounds.cpp.o"
+  "CMakeFiles/test_yield_bounds.dir/tests/test_yield_bounds.cpp.o.d"
+  "test_yield_bounds"
+  "test_yield_bounds.pdb"
+  "test_yield_bounds[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_yield_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/assay/assay_scheduler.cpp" "src/assay/CMakeFiles/dmfb_assay.dir/assay_scheduler.cpp.o" "gcc" "src/assay/CMakeFiles/dmfb_assay.dir/assay_scheduler.cpp.o.d"
+  "/root/repo/src/assay/chemistry.cpp" "src/assay/CMakeFiles/dmfb_assay.dir/chemistry.cpp.o" "gcc" "src/assay/CMakeFiles/dmfb_assay.dir/chemistry.cpp.o.d"
+  "/root/repo/src/assay/list_scheduler.cpp" "src/assay/CMakeFiles/dmfb_assay.dir/list_scheduler.cpp.o" "gcc" "src/assay/CMakeFiles/dmfb_assay.dir/list_scheduler.cpp.o.d"
+  "/root/repo/src/assay/multiplexed_chip.cpp" "src/assay/CMakeFiles/dmfb_assay.dir/multiplexed_chip.cpp.o" "gcc" "src/assay/CMakeFiles/dmfb_assay.dir/multiplexed_chip.cpp.o.d"
+  "/root/repo/src/assay/sequencing_graph.cpp" "src/assay/CMakeFiles/dmfb_assay.dir/sequencing_graph.cpp.o" "gcc" "src/assay/CMakeFiles/dmfb_assay.dir/sequencing_graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/common/CMakeFiles/dmfb_common.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/biochip/CMakeFiles/dmfb_biochip.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/fluidics/CMakeFiles/dmfb_fluidics.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/reconfig/CMakeFiles/dmfb_reconfig.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/graph/CMakeFiles/dmfb_graph.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/hexgrid/CMakeFiles/dmfb_hexgrid.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

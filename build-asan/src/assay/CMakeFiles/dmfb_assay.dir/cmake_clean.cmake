@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmfb_assay.dir/assay_scheduler.cpp.o"
+  "CMakeFiles/dmfb_assay.dir/assay_scheduler.cpp.o.d"
+  "CMakeFiles/dmfb_assay.dir/chemistry.cpp.o"
+  "CMakeFiles/dmfb_assay.dir/chemistry.cpp.o.d"
+  "CMakeFiles/dmfb_assay.dir/list_scheduler.cpp.o"
+  "CMakeFiles/dmfb_assay.dir/list_scheduler.cpp.o.d"
+  "CMakeFiles/dmfb_assay.dir/multiplexed_chip.cpp.o"
+  "CMakeFiles/dmfb_assay.dir/multiplexed_chip.cpp.o.d"
+  "CMakeFiles/dmfb_assay.dir/sequencing_graph.cpp.o"
+  "CMakeFiles/dmfb_assay.dir/sequencing_graph.cpp.o.d"
+  "libdmfb_assay.a"
+  "libdmfb_assay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmfb_assay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for dmfb_assay.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/biochip/dtmb.cpp" "src/biochip/CMakeFiles/dmfb_biochip.dir/dtmb.cpp.o" "gcc" "src/biochip/CMakeFiles/dmfb_biochip.dir/dtmb.cpp.o.d"
+  "/root/repo/src/biochip/hex_array.cpp" "src/biochip/CMakeFiles/dmfb_biochip.dir/hex_array.cpp.o" "gcc" "src/biochip/CMakeFiles/dmfb_biochip.dir/hex_array.cpp.o.d"
+  "/root/repo/src/biochip/redundancy.cpp" "src/biochip/CMakeFiles/dmfb_biochip.dir/redundancy.cpp.o" "gcc" "src/biochip/CMakeFiles/dmfb_biochip.dir/redundancy.cpp.o.d"
+  "/root/repo/src/biochip/square_array.cpp" "src/biochip/CMakeFiles/dmfb_biochip.dir/square_array.cpp.o" "gcc" "src/biochip/CMakeFiles/dmfb_biochip.dir/square_array.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/common/CMakeFiles/dmfb_common.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/graph/CMakeFiles/dmfb_graph.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/hexgrid/CMakeFiles/dmfb_hexgrid.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

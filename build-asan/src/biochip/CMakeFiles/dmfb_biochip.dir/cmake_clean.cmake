@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmfb_biochip.dir/dtmb.cpp.o"
+  "CMakeFiles/dmfb_biochip.dir/dtmb.cpp.o.d"
+  "CMakeFiles/dmfb_biochip.dir/hex_array.cpp.o"
+  "CMakeFiles/dmfb_biochip.dir/hex_array.cpp.o.d"
+  "CMakeFiles/dmfb_biochip.dir/redundancy.cpp.o"
+  "CMakeFiles/dmfb_biochip.dir/redundancy.cpp.o.d"
+  "CMakeFiles/dmfb_biochip.dir/square_array.cpp.o"
+  "CMakeFiles/dmfb_biochip.dir/square_array.cpp.o.d"
+  "libdmfb_biochip.a"
+  "libdmfb_biochip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmfb_biochip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

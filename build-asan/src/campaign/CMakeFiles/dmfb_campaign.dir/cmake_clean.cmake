@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmfb_campaign.dir/builtin.cpp.o"
+  "CMakeFiles/dmfb_campaign.dir/builtin.cpp.o.d"
+  "CMakeFiles/dmfb_campaign.dir/grid.cpp.o"
+  "CMakeFiles/dmfb_campaign.dir/grid.cpp.o.d"
+  "CMakeFiles/dmfb_campaign.dir/runner.cpp.o"
+  "CMakeFiles/dmfb_campaign.dir/runner.cpp.o.d"
+  "CMakeFiles/dmfb_campaign.dir/sink.cpp.o"
+  "CMakeFiles/dmfb_campaign.dir/sink.cpp.o.d"
+  "CMakeFiles/dmfb_campaign.dir/spec.cpp.o"
+  "CMakeFiles/dmfb_campaign.dir/spec.cpp.o.d"
+  "libdmfb_campaign.a"
+  "libdmfb_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmfb_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

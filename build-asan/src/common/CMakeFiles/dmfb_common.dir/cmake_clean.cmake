@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmfb_common.dir/contracts.cpp.o"
+  "CMakeFiles/dmfb_common.dir/contracts.cpp.o.d"
+  "CMakeFiles/dmfb_common.dir/parallel.cpp.o"
+  "CMakeFiles/dmfb_common.dir/parallel.cpp.o.d"
+  "CMakeFiles/dmfb_common.dir/parse.cpp.o"
+  "CMakeFiles/dmfb_common.dir/parse.cpp.o.d"
+  "CMakeFiles/dmfb_common.dir/rng.cpp.o"
+  "CMakeFiles/dmfb_common.dir/rng.cpp.o.d"
+  "CMakeFiles/dmfb_common.dir/stats.cpp.o"
+  "CMakeFiles/dmfb_common.dir/stats.cpp.o.d"
+  "libdmfb_common.a"
+  "libdmfb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmfb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmfb_core.dir/defect_tolerant_biochip.cpp.o"
+  "CMakeFiles/dmfb_core.dir/defect_tolerant_biochip.cpp.o.d"
+  "CMakeFiles/dmfb_core.dir/design_advisor.cpp.o"
+  "CMakeFiles/dmfb_core.dir/design_advisor.cpp.o.d"
+  "libdmfb_core.a"
+  "libdmfb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmfb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fault/fault_model.cpp" "src/fault/CMakeFiles/dmfb_fault.dir/fault_model.cpp.o" "gcc" "src/fault/CMakeFiles/dmfb_fault.dir/fault_model.cpp.o.d"
+  "/root/repo/src/fault/injector.cpp" "src/fault/CMakeFiles/dmfb_fault.dir/injector.cpp.o" "gcc" "src/fault/CMakeFiles/dmfb_fault.dir/injector.cpp.o.d"
+  "/root/repo/src/fault/mixture.cpp" "src/fault/CMakeFiles/dmfb_fault.dir/mixture.cpp.o" "gcc" "src/fault/CMakeFiles/dmfb_fault.dir/mixture.cpp.o.d"
+  "/root/repo/src/fault/parametric.cpp" "src/fault/CMakeFiles/dmfb_fault.dir/parametric.cpp.o" "gcc" "src/fault/CMakeFiles/dmfb_fault.dir/parametric.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/common/CMakeFiles/dmfb_common.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/biochip/CMakeFiles/dmfb_biochip.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/hexgrid/CMakeFiles/dmfb_hexgrid.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/graph/CMakeFiles/dmfb_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

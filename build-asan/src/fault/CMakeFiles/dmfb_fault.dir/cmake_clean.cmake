@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmfb_fault.dir/fault_model.cpp.o"
+  "CMakeFiles/dmfb_fault.dir/fault_model.cpp.o.d"
+  "CMakeFiles/dmfb_fault.dir/injector.cpp.o"
+  "CMakeFiles/dmfb_fault.dir/injector.cpp.o.d"
+  "CMakeFiles/dmfb_fault.dir/mixture.cpp.o"
+  "CMakeFiles/dmfb_fault.dir/mixture.cpp.o.d"
+  "CMakeFiles/dmfb_fault.dir/parametric.cpp.o"
+  "CMakeFiles/dmfb_fault.dir/parametric.cpp.o.d"
+  "libdmfb_fault.a"
+  "libdmfb_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmfb_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fluidics/actuation.cpp" "src/fluidics/CMakeFiles/dmfb_fluidics.dir/actuation.cpp.o" "gcc" "src/fluidics/CMakeFiles/dmfb_fluidics.dir/actuation.cpp.o.d"
+  "/root/repo/src/fluidics/constraints.cpp" "src/fluidics/CMakeFiles/dmfb_fluidics.dir/constraints.cpp.o" "gcc" "src/fluidics/CMakeFiles/dmfb_fluidics.dir/constraints.cpp.o.d"
+  "/root/repo/src/fluidics/electrowetting.cpp" "src/fluidics/CMakeFiles/dmfb_fluidics.dir/electrowetting.cpp.o" "gcc" "src/fluidics/CMakeFiles/dmfb_fluidics.dir/electrowetting.cpp.o.d"
+  "/root/repo/src/fluidics/mixture.cpp" "src/fluidics/CMakeFiles/dmfb_fluidics.dir/mixture.cpp.o" "gcc" "src/fluidics/CMakeFiles/dmfb_fluidics.dir/mixture.cpp.o.d"
+  "/root/repo/src/fluidics/placement.cpp" "src/fluidics/CMakeFiles/dmfb_fluidics.dir/placement.cpp.o" "gcc" "src/fluidics/CMakeFiles/dmfb_fluidics.dir/placement.cpp.o.d"
+  "/root/repo/src/fluidics/router.cpp" "src/fluidics/CMakeFiles/dmfb_fluidics.dir/router.cpp.o" "gcc" "src/fluidics/CMakeFiles/dmfb_fluidics.dir/router.cpp.o.d"
+  "/root/repo/src/fluidics/simulator.cpp" "src/fluidics/CMakeFiles/dmfb_fluidics.dir/simulator.cpp.o" "gcc" "src/fluidics/CMakeFiles/dmfb_fluidics.dir/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/common/CMakeFiles/dmfb_common.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/biochip/CMakeFiles/dmfb_biochip.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/hexgrid/CMakeFiles/dmfb_hexgrid.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/reconfig/CMakeFiles/dmfb_reconfig.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/graph/CMakeFiles/dmfb_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

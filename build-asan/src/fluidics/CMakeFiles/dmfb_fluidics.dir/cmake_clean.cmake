@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmfb_fluidics.dir/actuation.cpp.o"
+  "CMakeFiles/dmfb_fluidics.dir/actuation.cpp.o.d"
+  "CMakeFiles/dmfb_fluidics.dir/constraints.cpp.o"
+  "CMakeFiles/dmfb_fluidics.dir/constraints.cpp.o.d"
+  "CMakeFiles/dmfb_fluidics.dir/electrowetting.cpp.o"
+  "CMakeFiles/dmfb_fluidics.dir/electrowetting.cpp.o.d"
+  "CMakeFiles/dmfb_fluidics.dir/mixture.cpp.o"
+  "CMakeFiles/dmfb_fluidics.dir/mixture.cpp.o.d"
+  "CMakeFiles/dmfb_fluidics.dir/placement.cpp.o"
+  "CMakeFiles/dmfb_fluidics.dir/placement.cpp.o.d"
+  "CMakeFiles/dmfb_fluidics.dir/router.cpp.o"
+  "CMakeFiles/dmfb_fluidics.dir/router.cpp.o.d"
+  "CMakeFiles/dmfb_fluidics.dir/simulator.cpp.o"
+  "CMakeFiles/dmfb_fluidics.dir/simulator.cpp.o.d"
+  "libdmfb_fluidics.a"
+  "libdmfb_fluidics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmfb_fluidics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/bipartite_graph.cpp" "src/graph/CMakeFiles/dmfb_graph.dir/bipartite_graph.cpp.o" "gcc" "src/graph/CMakeFiles/dmfb_graph.dir/bipartite_graph.cpp.o.d"
+  "/root/repo/src/graph/csr_matching.cpp" "src/graph/CMakeFiles/dmfb_graph.dir/csr_matching.cpp.o" "gcc" "src/graph/CMakeFiles/dmfb_graph.dir/csr_matching.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/graph/CMakeFiles/dmfb_graph.dir/graph.cpp.o" "gcc" "src/graph/CMakeFiles/dmfb_graph.dir/graph.cpp.o.d"
+  "/root/repo/src/graph/hopcroft_karp.cpp" "src/graph/CMakeFiles/dmfb_graph.dir/hopcroft_karp.cpp.o" "gcc" "src/graph/CMakeFiles/dmfb_graph.dir/hopcroft_karp.cpp.o.d"
+  "/root/repo/src/graph/kuhn.cpp" "src/graph/CMakeFiles/dmfb_graph.dir/kuhn.cpp.o" "gcc" "src/graph/CMakeFiles/dmfb_graph.dir/kuhn.cpp.o.d"
+  "/root/repo/src/graph/matching.cpp" "src/graph/CMakeFiles/dmfb_graph.dir/matching.cpp.o" "gcc" "src/graph/CMakeFiles/dmfb_graph.dir/matching.cpp.o.d"
+  "/root/repo/src/graph/max_flow.cpp" "src/graph/CMakeFiles/dmfb_graph.dir/max_flow.cpp.o" "gcc" "src/graph/CMakeFiles/dmfb_graph.dir/max_flow.cpp.o.d"
+  "/root/repo/src/graph/push_relabel.cpp" "src/graph/CMakeFiles/dmfb_graph.dir/push_relabel.cpp.o" "gcc" "src/graph/CMakeFiles/dmfb_graph.dir/push_relabel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/common/CMakeFiles/dmfb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

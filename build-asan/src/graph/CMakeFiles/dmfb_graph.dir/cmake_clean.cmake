@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmfb_graph.dir/bipartite_graph.cpp.o"
+  "CMakeFiles/dmfb_graph.dir/bipartite_graph.cpp.o.d"
+  "CMakeFiles/dmfb_graph.dir/csr_matching.cpp.o"
+  "CMakeFiles/dmfb_graph.dir/csr_matching.cpp.o.d"
+  "CMakeFiles/dmfb_graph.dir/graph.cpp.o"
+  "CMakeFiles/dmfb_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/dmfb_graph.dir/hopcroft_karp.cpp.o"
+  "CMakeFiles/dmfb_graph.dir/hopcroft_karp.cpp.o.d"
+  "CMakeFiles/dmfb_graph.dir/kuhn.cpp.o"
+  "CMakeFiles/dmfb_graph.dir/kuhn.cpp.o.d"
+  "CMakeFiles/dmfb_graph.dir/matching.cpp.o"
+  "CMakeFiles/dmfb_graph.dir/matching.cpp.o.d"
+  "CMakeFiles/dmfb_graph.dir/max_flow.cpp.o"
+  "CMakeFiles/dmfb_graph.dir/max_flow.cpp.o.d"
+  "CMakeFiles/dmfb_graph.dir/push_relabel.cpp.o"
+  "CMakeFiles/dmfb_graph.dir/push_relabel.cpp.o.d"
+  "libdmfb_graph.a"
+  "libdmfb_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmfb_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

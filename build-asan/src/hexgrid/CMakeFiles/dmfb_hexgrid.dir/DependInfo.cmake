@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hexgrid/hex_coord.cpp" "src/hexgrid/CMakeFiles/dmfb_hexgrid.dir/hex_coord.cpp.o" "gcc" "src/hexgrid/CMakeFiles/dmfb_hexgrid.dir/hex_coord.cpp.o.d"
+  "/root/repo/src/hexgrid/region.cpp" "src/hexgrid/CMakeFiles/dmfb_hexgrid.dir/region.cpp.o" "gcc" "src/hexgrid/CMakeFiles/dmfb_hexgrid.dir/region.cpp.o.d"
+  "/root/repo/src/hexgrid/square_coord.cpp" "src/hexgrid/CMakeFiles/dmfb_hexgrid.dir/square_coord.cpp.o" "gcc" "src/hexgrid/CMakeFiles/dmfb_hexgrid.dir/square_coord.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/common/CMakeFiles/dmfb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

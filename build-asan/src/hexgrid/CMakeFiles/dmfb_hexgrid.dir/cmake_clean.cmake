@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmfb_hexgrid.dir/hex_coord.cpp.o"
+  "CMakeFiles/dmfb_hexgrid.dir/hex_coord.cpp.o.d"
+  "CMakeFiles/dmfb_hexgrid.dir/region.cpp.o"
+  "CMakeFiles/dmfb_hexgrid.dir/region.cpp.o.d"
+  "CMakeFiles/dmfb_hexgrid.dir/square_coord.cpp.o"
+  "CMakeFiles/dmfb_hexgrid.dir/square_coord.cpp.o.d"
+  "libdmfb_hexgrid.a"
+  "libdmfb_hexgrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmfb_hexgrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

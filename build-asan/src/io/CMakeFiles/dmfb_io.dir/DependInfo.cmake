@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/ascii_render.cpp" "src/io/CMakeFiles/dmfb_io.dir/ascii_render.cpp.o" "gcc" "src/io/CMakeFiles/dmfb_io.dir/ascii_render.cpp.o.d"
+  "/root/repo/src/io/svg_render.cpp" "src/io/CMakeFiles/dmfb_io.dir/svg_render.cpp.o" "gcc" "src/io/CMakeFiles/dmfb_io.dir/svg_render.cpp.o.d"
+  "/root/repo/src/io/table.cpp" "src/io/CMakeFiles/dmfb_io.dir/table.cpp.o" "gcc" "src/io/CMakeFiles/dmfb_io.dir/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/common/CMakeFiles/dmfb_common.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/biochip/CMakeFiles/dmfb_biochip.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/reconfig/CMakeFiles/dmfb_reconfig.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/graph/CMakeFiles/dmfb_graph.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/hexgrid/CMakeFiles/dmfb_hexgrid.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmfb_io.dir/ascii_render.cpp.o"
+  "CMakeFiles/dmfb_io.dir/ascii_render.cpp.o.d"
+  "CMakeFiles/dmfb_io.dir/svg_render.cpp.o"
+  "CMakeFiles/dmfb_io.dir/svg_render.cpp.o.d"
+  "CMakeFiles/dmfb_io.dir/table.cpp.o"
+  "CMakeFiles/dmfb_io.dir/table.cpp.o.d"
+  "libdmfb_io.a"
+  "libdmfb_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmfb_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/reconfig/local_reconfig.cpp" "src/reconfig/CMakeFiles/dmfb_reconfig.dir/local_reconfig.cpp.o" "gcc" "src/reconfig/CMakeFiles/dmfb_reconfig.dir/local_reconfig.cpp.o.d"
+  "/root/repo/src/reconfig/shifted_replacement.cpp" "src/reconfig/CMakeFiles/dmfb_reconfig.dir/shifted_replacement.cpp.o" "gcc" "src/reconfig/CMakeFiles/dmfb_reconfig.dir/shifted_replacement.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/common/CMakeFiles/dmfb_common.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/biochip/CMakeFiles/dmfb_biochip.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/graph/CMakeFiles/dmfb_graph.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/hexgrid/CMakeFiles/dmfb_hexgrid.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmfb_reconfig.dir/local_reconfig.cpp.o"
+  "CMakeFiles/dmfb_reconfig.dir/local_reconfig.cpp.o.d"
+  "CMakeFiles/dmfb_reconfig.dir/shifted_replacement.cpp.o"
+  "CMakeFiles/dmfb_reconfig.dir/shifted_replacement.cpp.o.d"
+  "libdmfb_reconfig.a"
+  "libdmfb_reconfig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmfb_reconfig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

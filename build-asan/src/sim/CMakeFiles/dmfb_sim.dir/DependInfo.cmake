@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/assay_workload.cpp" "src/sim/CMakeFiles/dmfb_sim.dir/assay_workload.cpp.o" "gcc" "src/sim/CMakeFiles/dmfb_sim.dir/assay_workload.cpp.o.d"
+  "/root/repo/src/sim/chip_design.cpp" "src/sim/CMakeFiles/dmfb_sim.dir/chip_design.cpp.o" "gcc" "src/sim/CMakeFiles/dmfb_sim.dir/chip_design.cpp.o.d"
+  "/root/repo/src/sim/fault_model.cpp" "src/sim/CMakeFiles/dmfb_sim.dir/fault_model.cpp.o" "gcc" "src/sim/CMakeFiles/dmfb_sim.dir/fault_model.cpp.o.d"
+  "/root/repo/src/sim/fault_state.cpp" "src/sim/CMakeFiles/dmfb_sim.dir/fault_state.cpp.o" "gcc" "src/sim/CMakeFiles/dmfb_sim.dir/fault_state.cpp.o.d"
+  "/root/repo/src/sim/session.cpp" "src/sim/CMakeFiles/dmfb_sim.dir/session.cpp.o" "gcc" "src/sim/CMakeFiles/dmfb_sim.dir/session.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/common/CMakeFiles/dmfb_common.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/hexgrid/CMakeFiles/dmfb_hexgrid.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/graph/CMakeFiles/dmfb_graph.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/biochip/CMakeFiles/dmfb_biochip.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/fault/CMakeFiles/dmfb_fault.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/reconfig/CMakeFiles/dmfb_reconfig.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/fluidics/CMakeFiles/dmfb_fluidics.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/assay/CMakeFiles/dmfb_assay.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmfb_sim.dir/assay_workload.cpp.o"
+  "CMakeFiles/dmfb_sim.dir/assay_workload.cpp.o.d"
+  "CMakeFiles/dmfb_sim.dir/chip_design.cpp.o"
+  "CMakeFiles/dmfb_sim.dir/chip_design.cpp.o.d"
+  "CMakeFiles/dmfb_sim.dir/fault_model.cpp.o"
+  "CMakeFiles/dmfb_sim.dir/fault_model.cpp.o.d"
+  "CMakeFiles/dmfb_sim.dir/fault_state.cpp.o"
+  "CMakeFiles/dmfb_sim.dir/fault_state.cpp.o.d"
+  "CMakeFiles/dmfb_sim.dir/session.cpp.o"
+  "CMakeFiles/dmfb_sim.dir/session.cpp.o.d"
+  "libdmfb_sim.a"
+  "libdmfb_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmfb_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

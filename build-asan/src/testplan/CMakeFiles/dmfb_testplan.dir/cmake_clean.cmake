@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmfb_testplan.dir/concurrent_test.cpp.o"
+  "CMakeFiles/dmfb_testplan.dir/concurrent_test.cpp.o.d"
+  "CMakeFiles/dmfb_testplan.dir/stimulus_test.cpp.o"
+  "CMakeFiles/dmfb_testplan.dir/stimulus_test.cpp.o.d"
+  "libdmfb_testplan.a"
+  "libdmfb_testplan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmfb_testplan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

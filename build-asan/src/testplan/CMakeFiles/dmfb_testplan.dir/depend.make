@@ -1,0 +1,2 @@
+# Empty dependencies file for dmfb_testplan.
+# This may be replaced when dependencies are built.

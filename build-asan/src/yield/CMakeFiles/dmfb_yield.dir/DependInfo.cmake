@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/yield/analytic.cpp" "src/yield/CMakeFiles/dmfb_yield.dir/analytic.cpp.o" "gcc" "src/yield/CMakeFiles/dmfb_yield.dir/analytic.cpp.o.d"
+  "/root/repo/src/yield/bounds.cpp" "src/yield/CMakeFiles/dmfb_yield.dir/bounds.cpp.o" "gcc" "src/yield/CMakeFiles/dmfb_yield.dir/bounds.cpp.o.d"
+  "/root/repo/src/yield/compound.cpp" "src/yield/CMakeFiles/dmfb_yield.dir/compound.cpp.o" "gcc" "src/yield/CMakeFiles/dmfb_yield.dir/compound.cpp.o.d"
+  "/root/repo/src/yield/monte_carlo.cpp" "src/yield/CMakeFiles/dmfb_yield.dir/monte_carlo.cpp.o" "gcc" "src/yield/CMakeFiles/dmfb_yield.dir/monte_carlo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/common/CMakeFiles/dmfb_common.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/biochip/CMakeFiles/dmfb_biochip.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/fault/CMakeFiles/dmfb_fault.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/graph/CMakeFiles/dmfb_graph.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/reconfig/CMakeFiles/dmfb_reconfig.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/dmfb_sim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/assay/CMakeFiles/dmfb_assay.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/fluidics/CMakeFiles/dmfb_fluidics.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/hexgrid/CMakeFiles/dmfb_hexgrid.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmfb_yield.dir/analytic.cpp.o"
+  "CMakeFiles/dmfb_yield.dir/analytic.cpp.o.d"
+  "CMakeFiles/dmfb_yield.dir/bounds.cpp.o"
+  "CMakeFiles/dmfb_yield.dir/bounds.cpp.o.d"
+  "CMakeFiles/dmfb_yield.dir/compound.cpp.o"
+  "CMakeFiles/dmfb_yield.dir/compound.cpp.o.d"
+  "CMakeFiles/dmfb_yield.dir/monte_carlo.cpp.o"
+  "CMakeFiles/dmfb_yield.dir/monte_carlo.cpp.o.d"
+  "libdmfb_yield.a"
+  "libdmfb_yield.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmfb_yield.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
