@@ -25,6 +25,7 @@
 #include "campaign/runner.hpp"
 #include "campaign/spec.hpp"
 #include "fault/injector.hpp"
+#include "obs/metrics.hpp"
 #include "reconfig/local_reconfig.hpp"
 #include "sim/assay_workload.hpp"
 #include "sim/session.hpp"
@@ -79,6 +80,32 @@ void BM_McYieldRun_Session(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_McYieldRun_Session);
+
+// The session kernel with an obs::Registry installed — the observability
+// overhead probe. Compare against BM_McYieldRun_Session: the gap is the
+// full per-run metrics cost (the injection-counter flush plus the TLS
+// epoch checks). The gated ratio kernels above run with observability
+// disabled, so the existing two-sided gate also enforces that merely
+// *linking* obs stays free.
+void BM_McYieldRun_SessionMetrics(benchmark::State& state) {
+  obs::Registry registry;
+  registry.install();
+  const auto design = sim::ChipDesign::make(bench_array());
+  sim::FaultState fault_state(design);
+  const sim::FaultModel model = sim::FaultModel::bernoulli(kSurvivalP);
+  std::int32_t run = 0;
+  for (auto _ : state) {
+    Rng rng = sim::run_stream(kSeed, run++);
+    sim::inject(model, fault_state, rng);
+    benchmark::DoNotOptimize(fault_state.repairable(
+        reconfig::CoveragePolicy::kAllFaultyPrimaries,
+        graph::MatchingEngine::kHopcroftKarp,
+        reconfig::ReplacementPool::kSparesOnly));
+    fault_state.reset();
+  }
+  registry.uninstall();
+}
+BENCHMARK(BM_McYieldRun_SessionMetrics);
 
 // Engine variants of the session kernel (not part of the CI ratio gate):
 // the same fault stream checked by the push-relabel batch engine, by the

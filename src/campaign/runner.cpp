@@ -17,6 +17,8 @@
 #include "common/parallel.hpp"
 #include "hexgrid/region.hpp"
 #include "io/table.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/session.hpp"
 #include "yield/analytic.hpp"
 
@@ -170,6 +172,7 @@ std::string CampaignRunner::title() const {
 }
 
 std::vector<PointResult> CampaignRunner::run() {
+  obs::ScopedSpan run_span("campaign.run", "campaign");
   const std::vector<CampaignPoint> points = expand_grid(spec_);
   stats_.grid_points = points.size();
 
@@ -244,6 +247,12 @@ std::vector<PointResult> CampaignRunner::run() {
   std::mutex error_mutex;
 
   auto worker = [&] {
+    // Busy time is summed over this worker's points; idle is its wall time
+    // minus busy — both recorded once per worker, only when enabled, so
+    // the disabled default never reads the clock in this loop.
+    const bool measuring = obs::enabled();
+    const std::int64_t worker_start = measuring ? obs::monotonic_ns() : 0;
+    std::int64_t busy_ns = 0;
     try {
       for (;;) {
         const std::size_t slot =
@@ -254,6 +263,13 @@ std::vector<PointResult> CampaignRunner::run() {
         sim::Session& session =
             *sessions.at({point.design, point.min_primaries});
         const sim::YieldQuery query = query_of(point, spec_, inner_threads);
+        obs::ScopedSpan span("campaign.point", "campaign");
+        if (span.active()) {
+          span.set_args(std::string("{\"design\":\"") +
+                        to_string(point.design) + "\",\"param\":" +
+                        io::format_double(point.param, 4) + "}");
+        }
+        const std::int64_t point_start = measuring ? obs::monotonic_ns() : 0;
         if (point.workload == WorkloadKind::kAssay) {
           operationals[i] = session.run_operational(query);
           // The structural leg keeps the "yield" column comparable with
@@ -262,11 +278,22 @@ std::vector<PointResult> CampaignRunner::run() {
         } else {
           estimates[i] = session.run(query);
         }
+        if (measuring) {
+          const std::int64_t elapsed = obs::monotonic_ns() - point_start;
+          busy_ns += elapsed;
+          obs::record_duration(obs::Metric::kCampaignPointNs, elapsed);
+        }
       }
     } catch (...) {
       const std::scoped_lock lock(error_mutex);
       if (!first_error) first_error = std::current_exception();
       next_slot.store(order.size(), std::memory_order_relaxed);
+    }
+    if (measuring) {
+      const std::int64_t wall = obs::monotonic_ns() - worker_start;
+      obs::record_duration(obs::Metric::kCampaignWorkerBusyNs, busy_ns);
+      obs::record_duration(obs::Metric::kCampaignWorkerIdleNs,
+                           std::max<std::int64_t>(0, wall - busy_ns));
     }
   };
 
@@ -283,6 +310,15 @@ std::vector<PointResult> CampaignRunner::run() {
   stats_.unique_points = 0;
   for (const auto& [key, session] : sessions) {
     stats_.unique_points += session->stats().computed;
+  }
+  if (obs::enabled()) {
+    const auto grid = static_cast<std::int64_t>(stats_.grid_points);
+    const auto unique = static_cast<std::int64_t>(stats_.unique_points);
+    obs::count(obs::Metric::kCampaignGridPoints, grid);
+    obs::count(obs::Metric::kCampaignUniquePoints, unique);
+    obs::count(obs::Metric::kCampaignDedupedPoints, grid - unique);
+    obs::count(obs::Metric::kCampaignOuterWorkers, workers);
+    obs::count(obs::Metric::kCampaignInnerThreads, inner_threads);
   }
 
   // -- fan results back out to grid order and stream to sinks ----------------

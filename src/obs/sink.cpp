@@ -1,0 +1,103 @@
+#include "obs/sink.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "io/table.hpp"
+
+namespace dmfb::obs {
+namespace {
+
+const char* stable_literal(const MetricInfo& meta) {
+  return meta.stable ? "true" : "false";
+}
+
+std::string microseconds(std::int64_t ns) {
+  return io::format_double(static_cast<double>(ns) / 1000.0, 3);
+}
+
+}  // namespace
+
+std::string to_jsonl(const Snapshot& snapshot) {
+  std::ostringstream out;
+  for (const auto& counter : snapshot.counters) {
+    const MetricInfo& meta = info(counter.metric);
+    out << "{\"metric\":\"" << meta.name << "\",\"kind\":\"counter\","
+        << "\"stable\":" << stable_literal(meta) << ",\"value\":"
+        << counter.value << "}\n";
+  }
+  for (const auto& histogram : snapshot.histograms) {
+    const MetricInfo& meta = info(histogram.metric);
+    out << "{\"metric\":\"" << meta.name << "\",\"kind\":\"duration_ns\","
+        << "\"stable\":" << stable_literal(meta)
+        << ",\"count\":" << histogram.count
+        << ",\"sum\":" << histogram.sum_ns
+        << ",\"min\":" << histogram.min_ns
+        << ",\"p50\":" << histogram.quantile_ns(0.50)
+        << ",\"p90\":" << histogram.quantile_ns(0.90)
+        << ",\"p99\":" << histogram.quantile_ns(0.99)
+        << ",\"max\":" << histogram.max_ns << "}\n";
+  }
+  return out.str();
+}
+
+std::string to_markdown(const Snapshot& snapshot) {
+  std::ostringstream out;
+  out << "# Metrics summary\n\n## Counters\n\n";
+  io::Table counters({"metric", "value", "stable"});
+  for (const auto& counter : snapshot.counters) {
+    const MetricInfo& meta = info(counter.metric);
+    counters.row()
+        .cell(std::string(meta.name))
+        .cell(counter.value)
+        .cell(stable_literal(meta));
+  }
+  out << counters.to_markdown();
+  out << "\n## Durations (microseconds)\n\n";
+  io::Table durations(
+      {"metric", "count", "mean_us", "p50_us", "p90_us", "p99_us", "max_us"});
+  for (const auto& histogram : snapshot.histograms) {
+    const MetricInfo& meta = info(histogram.metric);
+    durations.row()
+        .cell(std::string(meta.name))
+        .cell(histogram.count)
+        .cell(microseconds(histogram.mean_ns()))
+        .cell(microseconds(histogram.quantile_ns(0.50)))
+        .cell(microseconds(histogram.quantile_ns(0.90)))
+        .cell(microseconds(histogram.quantile_ns(0.99)))
+        .cell(microseconds(histogram.max_ns));
+  }
+  out << durations.to_markdown();
+  return out.str();
+}
+
+MetricsSink::MetricsSink(std::string jsonl_path)
+    : jsonl_path_(std::move(jsonl_path)) {
+  constexpr std::string_view kSuffix = ".jsonl";
+  if (jsonl_path_.size() > kSuffix.size() &&
+      jsonl_path_.compare(jsonl_path_.size() - kSuffix.size(), kSuffix.size(),
+                          kSuffix) == 0) {
+    markdown_path_ =
+        jsonl_path_.substr(0, jsonl_path_.size() - kSuffix.size()) + ".md";
+  } else {
+    markdown_path_ = jsonl_path_ + ".md";
+  }
+}
+
+bool MetricsSink::write(const Snapshot& snapshot, std::string* error) const {
+  const auto emit = [error](const std::string& path,
+                            const std::string& content) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << content;
+    out.flush();
+    if (!out) {
+      if (error != nullptr) *error = "cannot write " + path;
+      return false;
+    }
+    return true;
+  };
+  return emit(jsonl_path_, to_jsonl(snapshot)) &&
+         emit(markdown_path_, to_markdown(snapshot));
+}
+
+}  // namespace dmfb::obs

@@ -1,0 +1,50 @@
+// obs::MetricsSink — serialises a Registry snapshot as a metrics artifact:
+// a JSON-lines file (one object per metric, machine-diffable) plus a
+// sibling markdown summary table for humans.
+//
+// The jsonl is integers only — counts, nanosecond sums, bucket-resolution
+// quantiles — so two runs of the same workload produce byte-comparable
+// lines. Every line carries the metric's `stable` flag from the catalog:
+// lines with "stable":true are bit-identical across thread counts and
+// schedules and are what CI diffs between the threads=1 and threads=4
+// smoke runs; "stable":false lines (wall-time histograms, worker splits)
+// legitimately differ.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace dmfb::obs {
+
+/// The full snapshot as JSON lines, in catalog order. Counter lines:
+///   {"metric":NAME,"kind":"counter","stable":B,"value":N}
+/// Histogram lines:
+///   {"metric":NAME,"kind":"duration_ns","stable":B,"count":N,"sum":S,
+///    "min":m,"p50":a,"p90":b,"p99":c,"max":M}
+std::string to_jsonl(const Snapshot& snapshot);
+
+/// The snapshot as a markdown summary: a counters table and a durations
+/// table (microsecond columns, derived from the same integer data).
+std::string to_markdown(const Snapshot& snapshot);
+
+class MetricsSink {
+ public:
+  /// `jsonl_path` receives the JSON-lines artifact; the markdown summary
+  /// goes to the sibling path with the ".jsonl" suffix replaced by ".md"
+  /// (or ".md" appended when the suffix is absent).
+  explicit MetricsSink(std::string jsonl_path);
+
+  const std::string& jsonl_path() const noexcept { return jsonl_path_; }
+  const std::string& markdown_path() const noexcept { return markdown_path_; }
+
+  /// Writes both artifacts. Returns false and fills `error` (if non-null)
+  /// when either file cannot be written.
+  bool write(const Snapshot& snapshot, std::string* error) const;
+
+ private:
+  std::string jsonl_path_;
+  std::string markdown_path_;
+};
+
+}  // namespace dmfb::obs

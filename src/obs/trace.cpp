@@ -1,0 +1,467 @@
+#include "obs/trace.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <utility>
+
+#include "obs/metrics.hpp"
+
+namespace dmfb::obs {
+
+namespace trace_detail {
+
+std::atomic<TraceRecorder*> g_recorder{nullptr};
+std::atomic<std::uint64_t> g_epoch{1};
+
+EventBuffer* acquire_buffer() noexcept {
+  TraceRecorder* recorder = g_recorder.load(std::memory_order_acquire);
+  if (recorder == nullptr) return nullptr;
+  return recorder->acquire();
+}
+
+}  // namespace trace_detail
+
+TraceRecorder::TraceRecorder(std::size_t max_events_per_thread)
+    : origin_ns_(monotonic_ns()), max_events_(max_events_per_thread) {}
+
+TraceRecorder::~TraceRecorder() { uninstall(); }
+
+void TraceRecorder::install() noexcept {
+  trace_detail::g_recorder.store(this, std::memory_order_release);
+  trace_detail::g_epoch.fetch_add(1, std::memory_order_acq_rel);
+}
+
+void TraceRecorder::uninstall() noexcept {
+  TraceRecorder* expected = this;
+  if (trace_detail::g_recorder.compare_exchange_strong(
+          expected, nullptr, std::memory_order_acq_rel)) {
+    trace_detail::g_epoch.fetch_add(1, std::memory_order_acq_rel);
+  }
+}
+
+std::int64_t TraceRecorder::now_ns() const noexcept {
+  return monotonic_ns() - origin_ns_;
+}
+
+trace_detail::EventBuffer* TraceRecorder::acquire() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto buffer = std::make_unique<trace_detail::EventBuffer>();
+  buffer->tid = static_cast<std::uint32_t>(buffers_.size());
+  buffers_.push_back(std::move(buffer));
+  return buffers_.back().get();
+}
+
+namespace {
+
+void write_escaped(std::ostream& out, std::string_view text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\r': out << "\\r"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+}
+
+// Microseconds with nanosecond resolution: "<us>.<3-digit-ns>".
+void write_ts(std::ostream& out, std::int64_t ts_ns) {
+  if (ts_ns < 0) ts_ns = 0;
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%lld.%03lld",
+                static_cast<long long>(ts_ns / 1000),
+                static_cast<long long>(ts_ns % 1000));
+  out << buf;
+}
+
+}  // namespace
+
+void TraceRecorder::write(std::ostream& out) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& buffer : buffers_) {
+    out << (first ? "" : ",\n")
+        << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":"
+        << buffer->tid << ",\"args\":{\"name\":\"dmfb-thread-"
+        << buffer->tid << "\"}}";
+    first = false;
+    for (const auto& event : buffer->events) {
+      out << ",\n{";
+      if (event.phase == trace_detail::Phase::kBegin) {
+        out << "\"name\":\"";
+        write_escaped(out, event.name);
+        out << "\",\"cat\":\"";
+        write_escaped(out, event.category);
+        out << "\",\"ph\":\"B\"";
+      } else {
+        out << "\"ph\":\"E\"";
+      }
+      out << ",\"pid\":1,\"tid\":" << buffer->tid << ",\"ts\":";
+      write_ts(out, event.ts_ns);
+      if (!event.args.empty()) out << ",\"args\":" << event.args;
+      out << "}";
+    }
+  }
+  out << "],\"displayTimeUnit\":\"ns\"}\n";
+}
+
+ScopedSpan::ScopedSpan(const char* name, const char* category) noexcept {
+  trace_detail::EventBuffer* buffer = trace_detail::current_buffer();
+  if (buffer == nullptr) return;
+  TraceRecorder* recorder = TraceRecorder::global();
+  if (recorder == nullptr) return;
+  // Room for both the B and the E event is reserved up front so a filling
+  // buffer drops whole spans and the output always stays balanced.
+  if (buffer->events.size() + 2 > recorder->max_events_per_thread()) {
+    recorder->note_dropped();
+    return;
+  }
+  buffer->events.push_back(
+      {name, category, trace_detail::Phase::kBegin, recorder->now_ns(), {}});
+  begin_index_ = buffer->events.size() - 1;
+  buffer_ = buffer;
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (buffer_ == nullptr) return;
+  // The recorder outlives any span taken while it was installed (install/
+  // uninstall flip around runs, not inside them), so even if it was
+  // uninstalled mid-span the E event still lands and pairs stay balanced.
+  TraceRecorder* recorder = trace_detail::g_recorder.load(
+      std::memory_order_acquire);
+  const std::int64_t ts_ns =
+      recorder != nullptr
+          ? recorder->now_ns()
+          : buffer_->events[begin_index_].ts_ns;
+  buffer_->events.push_back(
+      {"", "", trace_detail::Phase::kEnd, ts_ns, {}});
+}
+
+void ScopedSpan::set_args(std::string args) noexcept {
+  if (buffer_ == nullptr) return;
+  buffer_->events[begin_index_].args = std::move(args);
+}
+
+// -- JSON validation --------------------------------------------------------
+
+namespace {
+
+// Strict RFC 8259 recursive-descent validator. In trace mode it also
+// extracts "ph"/"tid" from each object in the top-level traceEvents array
+// and feeds them to a per-tid B/E nesting check.
+class JsonValidator {
+ public:
+  JsonValidator(std::string_view text, bool trace_mode)
+      : text_(text), trace_mode_(trace_mode) {}
+
+  bool run(std::string* error) {
+    skip_ws();
+    bool ok = parse_value(/*depth=*/0, /*in_events=*/false);
+    if (ok) {
+      skip_ws();
+      if (pos_ != text_.size()) ok = fail("trailing characters");
+    }
+    if (ok && trace_mode_) {
+      if (!saw_events_) ok = fail("no top-level \"traceEvents\" array");
+      for (const auto& [tid, depth] : depth_by_tid_) {
+        if (ok && depth != 0) {
+          error_ = "tid " + std::to_string(tid) + " has " +
+                   std::to_string(depth) + " unclosed \"B\" event(s)";
+          ok = false;
+        }
+      }
+      if (ok && !root_is_object_)
+        ok = fail("trace document is not a JSON object");
+    }
+    if (!ok && error != nullptr) *error = error_;
+    return ok;
+  }
+
+ private:
+  bool fail(const std::string& what) {
+    if (error_.empty())
+      error_ = what + " (byte " + std::to_string(pos_) + ")";
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool parse_value(int depth, bool in_events) {
+    if (depth > 256) return fail("nesting too deep");
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return parse_object(depth, in_events);
+    if (c == '[') return parse_array(depth, in_events);
+    if (c == '"') return parse_string(nullptr);
+    if (c == 't') return parse_literal("true");
+    if (c == 'f') return parse_literal("false");
+    if (c == 'n') return parse_literal("null");
+    if (c == '-' || (c >= '0' && c <= '9')) return parse_number(nullptr);
+    return fail(std::string("unexpected character '") + c + "'");
+  }
+
+  bool parse_literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word)
+      return fail("malformed literal");
+    pos_ += word.size();
+    return true;
+  }
+
+  // Validates a string; when `out` is non-null, captures the raw (still
+  // escaped) content between the quotes.
+  bool parse_string(std::string* out) {
+    if (text_[pos_] != '"') return fail("expected string");
+    const std::size_t start = ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        if (out != nullptr)
+          *out = std::string(text_.substr(start, pos_ - start));
+        ++pos_;
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20)
+        return fail("raw control character in string");
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return fail("unterminated escape");
+        const char e = text_[pos_];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= text_.size() ||
+                std::isxdigit(static_cast<unsigned char>(text_[pos_])) == 0)
+              return fail("malformed \\u escape");
+          }
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' &&
+                   e != 'f' && e != 'n' && e != 'r' && e != 't') {
+          return fail("invalid escape character");
+        }
+      }
+      ++pos_;
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_number(long long* out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    if (pos_ >= text_.size() ||
+        std::isdigit(static_cast<unsigned char>(text_[pos_])) == 0)
+      return fail("malformed number");
+    if (text_[pos_] == '0') {
+      ++pos_;
+    } else {
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0)
+        ++pos_;
+    }
+    const std::size_t int_end = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (pos_ >= text_.size() ||
+          std::isdigit(static_cast<unsigned char>(text_[pos_])) == 0)
+        return fail("malformed fraction");
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0)
+        ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-'))
+        ++pos_;
+      if (pos_ >= text_.size() ||
+          std::isdigit(static_cast<unsigned char>(text_[pos_])) == 0)
+        return fail("malformed exponent");
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0)
+        ++pos_;
+    }
+    if (out != nullptr) {
+      *out = std::strtoll(
+          std::string(text_.substr(start, int_end - start)).c_str(), nullptr,
+          10);
+    }
+    return true;
+  }
+
+  bool parse_array(int depth, bool in_events) {
+    ++pos_;  // '['
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      // Elements of the traceEvents array are the event objects whose
+      // ph/tid members feed the nesting check.
+      if (in_events) {
+        if (pos_ >= text_.size() || text_[pos_] != '{')
+          return fail("traceEvents element is not an object");
+        if (!parse_event_object(depth + 1)) return false;
+      } else {
+        if (!parse_value(depth + 1, false)) return false;
+      }
+      skip_ws();
+      if (pos_ >= text_.size()) return fail("unterminated array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool parse_object(int depth, bool /*in_events*/) {
+    if (depth == 0) root_is_object_ = true;
+    ++pos_;  // '{'
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (pos_ >= text_.size() || text_[pos_] != '"')
+        return fail("expected object key");
+      if (!parse_string(&key)) return false;
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != ':')
+        return fail("expected ':' after key");
+      ++pos_;
+      skip_ws();
+      const bool events_member =
+          trace_mode_ && depth == 0 && key == "traceEvents";
+      if (events_member) {
+        if (pos_ >= text_.size() || text_[pos_] != '[')
+          return fail("\"traceEvents\" is not an array");
+        saw_events_ = true;
+        if (!parse_array(depth + 1, /*in_events=*/true)) return false;
+      } else {
+        if (!parse_value(depth + 1, false)) return false;
+      }
+      skip_ws();
+      if (pos_ >= text_.size()) return fail("unterminated object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  // An element of traceEvents: a plain object, with "ph" and "tid"
+  // captured and fed to the per-tid B/E balance check.
+  bool parse_event_object(int depth) {
+    std::string ph;
+    long long tid = 0;
+    ++pos_;  // '{'
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return check_event(ph, tid);
+    }
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (pos_ >= text_.size() || text_[pos_] != '"')
+        return fail("expected object key");
+      if (!parse_string(&key)) return false;
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != ':')
+        return fail("expected ':' after key");
+      ++pos_;
+      skip_ws();
+      if (key == "ph") {
+        if (pos_ >= text_.size() || text_[pos_] != '"')
+          return fail("event \"ph\" is not a string");
+        if (!parse_string(&ph)) return false;
+      } else if (key == "tid") {
+        if (pos_ >= text_.size() ||
+            (text_[pos_] != '-' &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_])) == 0))
+          return fail("event \"tid\" is not a number");
+        if (!parse_number(&tid)) return false;
+      } else {
+        if (!parse_value(depth + 1, false)) return false;
+      }
+      skip_ws();
+      if (pos_ >= text_.size()) return fail("unterminated object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return check_event(ph, tid);
+      }
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  bool check_event(const std::string& ph, long long tid) {
+    if (ph == "B") {
+      ++depth_by_tid_[tid];
+    } else if (ph == "E") {
+      auto& depth = depth_by_tid_[tid];
+      if (depth == 0) {
+        error_ = "tid " + std::to_string(tid) +
+                 ": \"E\" event without a matching \"B\"";
+        return false;
+      }
+      --depth;
+    }
+    return true;
+  }
+
+  std::string_view text_;
+  bool trace_mode_;
+  std::size_t pos_ = 0;
+  std::string error_;
+  bool saw_events_ = false;
+  bool root_is_object_ = false;
+  std::map<long long, long long> depth_by_tid_;
+};
+
+}  // namespace
+
+bool validate_json(std::string_view text, std::string* error) {
+  if (error != nullptr) error->clear();
+  return JsonValidator(text, /*trace_mode=*/false).run(error);
+}
+
+bool validate_trace_json(std::string_view text, std::string* error) {
+  if (error != nullptr) error->clear();
+  return JsonValidator(text, /*trace_mode=*/true).run(error);
+}
+
+}  // namespace dmfb::obs

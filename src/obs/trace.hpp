@@ -1,0 +1,159 @@
+// obs::TraceRecorder — Chrome trace-event JSON spans for the session/
+// campaign stack.
+//
+// The recorder buffers duration events ("ph":"B"/"E" pairs) per thread —
+// the same TLS + epoch pattern as obs::Registry, so the disabled default
+// costs one epoch compare per span — and write() serialises everything as
+// a {"traceEvents":[...]} document that chrome://tracing and Perfetto load
+// directly. Thread ids in the output are buffer registration order, which
+// keeps the file stable enough to eyeball-diff; timestamps are nanoseconds
+// since the recorder's construction, emitted in microseconds (Perfetto's
+// native unit) with three decimals.
+//
+// Span names and categories must be string literals (or otherwise outlive
+// the recorder): the buffers store the pointers, not copies. Optional
+// per-span args are attached with ScopedSpan::set_args as a preformatted
+// JSON object string.
+//
+// The recorder never steers the run: like the registry, it only observes,
+// and a full buffer drops whole spans (the B/E decision is made once, at
+// span construction) so the output always validates.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dmfb::obs {
+
+class TraceRecorder;
+
+namespace trace_detail {
+
+enum class Phase : std::uint8_t { kBegin, kEnd };
+
+struct Event {
+  const char* name;  ///< static string; "" for kEnd
+  const char* category;
+  Phase phase;
+  std::int64_t ts_ns;
+  std::string args;  ///< preformatted JSON object, "" when absent
+};
+
+struct EventBuffer {
+  std::vector<Event> events;
+  std::uint32_t tid = 0;
+};
+
+extern std::atomic<TraceRecorder*> g_recorder;
+extern std::atomic<std::uint64_t> g_epoch;
+
+EventBuffer* acquire_buffer() noexcept;
+
+inline EventBuffer* current_buffer() noexcept {
+  thread_local EventBuffer* buffer = nullptr;
+  thread_local std::uint64_t epoch = 0;
+  const std::uint64_t now = g_epoch.load(std::memory_order_acquire);
+  if (epoch != now) {
+    buffer = acquire_buffer();
+    epoch = now;
+  }
+  return buffer;
+}
+
+}  // namespace trace_detail
+
+/// True when a trace recorder is installed.
+inline bool tracing() noexcept {
+  return trace_detail::g_recorder.load(std::memory_order_relaxed) != nullptr;
+}
+
+class TraceRecorder {
+ public:
+  /// `max_events_per_thread` bounds each thread's buffer; a span that
+  /// would overflow it is dropped whole (both B and E), never truncated.
+  explicit TraceRecorder(std::size_t max_events_per_thread = 1u << 20);
+  ~TraceRecorder();
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Makes this recorder the process-wide span sink.
+  void install() noexcept;
+  /// Detaches this recorder if it is the installed one; idempotent.
+  void uninstall() noexcept;
+  static TraceRecorder* global() noexcept {
+    return trace_detail::g_recorder.load(std::memory_order_acquire);
+  }
+
+  /// Nanoseconds since this recorder's construction.
+  std::int64_t now_ns() const noexcept;
+
+  /// Serialises all buffered events as Chrome trace-event JSON
+  /// ({"traceEvents":[...]}). Call after uninstall(), when writers are
+  /// quiescent. Events are grouped per thread in registration order.
+  void write(std::ostream& out) const;
+
+  /// Total events dropped because a thread buffer filled up.
+  std::int64_t dropped_events() const noexcept {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  std::size_t max_events_per_thread() const noexcept { return max_events_; }
+
+ private:
+  friend trace_detail::EventBuffer* trace_detail::acquire_buffer() noexcept;
+  friend class ScopedSpan;
+  trace_detail::EventBuffer* acquire();
+  void note_dropped() noexcept {
+    dropped_.fetch_add(2, std::memory_order_relaxed);
+  }
+
+  std::int64_t origin_ns_;
+  std::size_t max_events_;
+  std::atomic<std::int64_t> dropped_{0};
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<trace_detail::EventBuffer>> buffers_;
+};
+
+/// RAII duration span. Decides once, at construction, whether both the B
+/// and the E event fit the thread's buffer — so pairs always balance. The
+/// name and category must be string literals (stored by pointer).
+class ScopedSpan {
+ public:
+  ScopedSpan(const char* name, const char* category) noexcept;
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// True when this span is actually being recorded.
+  bool active() const noexcept { return buffer_ != nullptr; }
+
+  /// Attaches a preformatted JSON object (e.g. R"({"runs":200})") to the
+  /// span's B event. No-op on inactive spans; call at most once.
+  void set_args(std::string args) noexcept;
+
+ private:
+  trace_detail::EventBuffer* buffer_ = nullptr;
+  std::size_t begin_index_ = 0;
+};
+
+// -- validation helpers (used by tests and the CLI) -------------------------
+
+/// Strict JSON well-formedness check (RFC 8259 grammar, no extensions).
+/// Returns true and leaves `error` empty on success; otherwise fills
+/// `error` with a byte-offset diagnostic.
+bool validate_json(std::string_view text, std::string* error);
+
+/// validate_json plus trace-shape checks: top-level object with a
+/// traceEvents array, and per-tid "ph":"B"/"E" events strictly balanced
+/// and properly nested.
+bool validate_trace_json(std::string_view text, std::string* error);
+
+}  // namespace dmfb::obs

@@ -8,6 +8,8 @@
 #include "assay/multiplexed_chip.hpp"
 #include "common/contracts.hpp"
 #include "fluidics/router.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace dmfb::sim {
 
@@ -91,13 +93,18 @@ AssayOutcome run_assay(const assay::SequencingGraph& graph,
     }
   }
 
-  const assay::Schedule schedule =
-      assay::ListScheduler(surviving).schedule(graph);
+  const assay::Schedule schedule = [&] {
+    obs::ScopedSpan span("assay.schedule", "op");
+    const obs::ScopedDuration timer(obs::Metric::kAssayScheduleNs);
+    return assay::ListScheduler(surviving).schedule(graph);
+  }();
 
   // Transport endpoints: the scheduler's instance index i binds an op to
   // the i-th surviving module of its class (module order); a faulty anchor
   // cell hands the endpoint to its replacement. Resource-free ops (store)
   // park at their producer's endpoint.
+  obs::ScopedSpan route_span("fluidics.route", "op");
+  const obs::ScopedDuration route_timer(obs::Metric::kRouteNs);
   fluidics::UsableCells usable(array);
   usable.activate_plan(plan);
   const fluidics::Router router(usable);
@@ -241,8 +248,11 @@ OperationalRun OperationalState::evaluate(reconfig::CoveragePolicy policy,
   for (const CellIndex cell : faults_.faulty_cells()) {
     array_.set_health(cell, biochip::CellHealth::kFaulty);
   }
-  const reconfig::ReconfigPlan plan =
-      reconfig::LocalReconfigurer(policy, engine, pool).plan(array_);
+  const reconfig::ReconfigPlan plan = [&] {
+    obs::ScopedSpan span("reconfig.plan", "op");
+    const obs::ScopedDuration timer(obs::Metric::kReconfigPlanNs);
+    return reconfig::LocalReconfigurer(policy, engine, pool).plan(array_);
+  }();
 
   OperationalRun run;
   run.structural = plan.success;

@@ -8,10 +8,19 @@
 #include "fault/mixture.hpp"
 #include "fault/parametric.hpp"
 #include "hexgrid/hex_coord.hpp"
+#include "obs/metrics.hpp"
 
 namespace dmfb::sim {
 
 namespace {
+
+/// Draw tallies for one inject() call, kept in stack locals so the loops
+/// stay free of TLS lookups; flushed to obs once per call. Every field is
+/// a pure function of (model, seed, run), hence a stable counter.
+struct InjectTally {
+  std::int64_t trials = 0;          ///< per-cell fault trials evaluated
+  std::int64_t classification = 0;  ///< catastrophic-defect draws (burns)
+};
 
 /// The legacy injectors draw one catastrophic-defect classification per
 /// injected fault (fault::sample_catastrophic_defect). The bitmap path has
@@ -27,18 +36,24 @@ inline void burn_defect_classification(Rng& rng) {
 // contract (fault::MixtureInjector) when the state arrives pre-faulted:
 // draws replay the standalone sequence, first faulter wins.
 
-void inject_bernoulli(double survival_p, FaultState& state, Rng& rng) {
+void inject_bernoulli(double survival_p, FaultState& state, Rng& rng,
+                      InjectTally& tally) {
   const double kill_prob = 1.0 - survival_p;
   const std::int32_t n = state.design().cell_count();
+  tally.trials += n;
   for (std::int32_t cell = 0; cell < n; ++cell) {
     if (rng.bernoulli(kill_prob)) {
       state.set_faulty(cell);
       burn_defect_classification(rng);
+      ++tally.classification;
     }
   }
 }
 
-void inject_fixed_count(std::int32_t count, FaultState& state, Rng& rng) {
+void inject_fixed_count(std::int32_t count, FaultState& state, Rng& rng,
+                        InjectTally& tally) {
+  tally.trials += count;
+  tally.classification += count;
   for (const std::int32_t cell :
        rng.sample_without_replacement(state.design().cell_count(), count)) {
     state.set_faulty(cell);
@@ -47,7 +62,7 @@ void inject_fixed_count(std::int32_t count, FaultState& state, Rng& rng) {
 }
 
 void inject_clustered(double mean_spots, const ClusterShape& shape,
-                      FaultState& state, Rng& rng) {
+                      FaultState& state, Rng& rng, InjectTally& tally) {
   const hex::Region& region = state.design().array().region();
   const std::int32_t spots = fault::sample_poisson(mean_spots, rng);
   for (std::int32_t spot = 0; spot < spots; ++spot) {
@@ -64,21 +79,25 @@ void inject_clustered(double mean_spots, const ClusterShape& shape,
                                  static_cast<double>(shape.radius);
       const double kill_prob =
           shape.core_kill + (shape.edge_kill - shape.core_kill) * t;
+      ++tally.trials;
       if (rng.bernoulli(kill_prob)) {
         state.set_faulty(cell);
         burn_defect_classification(rng);
+        ++tally.classification;
       }
     }
   }
 }
 
-void inject_parametric(double sigma_scale, FaultState& state, Rng& rng) {
+void inject_parametric(double sigma_scale, FaultState& state, Rng& rng,
+                       InjectTally& tally) {
   // Replays fault::ParametricInjector(typical().scaled(sigma_scale)):
   // sample_cell always draws three deviations (no fault-state dependence),
   // and parametric faults carry no catastrophic-classification burn.
   const fault::ParametricInjector injector(
       fault::ProcessSpec::typical().scaled(sigma_scale));
   const std::int32_t n = state.design().cell_count();
+  tally.trials += n;
   for (std::int32_t cell = 0; cell < n; ++cell) {
     bool out_of_tolerance = false;
     for (const fault::Deviation& deviation : injector.sample_cell(rng)) {
@@ -88,23 +107,25 @@ void inject_parametric(double sigma_scale, FaultState& state, Rng& rng) {
   }
 }
 
-void inject_component(const FaultModel& model, FaultState& state, Rng& rng) {
+void inject_component(const FaultModel& model, FaultState& state, Rng& rng,
+                      InjectTally& tally) {
   switch (model.kind) {
     case FaultModel::Kind::kBernoulli:
-      inject_bernoulli(model.param, state, rng);
+      inject_bernoulli(model.param, state, rng, tally);
       return;
     case FaultModel::Kind::kFixedCount:
-      inject_fixed_count(static_cast<std::int32_t>(model.param), state, rng);
+      inject_fixed_count(static_cast<std::int32_t>(model.param), state, rng,
+                         tally);
       return;
     case FaultModel::Kind::kClustered:
-      inject_clustered(model.param, model.cluster, state, rng);
+      inject_clustered(model.param, model.cluster, state, rng, tally);
       return;
     case FaultModel::Kind::kParametric:
-      inject_parametric(model.param, state, rng);
+      inject_parametric(model.param, state, rng, tally);
       return;
     case FaultModel::Kind::kMixture:
       for (const FaultModel& component : model.components) {
-        inject_component(component, state, rng);
+        inject_component(component, state, rng, tally);
       }
       return;
   }
@@ -148,7 +169,16 @@ void validate(const FaultModel& model, const ChipDesign& design) {
 
 void inject(const FaultModel& model, FaultState& state, Rng& rng) {
   DMFB_EXPECTS(state.faulty_count() == 0);
-  inject_component(model, state, rng);
+  InjectTally tally;
+  inject_component(model, state, rng, tally);
+  // One flush per call keeps the per-cell loops TLS-free; the guard makes
+  // the disabled default a single relaxed load.
+  if (obs::enabled()) {
+    obs::count(obs::Metric::kInjectRuns);
+    obs::count(obs::Metric::kInjectCellsFaulted, state.faulty_count());
+    obs::count(obs::Metric::kInjectCellTrials, tally.trials);
+    obs::count(obs::Metric::kInjectClassificationDraws, tally.classification);
+  }
 }
 
 double expected_fault_fraction(const FaultModel& model,

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/contracts.hpp"
+#include "obs/metrics.hpp"
 
 namespace dmfb::sim {
 
@@ -111,6 +112,12 @@ bool FaultState::repairable_incremental(reconfig::CoveragePolicy policy,
     }
     rebuild = churn >= faulty_count() + kIncrementalChurnSlack;
   }
+  // Which of the three paths serves a run depends on this FaultState's
+  // history — i.e. on how runs were dealt to workers — so all three are
+  // unstable counters. Their *sum* equals sim.runs on the incremental plan.
+  obs::count(rebuild ? (same_config ? obs::Metric::kIncChurnBailouts
+                                    : obs::Metric::kIncFullRebuilds)
+                     : obs::Metric::kIncDiffRepairs);
 
   inc_pending_.clear();
   if (rebuild) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <bit>
+#include <chrono>
 #include <exception>
 #include <optional>
 #include <sstream>
@@ -10,6 +11,8 @@
 
 #include "common/contracts.hpp"
 #include "common/parallel.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace dmfb::sim {
 
@@ -95,6 +98,24 @@ std::shared_ptr<const ChipDesign> design_of(
   return workload->design_ptr();
 }
 
+// Metrics for one cache lookup (both the structural and the operational
+// cache). A hit whose future is not yet ready is an in-flight join: this
+// query blocked on an identical computation started by another thread —
+// inherently schedule-dependent, hence an unstable counter.
+template <typename SharedFuture>
+void note_cache_outcome(bool hit, const SharedFuture& future) {
+  obs::count(obs::Metric::kSessionQueries);
+  if (!hit) {
+    obs::count(obs::Metric::kSessionComputed);
+    return;
+  }
+  obs::count(obs::Metric::kSessionCacheHits);
+  if (obs::enabled() &&
+      future.wait_for(std::chrono::seconds(0)) != std::future_status::ready) {
+    obs::count(obs::Metric::kSessionInflightJoins);
+  }
+}
+
 }  // namespace
 
 Session::Session(std::shared_ptr<const AssayWorkload> workload)
@@ -132,6 +153,7 @@ YieldEstimate Session::run(const YieldQuery& query) {
       ++stats_.computed;
     }
   }
+  note_cache_outcome(!promise.has_value(), future);
   if (promise) {
     try {
       promise->set_value(execute(query));
@@ -170,6 +192,7 @@ OperationalEstimate Session::run_operational(const YieldQuery& query) {
       ++stats_.computed;
     }
   }
+  note_cache_outcome(!promise.has_value(), future);
   if (promise) {
     try {
       promise->set_value(execute_operational(query));
@@ -189,6 +212,36 @@ std::vector<YieldEstimate> Session::run_all(
   for (const YieldQuery& query : queries) results.push_back(run(query));
   return results;
 }
+
+namespace {
+
+// One count per computed structural query, keyed by the engine the planner
+// actually chose. Pure function of the query + design, so the totals are
+// thread-invariant.
+void note_engine_plan(const EnginePlan& plan) {
+  if (plan.incremental) {
+    obs::count(obs::Metric::kEngineIncremental);
+    return;
+  }
+  switch (plan.engine) {
+    case graph::MatchingEngine::kHopcroftKarp:
+      obs::count(obs::Metric::kEngineHopcroftKarp);
+      break;
+    case graph::MatchingEngine::kKuhn:
+      obs::count(obs::Metric::kEngineKuhn);
+      break;
+    case graph::MatchingEngine::kDinic:
+      obs::count(obs::Metric::kEngineDinic);
+      break;
+    case graph::MatchingEngine::kPushRelabel:
+      obs::count(obs::Metric::kEnginePushRelabel);
+      break;
+    case graph::MatchingEngine::kAuto:
+      break;  // resolve_engine never returns kAuto
+  }
+}
+
+}  // namespace
 
 EnginePlan plan_engine(const YieldQuery& query, const ChipDesign& design) {
   if (query.engine != graph::MatchingEngine::kAuto) {
@@ -340,6 +393,13 @@ void Session::operational_runs_in_range(
 
 OperationalEstimate Session::execute_operational(
     const YieldQuery& query) const {
+  obs::ScopedSpan span("session.query", "sim");
+  if (span.active()) {
+    span.set_args("{\"runs\":" + std::to_string(query.runs) +
+                  ",\"workload\":\"assay\"}");
+  }
+  const obs::ScopedDuration timer(obs::Metric::kSessionQueryNs);
+
   const std::int32_t threads = common::resolve_worker_threads(query.threads);
   const bool adaptive = query.target_ci_half_width > 0.0;
   const std::int32_t chunk = adaptive ? kAdaptiveChunkRuns : query.runs;
@@ -348,6 +408,7 @@ OperationalEstimate Session::execute_operational(
   std::vector<OperationalRun> chunk_runs;
   std::int64_t structural = 0;
   std::int64_t operational = 0;
+  std::int64_t chunks = 0;
   double slowdown_sum = 0.0;
   double worst_slowdown = 0.0;
   std::int32_t done = 0;
@@ -367,10 +428,17 @@ OperationalEstimate Session::execute_operational(
       }
     }
     done = end;
+    ++chunks;
     if (adaptive) {
       const Interval ci = wilson_interval(operational, done);
       if (ci.width() / 2.0 <= query.target_ci_half_width) break;
     }
+  }
+  if (obs::enabled()) {
+    obs::count(obs::Metric::kSimRuns, done);
+    obs::count(obs::Metric::kSimSuccesses, structural);
+    obs::count(obs::Metric::kSimOpSuccesses, operational);
+    obs::count(obs::Metric::kSimAdaptiveChunks, chunks);
   }
   OperationalEstimate estimate;
   estimate.structural = YieldEstimate::from_counts(structural, done);
@@ -383,21 +451,37 @@ OperationalEstimate Session::execute_operational(
 }
 
 YieldEstimate Session::execute(const YieldQuery& query) const {
+  obs::ScopedSpan span("session.query", "sim");
+  if (span.active()) {
+    span.set_args("{\"runs\":" + std::to_string(query.runs) + "}");
+  }
+  const obs::ScopedDuration timer(obs::Metric::kSessionQueryNs);
+  if (obs::enabled()) note_engine_plan(plan_engine(query, *design_));
+
   const std::int32_t threads = common::resolve_worker_threads(query.threads);
   const bool adaptive = query.target_ci_half_width > 0.0;
   const std::int32_t chunk = adaptive ? kAdaptiveChunkRuns : query.runs;
 
   std::vector<std::unique_ptr<FaultState>> scratch;  // reused across chunks
   std::int64_t successes = 0;
+  std::int64_t chunks = 0;
   std::int32_t done = 0;
   while (done < query.runs) {
     const std::int32_t end = std::min(query.runs, done + chunk);
     successes += successes_in_range(query, done, end, threads, scratch);
     done = end;
+    ++chunks;
     if (adaptive) {
       const Interval ci = wilson_interval(successes, done);
       if (ci.width() / 2.0 <= query.target_ci_half_width) break;
     }
+  }
+  // Flushed once per computed query (never per run): the chunk sequence is
+  // a pure function of the query, so all three totals are stable.
+  if (obs::enabled()) {
+    obs::count(obs::Metric::kSimRuns, done);
+    obs::count(obs::Metric::kSimSuccesses, successes);
+    obs::count(obs::Metric::kSimAdaptiveChunks, chunks);
   }
   return YieldEstimate::from_counts(successes, done);
 }

@@ -15,10 +15,14 @@
 //                 not a directory name
 //   --markdown    render the console table as markdown
 //   --print-spec  echo the normalised spec and exit (no simulation)
+//   --metrics P   write an obs metrics snapshot to P (JSON lines) plus a
+//                 markdown summary next to it (.jsonl -> .md)
+//   --trace P     record Chrome trace-event JSON (Perfetto-loadable) to P
 //
 // File artifacts land at <out>/<name>.csv and <out>/<name>.jsonl when the
 // spec's sink list requests them. Results are bit-identical for every
-// --threads value.
+// --threads value — with or without --metrics/--trace, which observe the
+// run but never steer it.
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -33,6 +37,9 @@
 #include "campaign/spec.hpp"
 #include "common/parse.hpp"
 #include "core/version.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sink.hpp"
+#include "obs/trace.hpp"
 
 namespace {
 
@@ -47,7 +54,9 @@ int usage(const char* argv0) {
       << "  --out DIR     artifact output directory (default: .)\n"
       << "  --out FMT:DIR emit only FMT file artifacts (csv or jsonl)\n"
       << "  --markdown    print the console table as markdown\n"
-      << "  --print-spec  echo the normalised spec and exit\n";
+      << "  --print-spec  echo the normalised spec and exit\n"
+      << "  --metrics P   write metrics JSON-lines to P (+ .md summary)\n"
+      << "  --trace P     write Chrome trace-event JSON to P\n";
   return 2;
 }
 
@@ -85,13 +94,27 @@ int main(int argc, char** argv) {
   std::optional<std::int64_t> threads_override;
   std::optional<std::int64_t> runs_override;
   std::optional<std::uint64_t> seed_override;
+  std::string metrics_path;
+  std::string trace_path;
   bool markdown = false;
   bool print_spec = false;
 
   for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
+    std::string arg = argv[i];
     const auto next_value = [&]() -> const char* {
       return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    // --metrics/--trace accept both "--flag PATH" and "--flag=PATH".
+    std::string inline_value;
+    if (arg.rfind("--metrics=", 0) == 0 || arg.rfind("--trace=", 0) == 0) {
+      const auto equals = arg.find('=');
+      inline_value = arg.substr(equals + 1);
+      arg.resize(equals);
+    }
+    const auto path_value = [&]() -> std::string {
+      if (!inline_value.empty()) return inline_value;
+      const char* value = next_value();
+      return value ? std::string(value) : std::string();
     };
     if (arg == "--list") {
       std::cout << "builtin campaigns:\n";
@@ -124,6 +147,18 @@ int main(int argc, char** argv) {
       seed_override = value ? common::parse_uint64(value) : std::nullopt;
       if (!seed_override) {
         std::cerr << argv[0] << ": --seed needs a uint64 (decimal or 0x-hex)\n";
+        return 2;
+      }
+    } else if (arg == "--metrics") {
+      metrics_path = path_value();
+      if (metrics_path.empty()) {
+        std::cerr << argv[0] << ": --metrics needs an output path\n";
+        return 2;
+      }
+    } else if (arg == "--trace") {
+      trace_path = path_value();
+      if (trace_path.empty()) {
+        std::cerr << argv[0] << ": --trace needs an output path\n";
         return 2;
       }
     } else if (arg == "--out") {
@@ -229,12 +264,53 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Observability is opt-in and free when absent: the registry/recorder
+  // are only constructed (and installed) when the flags ask for them, and
+  // they observe the run without steering it — artifacts stay bit-identical.
+  std::unique_ptr<obs::Registry> registry;
+  std::unique_ptr<obs::TraceRecorder> recorder;
+  if (!metrics_path.empty()) {
+    registry = std::make_unique<obs::Registry>();
+    registry->install();
+  }
+  if (!trace_path.empty()) {
+    recorder = std::make_unique<obs::TraceRecorder>();
+    recorder->install();
+  }
+
   try {
     runner.run();
   } catch (const std::exception& ex) {
     std::cerr << argv[0] << ": campaign '" << active.name
               << "' failed: " << ex.what() << '\n';
     return 1;
+  }
+
+  if (registry) {
+    registry->uninstall();
+    const obs::MetricsSink metrics_sink(metrics_path);
+    if (!metrics_sink.write(registry->snapshot(), &error)) {
+      std::cerr << argv[0] << ": " << error << '\n';
+      return 1;
+    }
+    std::cerr << "metrics: " << metrics_sink.jsonl_path() << '\n'
+              << "metrics: " << metrics_sink.markdown_path() << '\n';
+  }
+  if (recorder) {
+    recorder->uninstall();
+    std::ofstream trace_file(trace_path, std::ios::binary | std::ios::trunc);
+    recorder->write(trace_file);
+    trace_file.flush();
+    if (!trace_file) {
+      std::cerr << argv[0] << ": cannot write " << trace_path << '\n';
+      return 1;
+    }
+    std::cerr << "trace: " << trace_path;
+    if (recorder->dropped_events() > 0) {
+      std::cerr << " (" << recorder->dropped_events()
+                << " events dropped by the per-thread buffer cap)";
+    }
+    std::cerr << '\n';
   }
 
   std::cerr << "campaign '" << active.name << "': " << runner.stats().grid_points
