@@ -184,8 +184,13 @@ MultiplexedChip make_multiplexed_chip() {
   DMFB_ASSERT(static_cast<std::int32_t>(used.size()) ==
               MultiplexedChip::kExpectedUsed);
 
-  for (const hex::CellIndex cell : used) {
-    array.set_usage(cell, biochip::CellUsage::kAssayUsed);
+  // Cell-index order, not hash order: the effect is order-independent, but
+  // walking the set directly would be the exact pattern the determinism
+  // linter exists to keep out of the codebase.
+  for (hex::CellIndex cell = 0; cell < array.cell_count(); ++cell) {
+    if (used.contains(cell)) {
+      array.set_usage(cell, biochip::CellUsage::kAssayUsed);
+    }
   }
   DMFB_ENSURES(array.used_count() == MultiplexedChip::kExpectedUsed);
   return MultiplexedChip{std::move(array), std::move(chains),

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <queue>
-#include <unordered_set>
+#include <vector>
 
 #include "common/contracts.hpp"
 #include "hexgrid/hex_coord.hpp"
@@ -39,12 +39,24 @@ ConcurrentTestReport run_concurrent_test(
   DMFB_EXPECTS(deadline_cycles > 0);
 
   ConcurrentTestReport report;
-  std::unordered_set<hex::CellIndex> visited;
+  // Dense flags instead of a hash set: cells are contiguous indices, and
+  // the BFS inner loop probes membership once per neighbor per cycle.
+  std::vector<char> visited(static_cast<std::size_t>(array.cell_count()), 0);
+  std::int32_t visited_count = 0;
+  const auto visit = [&](hex::CellIndex cell) {
+    char& flag = visited[static_cast<std::size_t>(cell)];
+    if (flag) return false;
+    flag = 1;
+    ++visited_count;
+    return true;
+  };
   const auto finish = [&](std::int64_t t, bool deadline) {
     report.cycles_used = t;
     report.deadline_hit = deadline;
     for (hex::CellIndex cell = 0; cell < array.cell_count(); ++cell) {
-      if (!visited.contains(cell)) report.untested.push_back(cell);
+      if (!visited[static_cast<std::size_t>(cell)]) {
+        report.untested.push_back(cell);
+      }
     }
     return report;
   };
@@ -56,7 +68,7 @@ ConcurrentTestReport run_concurrent_test(
     ++t;
   }
   if (t >= deadline_cycles) return finish(t, true);
-  visited.insert(source);
+  visit(source);
   report.tested.push_back(source);
 
   // Greedy coverage: every cycle, BFS (over cells clear at the next cycle)
@@ -68,7 +80,7 @@ ConcurrentTestReport run_concurrent_test(
   std::int64_t stall = 0;
   const std::int64_t stall_limit = 2 * array.cell_count();
   while (t < deadline_cycles && stall < stall_limit &&
-         static_cast<std::int32_t>(visited.size()) < array.cell_count()) {
+         visited_count < array.cell_count()) {
     // BFS from `at` over cells clear at t+1 (one-step lookahead; later
     // steps are replanned on their own cycles).
     std::vector<std::int32_t> parent(
@@ -84,7 +96,7 @@ ConcurrentTestReport run_concurrent_test(
         if (parent[static_cast<std::size_t>(u)] != -2) continue;
         if (!clear_of_assays(array, u, t + 1, assay_routes)) continue;
         parent[static_cast<std::size_t>(u)] = v;
-        if (!visited.contains(u)) {
+        if (!visited[static_cast<std::size_t>(u)]) {
           target = u;
           break;
         }
@@ -99,7 +111,7 @@ ConcurrentTestReport run_concurrent_test(
         for (const hex::CellIndex u : array.neighbors_of(at)) {
           if (clear_of_assays(array, u, t + 1, assay_routes)) {
             at = u;
-            if (visited.insert(u).second) report.tested.push_back(u);
+            if (visit(u)) report.tested.push_back(u);
             break;
           }
         }
@@ -119,7 +131,7 @@ ConcurrentTestReport run_concurrent_test(
     }
     at = step;
     ++t;
-    if (visited.insert(at).second) {
+    if (visit(at)) {
       report.tested.push_back(at);
       stall = 0;
     } else {
@@ -127,8 +139,7 @@ ConcurrentTestReport run_concurrent_test(
     }
   }
 
-  const bool unfinished =
-      static_cast<std::int32_t>(visited.size()) < array.cell_count();
+  const bool unfinished = visited_count < array.cell_count();
   return finish(t, unfinished && t >= deadline_cycles);
 }
 

@@ -121,10 +121,16 @@ TestSessionResult run_test_session(const biochip::HexArray& array,
     const StimulusOutcome outcome = run_stimulus_walk(array, walk);
     if (outcome.completed) {
       // Everything the walk visited is healthy; anything never visited and
-      // not a known fault is unreachable.
-      std::unordered_set<CellIndex> visited(walk.begin(), walk.end());
+      // not a known fault is unreachable. Dense flags, not a hash set: the
+      // walk revisits cells freely, so this is O(cells) without hashing.
+      std::vector<char> visited(static_cast<std::size_t>(array.cell_count()),
+                                0);
+      for (const CellIndex cell : walk) {
+        visited[static_cast<std::size_t>(cell)] = 1;
+      }
       for (CellIndex cell = 0; cell < array.cell_count(); ++cell) {
-        if (!visited.contains(cell) && !known_faults.contains(cell)) {
+        if (!visited[static_cast<std::size_t>(cell)] &&
+            !known_faults.contains(cell)) {
           result.untestable.push_back(cell);
         }
       }

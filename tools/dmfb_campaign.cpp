@@ -62,7 +62,7 @@ int usage(const char* argv0) {
 
 std::string read_spec_source(const std::string& target, std::string& error) {
   constexpr std::string_view kBuiltinPrefix = "builtin:";
-  if (target.rfind(kBuiltinPrefix, 0) == 0) {
+  if (target.starts_with(kBuiltinPrefix)) {
     const std::string_view name =
         std::string_view(target).substr(kBuiltinPrefix.size());
     const std::string_view text = dmfb::campaign::builtin_campaign(name);
@@ -106,7 +106,7 @@ int main(int argc, char** argv) {
     };
     // --metrics/--trace accept both "--flag PATH" and "--flag=PATH".
     std::string inline_value;
-    if (arg.rfind("--metrics=", 0) == 0 || arg.rfind("--trace=", 0) == 0) {
+    if (arg.starts_with("--metrics=") || arg.starts_with("--trace=")) {
       const auto equals = arg.find('=');
       inline_value = arg.substr(equals + 1);
       arg.resize(equals);

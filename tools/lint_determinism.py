@@ -1,0 +1,480 @@
+#!/usr/bin/env python3
+"""Repo-specific determinism linter for the dmfb stack.
+
+The whole stack promises bit-identical estimates and campaign artifacts at
+any thread count (per-run RNG streams, shard-order metric merges, run-order
+floating-point folds). Generic tools cannot check that contract, so this
+linter enforces the three repo invariants that protect it:
+
+  banned-time-source
+      No wall-clock or non-deterministic entropy source anywhere in
+      src/tools/bench/examples: time(), std::chrono::system_clock,
+      std::chrono::high_resolution_clock (may alias system_clock),
+      std::random_device, std::rand/srand, gettimeofday, clock_gettime,
+      drand48 & friends. std::chrono::steady_clock is fine (monotonic,
+      observability only). The obs module measures wall time by design and
+      is allowlisted with justifications, never exempted wholesale.
+
+  unordered-in-critical-path
+      Every std::unordered_map/std::unordered_set declared in a
+      determinism-critical file (the code that feeds a YieldEstimate, a
+      campaign artifact, or a golden CSV — see CRITICAL_PATHS) must carry
+      an allowlist entry whose justification explains why its iteration
+      order cannot leak (lookup-only, or output re-sorted). New hash
+      containers in those files therefore force a written argument.
+
+  unordered-iteration
+      Range-for or .begin()/.end()/iteration over an identifier declared as
+      std::unordered_map/set in the same file is flagged in *every* scanned
+      file: hash-order iteration is how nondeterminism escapes into output.
+      Membership tests (.contains/.count/.find) are fine.
+
+  fp-accumulate
+      In critical files only: `x +=` / `x -=` on an identifier declared
+      float/double in the same file. Floating-point accumulation is only
+      deterministic across thread counts when the fold order is pinned;
+      such folds must live in the documented run-order helpers and carry an
+      allowlist justification saying so.
+
+Implementation: a libclang AST pass when python3-clang is importable, with
+a token/regex fallback (same rule names, same allowlist) so the linter runs
+everywhere — CI, the build container, a laptop with nothing installed.
+Both passes strip comments and string literals first, so prose about
+"system_clock" never fires.
+
+Allowlist (tools/lint_determinism_allow.txt): one entry per line,
+
+    path:rule:substring | justification
+
+`path` is repo-relative, `substring` must occur in the flagged source line,
+and the justification is mandatory. Entries that no longer match anything
+are an error (stale allowlist lines hide real regressions).
+
+Exit codes: 0 clean, 1 violations (or stale allowlist entries), 2 usage or
+malformed allowlist.
+"""
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+
+# Directories scanned by default (tests/ may use clocks for timeouts and
+# never feeds artifacts; gtest internals also trip the patterns).
+SCAN_DIRS = ("src", "tools", "bench", "examples")
+SOURCE_SUFFIXES = (".cpp", ".hpp", ".cc", ".hh", ".h")
+
+# Files whose output feeds a YieldEstimate, a campaign artifact, or a golden
+# CSV. Hash containers and floating-point accumulation in these files need a
+# written justification.
+CRITICAL_PATHS = (
+    "src/campaign/spec.cpp",
+    "src/campaign/spec.hpp",
+    "src/campaign/runner.cpp",
+    "src/campaign/runner.hpp",
+    "src/campaign/grid.cpp",
+    "src/sim/session.cpp",
+    "src/sim/session.hpp",
+    "src/core/design_advisor.cpp",
+    "src/core/design_advisor.hpp",
+)
+
+BANNED_CALLS = (
+    (r"std\s*::\s*random_device", "std::random_device"),
+    (r"std\s*::\s*rand\s*\(", "std::rand"),
+    (r"\bsrand\s*\(", "srand"),
+    (r"std\s*::\s*chrono\s*::\s*system_clock", "std::chrono::system_clock"),
+    (r"std\s*::\s*chrono\s*::\s*high_resolution_clock",
+     "std::chrono::high_resolution_clock"),
+    (r"\bgettimeofday\s*\(", "gettimeofday"),
+    (r"\bclock_gettime\s*\(", "clock_gettime"),
+    (r"\btime\s*\(\s*(NULL|nullptr|0)?\s*\)", "time()"),
+    (r"\b[dlms]rand48\s*\(", "*rand48"),
+    (r"\bgetrandom\s*\(", "getrandom"),
+)
+
+UNORDERED_DECL = re.compile(
+    r"std\s*::\s*unordered_(?:map|set|multimap|multiset)\s*<")
+# Identifier declared as an unordered container on the same (joined) line:
+#   std::unordered_map<K, V> name;   const std::unordered_set<T>& name = ...
+UNORDERED_NAMED = re.compile(
+    r"std\s*::\s*unordered_(?:map|set|multimap|multiset)\s*<[^;{]*?>\s*&?\s*"
+    r"(?P<name>[A-Za-z_]\w*)\s*(?:[;={(,)]|$)")
+FLOAT_DECL = re.compile(
+    r"\b(?:float|double)\b(?:\s+const)?\s+&?\s*(?P<name>[A-Za-z_]\w*)\s*[;={]")
+
+
+class Finding:
+    __slots__ = ("path", "line", "rule", "message", "source")
+
+    def __init__(self, path, line, rule, message, source):
+        self.path = path          # repo-relative, forward slashes
+        self.line = line          # 1-based
+        self.rule = rule
+        self.message = message
+        self.source = source      # the offending source line, stripped
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comments_and_strings(text):
+    """Blanks comments and string/char literals, preserving line structure.
+
+    Replacement uses spaces so columns keep meaning; newlines inside block
+    comments and raw strings survive so line numbers stay true.
+    """
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if ch == "/" and nxt == "/":
+            while i < n and text[i] != "\n":
+                i += 1
+        elif ch == "/" and nxt == "*":
+            i += 2
+            out.append("  ")
+            while i < n and not (text[i] == "*" and i + 1 < n
+                                 and text[i + 1] == "/"):
+                out.append("\n" if text[i] == "\n" else " ")
+                i += 1
+            if i < n:
+                i += 2
+                out.append("  ")
+        elif ch == "R" and nxt == '"':
+            # Raw string literal: R"delim( ... )delim"
+            match = re.match(r'R"([^(\s]{0,16})\(', text[i:])
+            if match is None:
+                out.append(ch)
+                i += 1
+                continue
+            closer = ")" + match.group(1) + '"'
+            end = text.find(closer, i + match.end())
+            end = n if end == -1 else end + len(closer)
+            out.append("".join("\n" if c == "\n" else " "
+                               for c in text[i:end]))
+            i = end
+        elif ch in "\"'":
+            quote = ch
+            out.append(" ")
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\":
+                    out.append("  ")
+                    i += 2
+                else:
+                    out.append("\n" if text[i] == "\n" else " ")
+                    i += 1
+            out.append(" ")
+            i += 1
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def is_critical(path):
+    return path in CRITICAL_PATHS
+
+
+def _unordered_names(lines):
+    """Identifiers declared as unordered containers, per file."""
+    names = set()
+    for line in lines:
+        for match in UNORDERED_NAMED.finditer(line):
+            names.add(match.group("name"))
+    return names
+
+
+def _float_names(lines):
+    names = set()
+    for line in lines:
+        # Skip parameter-looking contexts crudely: a declaration inside a
+        # signature still accumulates in-function, so keep them too.
+        for match in FLOAT_DECL.finditer(line):
+            names.add(match.group("name"))
+    return names
+
+
+def scan_text(path, text):
+    """All findings for one file (pattern pass). `path` is repo-relative."""
+    findings = []
+    stripped = strip_comments_and_strings(text)
+    lines = stripped.split("\n")
+    critical = is_critical(path)
+
+    for lineno, line in enumerate(lines, start=1):
+        for pattern, label in BANNED_CALLS:
+            if re.search(pattern, line):
+                findings.append(Finding(
+                    path, lineno, "banned-time-source",
+                    f"{label} is a non-deterministic source; use the seeded "
+                    f"common/rng.hpp streams (or steady_clock inside obs/)",
+                    line.strip()))
+        if critical and UNORDERED_DECL.search(line):
+            findings.append(Finding(
+                path, lineno, "unordered-in-critical-path",
+                "hash container in a determinism-critical file: justify "
+                "(lookup-only / output re-sorted) in the allowlist or use an "
+                "ordered container",
+                line.strip()))
+
+    unordered = _unordered_names(lines)
+    if unordered:
+        union = "|".join(sorted(re.escape(name) for name in unordered))
+        # `.end()` alone is the find-comparison idiom, not iteration, so only
+        # begin-family calls count; the lookbehind keeps `plan->used` (some
+        # *other* object's member that shares the name) from matching.
+        iteration = re.compile(
+            r"(?::\s*(?<![\w.>:])(?P<range>" + union + r")\s*\)"  # for (x : name)
+            r"|(?<![\w.>:])(?P<iter>" + union + r")\s*\.\s*(?:begin|cbegin|"
+            r"rbegin)\s*\()")
+        for lineno, line in enumerate(lines, start=1):
+            match = iteration.search(line)
+            if match:
+                name = match.group("range") or match.group("iter")
+                findings.append(Finding(
+                    path, lineno, "unordered-iteration",
+                    f"iteration over hash-ordered '{name}': order is "
+                    f"nondeterministic; sort first or use an ordered "
+                    f"container",
+                    line.strip()))
+
+    if critical:
+        floats = _float_names(lines)
+        if floats:
+            union = "|".join(sorted(re.escape(name) for name in floats))
+            accumulate = re.compile(r"\b(" + union + r")\s*[+-]=")
+            for lineno, line in enumerate(lines, start=1):
+                match = accumulate.search(line)
+                if match:
+                    findings.append(Finding(
+                        path, lineno, "fp-accumulate",
+                        f"floating-point accumulation into "
+                        f"'{match.group(1)}' in a determinism-critical "
+                        f"file: folds must be run-order pinned and "
+                        f"allowlisted with that argument",
+                        line.strip()))
+    return findings
+
+
+# -- optional libclang refinement -------------------------------------------
+
+def try_libclang():
+    """The clang.cindex module, or None when unavailable."""
+    try:
+        import clang.cindex  # type: ignore
+        # Probe that a library actually loads; Index.create throws otherwise.
+        clang.cindex.Index.create()
+        return clang.cindex
+    except Exception:
+        return None
+
+
+def scan_file_libclang(cindex, path, repo_root):
+    """AST-based banned-call scan: resolves through typedefs and usings, so
+    `using clock = std::chrono::system_clock` cannot hide a banned source.
+    Returns None when parsing fails (caller falls back to patterns)."""
+    banned_spellings = {
+        "random_device": "std::random_device",
+        "system_clock": "std::chrono::system_clock",
+        "high_resolution_clock": "std::chrono::high_resolution_clock",
+        "rand": "std::rand", "srand": "srand",
+        "gettimeofday": "gettimeofday", "clock_gettime": "clock_gettime",
+        "time": "time()", "drand48": "*rand48", "lrand48": "*rand48",
+        "mrand48": "*rand48", "srand48": "*rand48", "getrandom": "getrandom",
+    }
+    try:
+        index = cindex.Index.create()
+        tu = index.parse(os.path.join(repo_root, path),
+                         args=["-std=c++20", "-I", os.path.join(repo_root, "src")])
+    except Exception:
+        return None
+    findings = []
+    for cursor in tu.cursor.walk_preorder():
+        try:
+            if cursor.location.file is None:
+                continue
+            file_rel = os.path.relpath(str(cursor.location.file), repo_root)
+            if file_rel.replace(os.sep, "/") != path:
+                continue
+            if cursor.kind in (cindex.CursorKind.DECL_REF_EXPR,
+                               cindex.CursorKind.TYPE_REF,
+                               cindex.CursorKind.CALL_EXPR):
+                label = banned_spellings.get(cursor.spelling)
+                if label:
+                    findings.append(Finding(
+                        path, cursor.location.line, "banned-time-source",
+                        f"{label} is a non-deterministic source; use the "
+                        f"seeded common/rng.hpp streams (or steady_clock "
+                        f"inside obs/)", cursor.spelling))
+        except Exception:
+            continue
+    return findings
+
+
+# -- allowlist ---------------------------------------------------------------
+
+class AllowEntry:
+    __slots__ = ("path", "rule", "substring", "justification", "lineno",
+                 "hits")
+
+    def __init__(self, path, rule, substring, justification, lineno):
+        self.path = path
+        self.rule = rule
+        self.substring = substring
+        self.justification = justification
+        self.lineno = lineno
+        self.hits = 0
+
+
+def parse_allowlist(path):
+    """Entries plus a list of format errors (missing justification, bad
+    shape). Lines: `path:rule:substring | justification`; '#' comments."""
+    entries, errors = [], []
+    if not os.path.exists(path):
+        return entries, errors
+    with open(path, encoding="utf-8") as handle:
+        for lineno, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            if "|" not in line:
+                errors.append(f"{path}:{lineno}: allowlist entry has no "
+                              f"'| justification' part")
+                continue
+            head, justification = line.split("|", 1)
+            justification = justification.strip()
+            if not justification:
+                errors.append(f"{path}:{lineno}: empty justification")
+                continue
+            parts = head.strip().split(":", 2)
+            if len(parts) != 3 or not all(p.strip() for p in parts):
+                errors.append(f"{path}:{lineno}: expected "
+                              f"'path:rule:substring | justification'")
+                continue
+            entries.append(AllowEntry(parts[0].strip(), parts[1].strip(),
+                                      parts[2].strip(), justification,
+                                      lineno))
+    return entries, errors
+
+
+def apply_allowlist(findings, entries):
+    """Partitions findings into (kept, suppressed); marks entry hits."""
+    kept, suppressed = [], []
+    for finding in findings:
+        entry_hit = None
+        for entry in entries:
+            if (entry.path == finding.path and entry.rule == finding.rule
+                    and entry.substring in finding.source):
+                entry_hit = entry
+                break
+        if entry_hit is None:
+            kept.append(finding)
+        else:
+            entry_hit.hits += 1
+            suppressed.append(finding)
+    return kept, suppressed
+
+
+# -- driver ------------------------------------------------------------------
+
+def collect_files(repo_root, explicit):
+    if explicit:
+        out = []
+        for name in explicit:
+            rel = os.path.relpath(os.path.abspath(name), repo_root)
+            out.append(rel.replace(os.sep, "/"))
+        return out
+    files = []
+    for scan_dir in SCAN_DIRS:
+        base = os.path.join(repo_root, scan_dir)
+        for dirpath, _dirnames, filenames in os.walk(base):
+            for filename in sorted(filenames):
+                if filename.endswith(SOURCE_SUFFIXES):
+                    rel = os.path.relpath(os.path.join(dirpath, filename),
+                                          repo_root)
+                    files.append(rel.replace(os.sep, "/"))
+    return sorted(files)
+
+
+def lint(repo_root, files, allowlist_path, use_libclang=True):
+    """Returns (kept_findings, suppressed_count, errors)."""
+    entries, errors = parse_allowlist(allowlist_path)
+    if errors:
+        return [], 0, errors
+    cindex = try_libclang() if use_libclang else None
+    findings = []
+    for path in files:
+        full = os.path.join(repo_root, path)
+        try:
+            with open(full, encoding="utf-8", errors="replace") as handle:
+                text = handle.read()
+        except OSError as error:
+            errors.append(f"{path}: unreadable ({error})")
+            continue
+        file_findings = scan_text(path, text)
+        if cindex is not None:
+            ast = scan_file_libclang(cindex, path, repo_root)
+            if ast is not None:
+                # AST pass supersedes the pattern pass for banned calls
+                # only; container/fold rules stay pattern-based.
+                file_findings = (
+                    [f for f in file_findings
+                     if f.rule != "banned-time-source"] + ast)
+        findings.extend(file_findings)
+    if errors:
+        return [], 0, errors
+    kept, suppressed = apply_allowlist(findings, entries)
+    stale = [entry for entry in entries if entry.hits == 0]
+    for entry in stale:
+        kept.append(Finding(
+            allowlist_path.replace(os.sep, "/"), entry.lineno,
+            "stale-allowlist",
+            f"entry '{entry.path}:{entry.rule}:{entry.substring}' matched "
+            f"nothing — the code it justified is gone; delete the entry",
+            entry.substring))
+    return kept, len(suppressed), []
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="dmfb determinism linter (see docs/STATIC_ANALYSIS.md)")
+    parser.add_argument("files", nargs="*",
+                        help="files to lint (default: src tools bench "
+                             "examples under --root)")
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: parent of this script)")
+    parser.add_argument("--allowlist", default=None,
+                        help="allowlist file (default: "
+                             "tools/lint_determinism_allow.txt)")
+    parser.add_argument("--no-libclang", action="store_true",
+                        help="force the pattern fallback even when libclang "
+                             "is importable")
+    args = parser.parse_args(argv)
+
+    repo_root = args.root or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    allowlist = args.allowlist or os.path.join(
+        repo_root, "tools", "lint_determinism_allow.txt")
+
+    files = collect_files(repo_root, args.files)
+    kept, suppressed, errors = lint(repo_root, files, allowlist,
+                                    use_libclang=not args.no_libclang)
+    for error in errors:
+        print(f"lint_determinism: {error}", file=sys.stderr)
+    if errors:
+        return 2
+    for finding in sorted(kept, key=lambda f: (f.path, f.line, f.rule)):
+        print(finding)
+    mode = "libclang" if (not args.no_libclang and try_libclang()) \
+        else "pattern"
+    print(f"lint_determinism: {len(files)} files, {len(kept)} finding(s), "
+          f"{suppressed} allowlisted ({mode} mode)", file=sys.stderr)
+    return 1 if kept else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,179 @@
+#!/usr/bin/env python3
+"""Tests for tools/check_bench_regression.py.
+
+unittest.TestCase-based so both `python3 -m pytest tools/` and
+`python3 -m unittest discover -s tools` run it. Covers the contract the
+CHANGES log promises: missing/NaN metrics surface as one-line FAIL
+diagnostics (exit 1, no traceback), the gate is two-sided (regression AND
+silent improvement fail), and `inf` disables the improvement side only.
+"""
+import contextlib
+import io
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import check_bench_regression as gate  # noqa: E402
+
+
+def artifact(session_ns=None, legacy_ns=None, extra=()):
+    benchmarks = []
+    if legacy_ns is not None:
+        benchmarks.append({"name": gate.LEGACY, "run_name": gate.LEGACY,
+                           "real_time": legacy_ns})
+    if session_ns is not None:
+        benchmarks.append({"name": gate.SESSION, "run_name": gate.SESSION,
+                           "real_time": session_ns})
+    benchmarks.extend(extra)
+    return {"benchmarks": benchmarks}
+
+
+class GateHarness(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.addCleanup(self.tmp.cleanup)
+
+    def write(self, name, payload):
+        path = os.path.join(self.tmp.name, name)
+        with open(path, "w", encoding="utf-8") as handle:
+            if isinstance(payload, str):
+                handle.write(payload)
+            else:
+                json.dump(payload, handle)
+        return path
+
+    def run_gate(self, current, baseline, *args):
+        """Returns (exit_code, stdout, stderr); payloads may be dict/str."""
+        current_path = self.write("current.json", current)
+        baseline_path = self.write("baseline.json", baseline)
+        out, err = io.StringIO(), io.StringIO()
+        with contextlib.redirect_stdout(out), contextlib.redirect_stderr(err):
+            code = gate.main(["check_bench_regression.py", current_path,
+                              baseline_path, *args])
+        return code, out.getvalue(), err.getvalue()
+
+
+class MissingMetricTest(GateHarness):
+    def test_missing_session_kernel_is_a_fail_line(self):
+        code, _out, err = self.run_gate(
+            artifact(legacy_ns=100.0), artifact(50.0, 100.0))
+        self.assertEqual(code, 1)
+        self.assertIn("FAIL:", err)
+        self.assertIn(gate.SESSION, err)
+        self.assertIn("not found", err)
+
+    def test_missing_legacy_in_baseline_is_a_fail_line(self):
+        code, _out, err = self.run_gate(
+            artifact(50.0, 100.0), artifact(session_ns=50.0))
+        self.assertEqual(code, 1)
+        self.assertIn("FAIL:", err)
+
+    def test_nan_real_time_is_a_fail_line(self):
+        code, _out, err = self.run_gate(
+            artifact(float("nan"), 100.0), artifact(50.0, 100.0))
+        self.assertEqual(code, 1)
+        self.assertIn("NaN", err)
+
+    def test_non_positive_time_is_a_fail_line(self):
+        code, _out, err = self.run_gate(
+            artifact(0.0, 100.0), artifact(50.0, 100.0))
+        self.assertEqual(code, 1)
+        self.assertIn("non-positive", err)
+
+    def test_unreadable_artifact_is_a_fail_line(self):
+        baseline = self.write("baseline.json", artifact(50.0, 100.0))
+        out, err = io.StringIO(), io.StringIO()
+        with contextlib.redirect_stdout(out), contextlib.redirect_stderr(err):
+            code = gate.main(["x", os.path.join(self.tmp.name, "absent.json"),
+                              baseline])
+        self.assertEqual(code, 1)
+        self.assertIn("FAIL:", err.getvalue())
+
+    def test_invalid_json_is_a_fail_line(self):
+        code, _out, err = self.run_gate("{not json", artifact(50.0, 100.0))
+        self.assertEqual(code, 1)
+        self.assertIn("not valid JSON", err)
+
+
+class TwoSidedGateTest(GateHarness):
+    # Baseline ratio: 50/100 = 0.5. Tolerance 0.20 -> limit 0.6, floor 0.4.
+
+    def test_within_budget_passes(self):
+        code, out, _err = self.run_gate(
+            artifact(55.0, 100.0), artifact(50.0, 100.0), "0.20")
+        self.assertEqual(code, 0)
+        self.assertIn("OK", out)
+
+    def test_regression_beyond_tolerance_fails(self):
+        code, _out, err = self.run_gate(
+            artifact(65.0, 100.0), artifact(50.0, 100.0), "0.20")
+        self.assertEqual(code, 1)
+        self.assertIn("regressed", err)
+
+    def test_session_slower_than_legacy_fails_outright(self):
+        code, _out, err = self.run_gate(
+            artifact(120.0, 100.0), artifact(50.0, 100.0), "2.0")
+        self.assertEqual(code, 1)
+        self.assertIn("no longer faster", err)
+
+    def test_silent_improvement_beyond_tolerance_fails(self):
+        code, _out, err = self.run_gate(
+            artifact(30.0, 100.0), artifact(50.0, 100.0), "0.20")
+        self.assertEqual(code, 1)
+        self.assertIn("refresh bench/baselines", err)
+
+    def test_improvement_within_explicit_tolerance_passes(self):
+        code, _out, _err = self.run_gate(
+            artifact(30.0, 100.0), artifact(50.0, 100.0), "0.20", "0.50")
+        self.assertEqual(code, 0)
+
+    def test_inf_disables_the_improvement_side_only(self):
+        code, _out, _err = self.run_gate(
+            artifact(5.0, 100.0), artifact(50.0, 100.0), "0.20", "inf")
+        self.assertEqual(code, 0)
+        # ... but the regression side still trips with inf improvement.
+        code, _out, err = self.run_gate(
+            artifact(65.0, 100.0), artifact(50.0, 100.0), "0.20", "inf")
+        self.assertEqual(code, 1)
+        self.assertIn("regressed", err)
+
+    def test_nan_improvement_tolerance_is_usage_error(self):
+        code, _out, err = self.run_gate(
+            artifact(50.0, 100.0), artifact(50.0, 100.0), "0.20", "nan")
+        self.assertEqual(code, 2)
+        self.assertIn("non-negative", err)
+
+    def test_infinite_main_tolerance_is_usage_error(self):
+        # inf is only meaningful for the improvement side; a vacuous main
+        # tolerance would silently pass any regression.
+        code, _out, err = self.run_gate(
+            artifact(50.0, 100.0), artifact(50.0, 100.0), "inf")
+        self.assertEqual(code, 2)
+        self.assertIn("finite", err)
+
+
+class RatioTableTest(GateHarness):
+    def test_new_kernel_shows_na_and_never_gates(self):
+        extra = [{"name": "BM_New", "run_name": "BM_New", "real_time": 10.0}]
+        code, out, _err = self.run_gate(
+            artifact(50.0, 100.0, extra=extra), artifact(50.0, 100.0))
+        self.assertEqual(code, 0)
+        self.assertIn("BM_New", out)
+        self.assertIn("n/a", out)
+
+    def test_mean_aggregate_preferred_over_plain_entry(self):
+        current = artifact(60.0, 100.0)
+        current["benchmarks"].append(
+            {"name": gate.SESSION, "run_name": gate.SESSION,
+             "aggregate_name": "mean", "real_time": 50.0})
+        code, _out, _err = self.run_gate(
+            current, artifact(50.0, 100.0), "0.05")
+        self.assertEqual(code, 0)  # mean (50) gates, not the plain 60
+
+
+if __name__ == "__main__":
+    unittest.main()
