@@ -50,6 +50,15 @@ biochip::HexArray dtmb16_array() {
                                                  120);
 }
 
+biochip::HexArray dtmb16_large_array() {
+  // DTMB(1,6) at 2x fig9's largest size — the scale-out point the sparse
+  // v1-vs-v2 injection pair is quoted on: v1 injection cost grows with the
+  // cell count, v2's with the fault count (~6 faults at p = 0.99 here), so
+  // this is where the O(cells)-vs-O(faults) separation is measured.
+  return biochip::make_dtmb_array_with_primaries(biochip::DtmbKind::kDtmb1_6,
+                                                 480);
+}
+
 void BM_McYieldRun_Legacy(benchmark::State& state) {
   auto array = bench_array();
   const fault::BernoulliInjector injector(kSurvivalP);
@@ -205,6 +214,103 @@ void BM_McYieldRun_Dtmb16_Auto(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_McYieldRun_Dtmb16_Auto);
+
+// v2 draw-contract kernels (rng_version = v2): the same work as their v1
+// counterparts, but injection draws come from counter-based per-cell
+// streams with geometric skip-sampling — O(faults) draws instead of
+// O(cells). check_bench_regression.py maps each BM_McYieldRun_InjectV2*
+// kernel to its v1 counterpart (V2_COUNTERPARTS) so the ratio table reads
+// "v2 vs v1" instead of "n/a". The sparse DTMB(1,6) pair below is where
+// the contract must pay: at p = 0.99 the v1 kernel burns ~99% of its
+// injection draws on cells that never fault.
+
+void BM_McYieldRun_Dtmb16Sparse(benchmark::State& state) {
+  // v1 baseline for the sparse pair: DTMB(1,6), p = 0.99, incremental
+  // repair (the plan the session would pick for this query).
+  const auto design = sim::ChipDesign::make(dtmb16_large_array());
+  sim::FaultState fault_state(design);
+  const sim::FaultModel model = sim::FaultModel::bernoulli(0.99);
+  std::int32_t run = 0;
+  for (auto _ : state) {
+    Rng rng = sim::run_stream(kSeed, run++);
+    sim::inject(model, fault_state, rng);
+    benchmark::DoNotOptimize(fault_state.repairable_incremental(
+        reconfig::CoveragePolicy::kAllFaultyPrimaries,
+        reconfig::ReplacementPool::kSparesOnly));
+    fault_state.reset();
+  }
+}
+BENCHMARK(BM_McYieldRun_Dtmb16Sparse);
+
+void BM_McYieldRun_InjectV2(benchmark::State& state) {
+  const auto design = sim::ChipDesign::make(bench_array());
+  sim::FaultState fault_state(design);
+  const sim::FaultModel model = sim::FaultModel::bernoulli(kSurvivalP);
+  std::int32_t run = 0;
+  for (auto _ : state) {
+    CounterStream stream = sim::run_stream_v2(kSeed, run++);
+    sim::inject_v2(model, fault_state, stream);
+    benchmark::DoNotOptimize(fault_state.repairable(
+        reconfig::CoveragePolicy::kAllFaultyPrimaries,
+        graph::MatchingEngine::kHopcroftKarp,
+        reconfig::ReplacementPool::kSparesOnly));
+    fault_state.reset();
+  }
+}
+BENCHMARK(BM_McYieldRun_InjectV2);
+
+void BM_McYieldRun_InjectV2_Dtmb16Sparse(benchmark::State& state) {
+  const auto design = sim::ChipDesign::make(dtmb16_large_array());
+  sim::FaultState fault_state(design);
+  const sim::FaultModel model = sim::FaultModel::bernoulli(0.99);
+  std::int32_t run = 0;
+  for (auto _ : state) {
+    CounterStream stream = sim::run_stream_v2(kSeed, run++);
+    sim::inject_v2(model, fault_state, stream);
+    benchmark::DoNotOptimize(fault_state.repairable_incremental(
+        reconfig::CoveragePolicy::kAllFaultyPrimaries,
+        reconfig::ReplacementPool::kSparesOnly));
+    fault_state.reset();
+  }
+}
+BENCHMARK(BM_McYieldRun_InjectV2_Dtmb16Sparse);
+
+void BM_McYieldRun_InjectV2_Parametric(benchmark::State& state) {
+  const auto design = sim::ChipDesign::make(bench_array());
+  sim::FaultState fault_state(design);
+  const sim::FaultModel model = sim::FaultModel::parametric(1.2);
+  std::int32_t run = 0;
+  for (auto _ : state) {
+    CounterStream stream = sim::run_stream_v2(kSeed, run++);
+    sim::inject_v2(model, fault_state, stream);
+    benchmark::DoNotOptimize(fault_state.repairable(
+        reconfig::CoveragePolicy::kAllFaultyPrimaries,
+        graph::MatchingEngine::kHopcroftKarp,
+        reconfig::ReplacementPool::kSparesOnly));
+    fault_state.reset();
+  }
+}
+BENCHMARK(BM_McYieldRun_InjectV2_Parametric);
+
+void BM_McYieldRun_InjectV2_Mixture(benchmark::State& state) {
+  const auto design = sim::ChipDesign::make(bench_array());
+  sim::FaultState fault_state(design);
+  const sim::FaultModel model = sim::FaultModel::mixture(
+      {sim::FaultModel::bernoulli(kSurvivalP),
+       sim::FaultModel::parametric(1.2),
+       sim::FaultModel::clustered(0.5, {1, 0.9, 0.3})});
+  std::int32_t run = 0;
+  for (auto _ : state) {
+    CounterStream stream = sim::run_stream_v2(kSeed, run++);
+    sim::inject_v2(model, fault_state, stream);
+    benchmark::DoNotOptimize(fault_state.repairable(
+        reconfig::CoveragePolicy::kAllFaultyPrimaries,
+        graph::MatchingEngine::kHopcroftKarp,
+        reconfig::ReplacementPool::kSparesOnly));
+    fault_state.reset();
+  }
+}
+BENCHMARK(BM_McYieldRun_InjectV2_Mixture);
 
 // Composable-model kernels (not part of the CI ratio gate): the parametric
 // injector's per-cell Gaussian sampling dominates its run cost, and the

@@ -33,6 +33,22 @@ p = 0.80, 0.85, 0.88, 0.90, 0.92, 0.94, 0.96, 0.98, 0.99
 sink = console, csv, jsonl
 )";
 
+constexpr std::string_view kFig9SmokeV2 =
+    R"(# The fig9_smoke grid under the v2 counter-stream draw contract
+# (rng_version = v2): golden-file + threads-1-vs-4 determinism testing of
+# the skip-sampling injection path. Estimates differ from fig9_smoke only
+# within Monte-Carlo noise (the statistical-equivalence suite pins this).
+name = fig9_smoke_v2
+runs = 200
+seed = 0xD0E5A11
+rng_version = v2
+design = dtmb2_6, dtmb3_6, dtmb4_4
+primaries = 60, 120, 240
+injector = bernoulli
+p = 0.80, 0.85, 0.88, 0.90, 0.92, 0.94, 0.96, 0.98, 0.99
+sink = console, csv, jsonl
+)";
+
 // Paper Figure 13: the multiplexed diagnostics chip under exactly m random
 // cell failures, for both replacement pools that bracket the paper's
 // semantics (spares-only vs spares + unused primaries).
@@ -138,6 +154,7 @@ struct BuiltinEntry {
 constexpr BuiltinEntry kBuiltins[] = {
     {"fig9", kFig9},
     {"fig9_smoke", kFig9Smoke},
+    {"fig9_smoke_v2", kFig9SmokeV2},
     {"fig13", kFig13},
     {"fig13_operational", kFig13Operational},
     {"effective_yield", kEffectiveYield},

@@ -48,6 +48,7 @@ std::vector<CampaignPoint> expand_grid(const CampaignSpec& spec) {
               point.design = design;
               point.min_primaries = min_primaries;
               point.workload = spec.workload;
+              point.rng_version = spec.rng_version;
               point.injector = spec.injector;
               point.sweep_kind = sweep;
               point.param = param;
@@ -84,8 +85,9 @@ bool uses_cluster_shape(const CampaignPoint& point) noexcept {
 std::string point_key(const CampaignPoint& point) {
   std::ostringstream key;
   key << to_string(point.design) << '/' << point.min_primaries << '/'
-      << to_string(point.workload) << '/' << to_string(point.injector) << '/'
-      << std::hexfloat << point.param << '/' << std::defaultfloat;
+      << to_string(point.workload) << '/' << spec_token(point.rng_version)
+      << '/' << to_string(point.injector) << '/' << std::hexfloat
+      << point.param << '/' << std::defaultfloat;
   for (const MixtureComponent& component : point.components) {
     key << to_string(component.kind) << ':' << std::hexfloat
         << component.param << '/' << std::defaultfloat;

@@ -32,6 +32,8 @@ struct CampaignPoint {
   std::int32_t min_primaries = 0;
   /// What each run evaluates (copied from the spec; not a sweep dimension).
   WorkloadKind workload = WorkloadKind::kStructural;
+  /// Injection draw contract (copied from the spec; not a sweep dimension).
+  RngVersion rng_version = RngVersion::kV1;
   InjectorKind injector = InjectorKind::kBernoulli;
   /// The concrete kind whose parameter this point's `param` is: `injector`
   /// itself, or a mixture's swept component.

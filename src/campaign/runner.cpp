@@ -95,6 +95,7 @@ sim::YieldQuery query_of(const CampaignPoint& point, const CampaignSpec& spec,
   query.runs = spec.runs;
   query.seed = spec.seed;
   query.threads = inner_threads;
+  query.rng_version = point.rng_version;
   query.policy = point.policy;
   query.engine = point.engine;
   query.pool = point.pool;

@@ -58,6 +58,11 @@ constexpr TokenPair kWorkloadTokens[] = {
     {"assay", static_cast<std::uint8_t>(WorkloadKind::kAssay)},
 };
 
+constexpr TokenPair kRngVersionTokens[] = {
+    {"v1", static_cast<std::uint8_t>(RngVersion::kV1)},
+    {"v2", static_cast<std::uint8_t>(RngVersion::kV2)},
+};
+
 constexpr TokenPair kPolicyTokens[] = {
     {"all_faulty_primaries",
      static_cast<std::uint8_t>(reconfig::CoveragePolicy::kAllFaultyPrimaries)},
@@ -209,6 +214,12 @@ class SpecParser {
       } else {
         error(line_no, "bad value for 'seed': '" + std::string(value) +
                            "' (expected a uint64, decimal or 0x-hex)");
+      }
+    } else if (key == "rng_version") {
+      if (const auto version = parse_rng_version(value)) {
+        spec_.rng_version = *version;
+      } else {
+        error(line_no, bad_token_message(key, value, kRngVersionTokens));
       }
     } else if (key == "design") {
       token_list(key, value, line_no, parse_design, kDesignTokens,
@@ -522,6 +533,14 @@ std::optional<reconfig::ReplacementPool> parse_pool(
   return lookup<reconfig::ReplacementPool>(kPoolTokens, token);
 }
 
+const char* spec_token(RngVersion version) noexcept {
+  return reverse_lookup(kRngVersionTokens, static_cast<std::uint8_t>(version));
+}
+
+std::optional<RngVersion> parse_rng_version(std::string_view token) noexcept {
+  return lookup<RngVersion>(kRngVersionTokens, token);
+}
+
 const char* param_name(InjectorKind kind) noexcept {
   switch (kind) {
     case InjectorKind::kBernoulli: return "p";
@@ -622,6 +641,7 @@ std::string to_spec_text(const CampaignSpec& spec) {
   out << "runs = " << spec.runs << '\n';
   out << "seed = 0x" << std::hex << spec.seed << std::dec << '\n';
   out << "threads = " << spec.threads << '\n';
+  out << "rng_version = " << spec_token(spec.rng_version) << '\n';
   out << "design = "
       << join(spec.designs, [](Design d) { return std::string(to_string(d)); })
       << '\n';

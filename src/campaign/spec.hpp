@@ -25,6 +25,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/rng.hpp"
 #include "graph/matching.hpp"
 #include "reconfig/local_reconfig.hpp"
 
@@ -95,6 +96,11 @@ std::optional<graph::MatchingEngine> parse_engine(
 std::optional<reconfig::ReplacementPool> parse_pool(
     std::string_view token) noexcept;
 
+/// Spec-file token for the injection draw contract ("v1" / "v2"); see
+/// docs/API.md (determinism contract) for what the versions mean.
+const char* spec_token(RngVersion version) noexcept;
+std::optional<RngVersion> parse_rng_version(std::string_view token) noexcept;
+
 /// Clustered-injector knobs shared by every clustered grid point.
 struct ClusterParams {
   std::int32_t radius = 1;
@@ -111,6 +117,9 @@ struct CampaignSpec {
   std::int32_t threads = 0;
   /// What each run evaluates (scalar knob, like `injector`).
   WorkloadKind workload = WorkloadKind::kStructural;
+  /// Injection draw contract for every point (scalar knob; `rng_version`
+  /// key). v1 is the golden default; v2 opts into counter-based streams.
+  RngVersion rng_version = RngVersion::kV1;
 
   // -- sweep dimensions (cross product, in this order) ---------------------
   std::vector<Design> designs;

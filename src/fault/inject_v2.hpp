@@ -1,0 +1,127 @@
+// v2 (rng_version = v2) fault sampling: shared kind-level algorithms.
+//
+// Each Monte-Carlo run owns one CounterStream (sim::run_stream_v2); every
+// fault kind consumes a documented number of stream draws, so the
+// record-keeping fault::*Injector layer and the word-packed sim::FaultState
+// layer replay the *same* cursor trajectory and therefore mark the same
+// cells — bit-identical by construction, pinned by the v2 equivalence suite.
+//
+// Draw layout per kind:
+//  * bernoulli — geometric skip-sampling (common/rng.hpp): one uniform draw
+//    per fault plus one terminating overshoot draw; each fault's callback
+//    then consumes exactly one classification draw.
+//  * fixed_count — Floyd's algorithm: one uniform_below draw per selection
+//    (Lemire rejections advance the cursor deterministically), with the
+//    per-fault classification draw interleaved after each pick.
+//  * parametric — geometric skip-sampling at the closed-form per-cell fault
+//    probability (ProcessSpec::cell_fault_probability()) instead of three
+//    Gaussian deviates per cell; each fault's callback consumes one
+//    attribution draw.
+//  * clustered — the v1 spot walk (Poisson spot count, uniform centre,
+//    per-covered-cell Bernoulli with linear kill decay) driven by the
+//    stream cursor; still O(spot area), which is already O(faults)-ish.
+//  * mixture — components run in declaration order on the same stream;
+//    the first faulter wins a cell, but every component consumes its full
+//    draw sequence regardless of absorption (same rule as v1).
+//
+// Callback contract: on_fault(cell) MUST consume exactly one stream draw —
+// either by sampling the classification/attribution value (fault:: layer)
+// or by CounterStream::skip(1) (sim:: layer, which keeps no records).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+#include "hexgrid/hex_coord.hpp"
+#include "hexgrid/region.hpp"
+
+namespace dmfb::fault {
+
+/// Poisson sampler on a counter stream — the same two-regime algorithm as
+/// sample_poisson(mean, Rng&) (Knuth product method up to mean 700, chunked
+/// exponent folding above), re-based onto v2 draws. Inline so the clustered
+/// template below needs no extra TU.
+inline std::int32_t sample_poisson_v2(double mean, CounterStream& stream) {
+  DMFB_EXPECTS(mean >= 0.0);
+  constexpr double kDirectMeanLimit = 700.0;
+  if (mean == 0.0) return 0;
+  if (mean <= kDirectMeanLimit) {
+    const double limit = std::exp(-mean);
+    std::int32_t k = 0;
+    double product = 1.0;
+    do {
+      ++k;
+      product *= stream.uniform01();
+    } while (product > limit);
+    return k - 1;
+  }
+  std::int32_t k = 0;
+  double product = 1.0;
+  double pending_exponent = mean;
+  for (;;) {
+    product *= stream.uniform01();
+    while (product < 1.0 && pending_exponent > 0.0) {
+      const double step = std::min(pending_exponent, kDirectMeanLimit);
+      product *= std::exp(step);
+      pending_exponent -= step;
+    }
+    if (pending_exponent <= 0.0 && product <= 1.0) return k;
+    ++k;
+  }
+}
+
+/// Fixed-count v2: exactly `count` distinct cells from [0, cells), via
+/// Floyd's algorithm — O(count) draws with no O(cells) index pool, so a
+/// sparse query never touches per-cell state. Membership is a linear scan
+/// over the picks so far (count is small in every supported query; an
+/// unordered set would also trip the determinism linter).
+template <typename OnFault>
+void fixed_count_v2(CounterStream& stream, std::int32_t cells,
+                    std::int32_t count, OnFault&& on_fault) {
+  DMFB_EXPECTS(count >= 0 && count <= cells);
+  std::vector<std::int32_t> chosen;
+  chosen.reserve(static_cast<std::size_t>(count));
+  for (std::int32_t j = cells - count; j < cells; ++j) {
+    const auto t = static_cast<std::int32_t>(
+        stream.uniform_below(static_cast<std::uint64_t>(j) + 1));
+    bool duplicate = false;
+    for (const std::int32_t c : chosen) duplicate |= (c == t);
+    const std::int32_t pick = duplicate ? j : t;
+    chosen.push_back(pick);
+    on_fault(pick);
+  }
+}
+
+/// Clustered v2: the v1 spot-walk algorithm on the stream cursor. The walk
+/// is inherently serial (later spots see earlier kills through is_faulty),
+/// but its cost was already proportional to spot area, not cell count.
+/// is_faulty(cell) reports live fault state; on_fault(cell) marks the cell
+/// and consumes the classification draw.
+template <typename IsFaulty, typename OnFault>
+void clustered_v2(CounterStream& stream, const hex::Region& region,
+                  std::int32_t cell_count, double mean_spots,
+                  std::int32_t radius, double core_kill, double edge_kill,
+                  IsFaulty&& is_faulty, OnFault&& on_fault) {
+  const std::int32_t spots = sample_poisson_v2(mean_spots, stream);
+  for (std::int32_t spot = 0; spot < spots; ++spot) {
+    const auto center_index = static_cast<std::int32_t>(
+        stream.uniform_below(static_cast<std::uint64_t>(cell_count)));
+    const hex::HexCoord center = region.coord_at(center_index);
+    for (const hex::HexCoord at : hex::disk(center, radius)) {
+      const hex::CellIndex cell = region.index_of(at);
+      if (cell == hex::kInvalidCell) continue;  // spot clipped by boundary
+      if (is_faulty(cell)) continue;
+      const double t = radius == 0
+                           ? 0.0
+                           : static_cast<double>(hex::distance(center, at)) /
+                                 static_cast<double>(radius);
+      const double kill_prob = core_kill + (edge_kill - core_kill) * t;
+      if (stream.bernoulli(kill_prob)) on_fault(cell);
+    }
+  }
+}
+
+}  // namespace dmfb::fault

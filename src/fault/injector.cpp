@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/contracts.hpp"
+#include "fault/inject_v2.hpp"
 #include "hexgrid/hex_coord.hpp"
 
 namespace dmfb::fault {
@@ -20,6 +21,15 @@ FaultRecord make_catastrophic_record(hex::CellIndex cell, Rng& rng) {
   record.cell = cell;
   record.fault_class = FaultClass::kCatastrophic;
   record.catastrophic = sample_catastrophic_defect(rng);
+  return record;
+}
+
+FaultRecord make_catastrophic_record_v2(hex::CellIndex cell,
+                                        CounterStream& stream) {
+  FaultRecord record;
+  record.cell = cell;
+  record.fault_class = FaultClass::kCatastrophic;
+  record.catastrophic = sample_catastrophic_defect(stream);
   return record;
 }
 
@@ -43,6 +53,19 @@ FaultMap BernoulliInjector::inject(biochip::HexArray& array, Rng& rng) const {
   return map;
 }
 
+FaultMap BernoulliInjector::inject_v2(biochip::HexArray& array,
+                                      CounterStream& stream) const {
+  DMFB_EXPECTS(array.faulty_count() == 0);
+  FaultMap map;
+  skip_sample_bernoulli(stream, array.cell_count(), 1.0 - survival_p_,
+                        [&](std::int32_t cell) {
+                          array.set_health(cell, biochip::CellHealth::kFaulty);
+                          map.records.push_back(
+                              make_catastrophic_record_v2(cell, stream));
+                        });
+  return map;
+}
+
 FixedCountInjector::FixedCountInjector(std::int32_t count) : count_(count) {
   DMFB_EXPECTS(count >= 0);
 }
@@ -56,6 +79,20 @@ FaultMap FixedCountInjector::inject(biochip::HexArray& array, Rng& rng) const {
     array.set_health(cell, biochip::CellHealth::kFaulty);
     map.records.push_back(make_catastrophic_record(cell, rng));
   }
+  return map;
+}
+
+FaultMap FixedCountInjector::inject_v2(biochip::HexArray& array,
+                                       CounterStream& stream) const {
+  DMFB_EXPECTS(array.faulty_count() == 0);
+  DMFB_EXPECTS(count_ <= array.cell_count());
+  FaultMap map;
+  fixed_count_v2(stream, array.cell_count(), count_,
+                 [&](std::int32_t cell) {
+                   array.set_health(cell, biochip::CellHealth::kFaulty);
+                   map.records.push_back(
+                       make_catastrophic_record_v2(cell, stream));
+                 });
   return map;
 }
 
@@ -134,6 +171,23 @@ FaultMap ClusteredInjector::inject(biochip::HexArray& array, Rng& rng) const {
       }
     }
   }
+  return map;
+}
+
+FaultMap ClusteredInjector::inject_v2(biochip::HexArray& array,
+                                      CounterStream& stream) const {
+  DMFB_EXPECTS(array.faulty_count() == 0);
+  FaultMap map;
+  clustered_v2(
+      stream, array.region(), array.cell_count(), mean_spots_, radius_,
+      core_kill_prob_, edge_kill_prob_,
+      [&](hex::CellIndex cell) {
+        return array.health(cell) == biochip::CellHealth::kFaulty;
+      },
+      [&](hex::CellIndex cell) {
+        array.set_health(cell, biochip::CellHealth::kFaulty);
+        map.records.push_back(make_catastrophic_record_v2(cell, stream));
+      });
   return map;
 }
 

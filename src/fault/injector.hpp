@@ -45,6 +45,17 @@ inline CatastrophicDefect sample_catastrophic_defect(Rng& rng) {
   return CatastrophicDefect::kOpenConnection;
 }
 
+/// v2 classification draw: same taxonomy weights, consuming exactly one
+/// counter off the stream — the draw the bitmap path skip(1)s past.
+inline CatastrophicDefect sample_catastrophic_defect(CounterStream& stream) {
+  const double u = stream.uniform01();
+  if (u < kBreakdownWeight) return CatastrophicDefect::kDielectricBreakdown;
+  if (u < kBreakdownWeight + kShortWeight) {
+    return CatastrophicDefect::kElectrodeShort;
+  }
+  return CatastrophicDefect::kOpenConnection;
+}
+
 /// Each cell fails independently with probability 1 - survival_p.
 class BernoulliInjector {
  public:
@@ -55,6 +66,11 @@ class BernoulliInjector {
   /// Marks faulty cells on `array` (which must start healthy) and returns
   /// the fault map.
   FaultMap inject(biochip::HexArray& array, Rng& rng) const;
+
+  /// v2 contract: geometric skip-sampling over the per-run counter stream —
+  /// O(faults) draws instead of one per cell. Statistically equivalent to
+  /// inject() but on a different draw trajectory (fault/inject_v2.hpp).
+  FaultMap inject_v2(biochip::HexArray& array, CounterStream& stream) const;
 
  private:
   double survival_p_;
@@ -69,6 +85,9 @@ class FixedCountInjector {
   std::int32_t count() const noexcept { return count_; }
 
   FaultMap inject(biochip::HexArray& array, Rng& rng) const;
+
+  /// v2 contract: Floyd's algorithm — O(count) draws, no index pool.
+  FaultMap inject_v2(biochip::HexArray& array, CounterStream& stream) const;
 
  private:
   std::int32_t count_;
@@ -89,6 +108,9 @@ class ClusteredInjector {
   double edge_kill_prob() const noexcept { return edge_kill_prob_; }
 
   FaultMap inject(biochip::HexArray& array, Rng& rng) const;
+
+  /// v2 contract: the same spot walk driven by the counter stream.
+  FaultMap inject_v2(biochip::HexArray& array, CounterStream& stream) const;
 
   /// Expected number of cell failures per chip for an interior spot
   /// (ignoring boundary clipping) — used to calibrate fair comparisons

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/contracts.hpp"
+#include "fault/inject_v2.hpp"
 #include "hexgrid/hex_coord.hpp"
 
 namespace dmfb::fault {
@@ -93,6 +94,79 @@ void apply(const ParametricInjector& injector, biochip::HexArray& array,
   }
 }
 
+/// v2 sibling of kill_catastrophic: identical first-faulter-wins rule, with
+/// the classification draw taken off the counter stream.
+void kill_catastrophic_v2(biochip::HexArray& array, FaultMap& map,
+                          hex::CellIndex cell, CounterStream& stream) {
+  const CatastrophicDefect defect = sample_catastrophic_defect(stream);
+  if (array.health(cell) == biochip::CellHealth::kFaulty) return;
+  array.set_health(cell, biochip::CellHealth::kFaulty);
+  FaultRecord record;
+  record.cell = cell;
+  record.fault_class = FaultClass::kCatastrophic;
+  record.catastrophic = defect;
+  map.records.push_back(record);
+}
+
+// The apply_v2() overloads drive the shared v2 kind algorithms
+// (fault/inject_v2.hpp) with first-faulter-wins callbacks, so a component
+// consumes exactly the draw sequence of its standalone inject_v2.
+
+void apply_v2(const BernoulliInjector& injector, biochip::HexArray& array,
+              FaultMap& map, CounterStream& stream) {
+  skip_sample_bernoulli(stream, array.cell_count(),
+                        1.0 - injector.survival_probability(),
+                        [&](std::int32_t cell) {
+                          kill_catastrophic_v2(array, map, cell, stream);
+                        });
+}
+
+void apply_v2(const FixedCountInjector& injector, biochip::HexArray& array,
+              FaultMap& map, CounterStream& stream) {
+  DMFB_EXPECTS(injector.count() <= array.cell_count());
+  fixed_count_v2(stream, array.cell_count(), injector.count(),
+                 [&](std::int32_t cell) {
+                   kill_catastrophic_v2(array, map, cell, stream);
+                 });
+}
+
+void apply_v2(const ClusteredInjector& injector, biochip::HexArray& array,
+              FaultMap& map, CounterStream& stream) {
+  clustered_v2(
+      stream, array.region(), array.cell_count(), injector.mean_spots(),
+      injector.radius(), injector.core_kill_prob(), injector.edge_kill_prob(),
+      [&](hex::CellIndex cell) {
+        return array.health(cell) == biochip::CellHealth::kFaulty;
+      },
+      [&](hex::CellIndex cell) {
+        kill_catastrophic_v2(array, map, cell, stream);
+      });
+}
+
+void apply_v2(const ParametricInjector& injector, biochip::HexArray& array,
+              FaultMap& map, CounterStream& stream) {
+  const ProcessSpec& spec = injector.spec();
+  const std::array<double, 3> weights =
+      parametric_attribution_weights_v2(spec);
+  skip_sample_bernoulli(
+      stream, array.cell_count(), spec.cell_fault_probability(),
+      [&](std::int32_t cell) {
+        // The attribution draw is consumed whether or not the kill is
+        // absorbed, like the catastrophic classification draw.
+        const std::size_t pick =
+            pick_parametric_attribution_v2(weights, stream.uniform01());
+        if (array.health(cell) == biochip::CellHealth::kFaulty) return;
+        const ParameterSpec& param = spec.parameters[pick];
+        array.set_health(cell, biochip::CellHealth::kFaulty);
+        FaultRecord record;
+        record.cell = cell;
+        record.fault_class = FaultClass::kParametric;
+        record.parametric = param.parameter;
+        record.deviation = param.tolerance;
+        map.records.push_back(record);
+      });
+}
+
 }  // namespace
 
 MixtureInjector::MixtureInjector(std::vector<Component> components)
@@ -106,6 +180,18 @@ FaultMap MixtureInjector::inject(biochip::HexArray& array, Rng& rng) const {
   for (const Component& component : components_) {
     std::visit(
         [&](const auto& injector) { apply(injector, array, map, rng); },
+        component);
+  }
+  return map;
+}
+
+FaultMap MixtureInjector::inject_v2(biochip::HexArray& array,
+                                    CounterStream& stream) const {
+  DMFB_EXPECTS(array.faulty_count() == 0);
+  FaultMap map;
+  for (const Component& component : components_) {
+    std::visit(
+        [&](const auto& injector) { apply_v2(injector, array, map, stream); },
         component);
   }
   return map;

@@ -50,6 +50,12 @@ class MixtureInjector {
   /// the first-faulter-wins fault map, in component order.
   FaultMap inject(biochip::HexArray& array, Rng& rng) const;
 
+  /// v2 contract: the same composition rules on one shared counter stream —
+  /// components run in order, each consuming its standalone inject_v2 draw
+  /// sequence (fault/inject_v2.hpp); first faulter wins, and an absorbed
+  /// kill still consumes its classification/attribution draw.
+  FaultMap inject_v2(biochip::HexArray& array, CounterStream& stream) const;
+
  private:
   std::vector<Component> components_;
 };

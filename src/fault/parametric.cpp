@@ -5,6 +5,7 @@
 #include <numbers>
 
 #include "common/contracts.hpp"
+#include "fault/inject_v2.hpp"
 
 namespace dmfb::fault {
 
@@ -89,6 +90,56 @@ FaultMap ParametricInjector::inject(biochip::HexArray& array, Rng& rng) const {
       map.records.push_back(record);
     }
   }
+  return map;
+}
+
+std::array<double, 3> parametric_attribution_weights_v2(
+    const ProcessSpec& spec) {
+  std::array<double, 3> weights;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const ParameterSpec& param = spec.parameters[i];
+    weights[i] = 2.0 * normal_upper_tail(param.tolerance / param.sigma);
+  }
+  return weights;
+}
+
+std::size_t pick_parametric_attribution_v2(const std::array<double, 3>& weights,
+                                           double u) {
+  double total = 0.0;
+  for (const double w : weights) total += w;
+  const double scaled = u * total;
+  std::size_t pick = weights.size() - 1;
+  double cum = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    cum += weights[i];
+    if (scaled < cum) {
+      pick = i;
+      break;
+    }
+  }
+  return pick;
+}
+
+FaultMap ParametricInjector::inject_v2(biochip::HexArray& array,
+                                       CounterStream& stream) const {
+  DMFB_EXPECTS(array.faulty_count() == 0);
+  FaultMap map;
+  const std::array<double, 3> weights =
+      parametric_attribution_weights_v2(spec_);
+  skip_sample_bernoulli(
+      stream, array.cell_count(), spec_.cell_fault_probability(),
+      [&](std::int32_t cell) {
+        const std::size_t pick =
+            pick_parametric_attribution_v2(weights, stream.uniform01());
+        const ParameterSpec& param = spec_.parameters[pick];
+        array.set_health(cell, biochip::CellHealth::kFaulty);
+        FaultRecord record;
+        record.cell = cell;
+        record.fault_class = FaultClass::kParametric;
+        record.parametric = param.parameter;
+        record.deviation = param.tolerance;
+        map.records.push_back(record);
+      });
   return map;
 }
 

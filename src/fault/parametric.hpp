@@ -63,12 +63,32 @@ class ParametricInjector {
 
   FaultMap inject(biochip::HexArray& array, Rng& rng) const;
 
+  /// v2 contract: skip-samples faulty cells directly at the closed-form
+  /// cell_fault_probability() — no Gaussian deviates, O(faults) draws. Each
+  /// fault consumes one attribution draw that picks the recorded parameter
+  /// in proportion to its marginal out-of-tolerance weight 2Q(tol/sigma);
+  /// the recorded deviation is the signed tolerance boundary (the exact
+  /// magnitude is not sampled under v2 — yield only depends on the fault
+  /// bit, which the statistical-equivalence suite pins against v1).
+  FaultMap inject_v2(biochip::HexArray& array, CounterStream& stream) const;
+
   /// Samples the three deviations of one cell (exposed for tests).
   std::array<Deviation, 3> sample_cell(Rng& rng) const;
 
  private:
   ProcessSpec spec_;
 };
+
+/// v2 attribution weights: the marginal out-of-tolerance probability
+/// 2Q(tolerance/sigma) of each parameter — the distribution the per-fault
+/// attribution draw picks the recorded parameter from.
+std::array<double, 3> parametric_attribution_weights_v2(
+    const ProcessSpec& spec);
+
+/// Maps one uniform attribution draw u in [0, 1) to a parameter index,
+/// proportionally to `weights` (cumulative scan; final index on fp edge).
+std::size_t pick_parametric_attribution_v2(const std::array<double, 3>& weights,
+                                           double u);
 
 /// Standard normal sample via Box-Muller (exposed for tests).
 double sample_standard_normal(Rng& rng);

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/contracts.hpp"
+#include "fault/inject_v2.hpp"
 #include "fault/injector.hpp"
 #include "fault/mixture.hpp"
 #include "fault/parametric.hpp"
@@ -132,6 +133,110 @@ void inject_component(const FaultModel& model, FaultState& state, Rng& rng,
   DMFB_ASSERT(!"unknown fault model kind");
 }
 
+// The inject_*_v2 functions drive the shared v2 kind algorithms
+// (fault/inject_v2.hpp) with bitmap callbacks, so they replay the exact
+// cursor trajectory of the corresponding fault::*Injector::inject_v2 and
+// mark the same cells. The classification/attribution draw each fault's
+// callback must consume is skip()ed — the bitmap keeps no records. Under
+// v2 the tally counts fault candidates reaching a callback (`trials`) and
+// skipped classification draws (`classification`); both remain pure
+// functions of (model, seed, run).
+//
+// `pristine` selects the bulk ascending-write path: standalone skip-sampled
+// kinds visit cells in strictly ascending order on an empty bitmap, so the
+// set_faulty membership probe is dead weight. Mixture components (and the
+// unsorted fixed-count picks) take the idempotent set_faulty, which also
+// implements first-faulter-wins for free.
+
+void inject_bernoulli_v2(double survival_p, FaultState& state,
+                         CounterStream& stream, InjectTally& tally,
+                         bool pristine) {
+  skip_sample_bernoulli(stream, state.design().cell_count(),
+                        1.0 - survival_p, [&](std::int32_t cell) {
+                          ++tally.trials;
+                          stream.skip(1);  // classification draw
+                          ++tally.classification;
+                          if (pristine) {
+                            state.set_faulty_ascending(cell);
+                          } else {
+                            state.set_faulty(cell);
+                          }
+                        });
+}
+
+void inject_fixed_count_v2(std::int32_t count, FaultState& state,
+                           CounterStream& stream, InjectTally& tally) {
+  fault::fixed_count_v2(stream, state.design().cell_count(), count,
+                        [&](std::int32_t cell) {
+                          ++tally.trials;
+                          stream.skip(1);  // classification draw
+                          ++tally.classification;
+                          state.set_faulty(cell);
+                        });
+}
+
+void inject_clustered_v2(double mean_spots, const ClusterShape& shape,
+                         FaultState& state, CounterStream& stream,
+                         InjectTally& tally) {
+  const hex::Region& region = state.design().array().region();
+  fault::clustered_v2(
+      stream, region, state.design().cell_count(), mean_spots, shape.radius,
+      shape.core_kill, shape.edge_kill,
+      [&](CellIndex cell) { return state.is_faulty(cell); },
+      [&](CellIndex cell) {
+        ++tally.trials;
+        stream.skip(1);  // classification draw
+        ++tally.classification;
+        state.set_faulty(cell);
+      });
+}
+
+void inject_parametric_v2(double sigma_scale, FaultState& state,
+                          CounterStream& stream, InjectTally& tally,
+                          bool pristine) {
+  const double fault_probability = fault::ProcessSpec::typical()
+                                       .scaled(sigma_scale)
+                                       .cell_fault_probability();
+  skip_sample_bernoulli(stream, state.design().cell_count(),
+                        fault_probability, [&](std::int32_t cell) {
+                          ++tally.trials;
+                          stream.skip(1);  // attribution draw
+                          ++tally.classification;
+                          if (pristine) {
+                            state.set_faulty_ascending(cell);
+                          } else {
+                            state.set_faulty(cell);
+                          }
+                        });
+}
+
+void inject_component_v2(const FaultModel& model, FaultState& state,
+                         CounterStream& stream, InjectTally& tally,
+                         bool pristine) {
+  switch (model.kind) {
+    case FaultModel::Kind::kBernoulli:
+      inject_bernoulli_v2(model.param, state, stream, tally, pristine);
+      return;
+    case FaultModel::Kind::kFixedCount:
+      inject_fixed_count_v2(static_cast<std::int32_t>(model.param), state,
+                            stream, tally);
+      return;
+    case FaultModel::Kind::kClustered:
+      inject_clustered_v2(model.param, model.cluster, state, stream, tally);
+      return;
+    case FaultModel::Kind::kParametric:
+      inject_parametric_v2(model.param, state, stream, tally, pristine);
+      return;
+    case FaultModel::Kind::kMixture:
+      for (const FaultModel& component : model.components) {
+        inject_component_v2(component, state, stream, tally,
+                            /*pristine=*/false);
+      }
+      return;
+  }
+  DMFB_ASSERT(!"unknown fault model kind");
+}
+
 }  // namespace
 
 void validate(const FaultModel& model, const ChipDesign& design) {
@@ -173,6 +278,19 @@ void inject(const FaultModel& model, FaultState& state, Rng& rng) {
   inject_component(model, state, rng, tally);
   // One flush per call keeps the per-cell loops TLS-free; the guard makes
   // the disabled default a single relaxed load.
+  if (obs::enabled()) {
+    obs::count(obs::Metric::kInjectRuns);
+    obs::count(obs::Metric::kInjectCellsFaulted, state.faulty_count());
+    obs::count(obs::Metric::kInjectCellTrials, tally.trials);
+    obs::count(obs::Metric::kInjectClassificationDraws, tally.classification);
+  }
+}
+
+void inject_v2(const FaultModel& model, FaultState& state,
+               CounterStream& stream) {
+  DMFB_EXPECTS(state.faulty_count() == 0);
+  InjectTally tally;
+  inject_component_v2(model, state, stream, tally, /*pristine=*/true);
   if (obs::enabled()) {
     obs::count(obs::Metric::kInjectRuns);
     obs::count(obs::Metric::kInjectCellsFaulted, state.faulty_count());

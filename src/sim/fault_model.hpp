@@ -102,6 +102,15 @@ void validate(const FaultModel& model, const ChipDesign& design);
 /// fault::MixtureInjector) on a HexArray.
 void inject(const FaultModel& model, FaultState& state, Rng& rng);
 
+/// v2 (rng_version = v2) injection: cursor-for-cursor identical to the
+/// corresponding fault::*Injector::inject_v2 on a HexArray — same stream
+/// draws, same fault cells — but marks the word-packed bitmap directly
+/// (bulk ascending writes for the skip-sampled kinds) and skip()s the
+/// classification/attribution draws it keeps no records for. O(faults)
+/// for bernoulli / fixed-count / parametric; O(spot area) for clustered.
+void inject_v2(const FaultModel& model, FaultState& state,
+               CounterStream& stream);
+
 /// Expected fraction of `design`'s cells a single run of `model` faults,
 /// in [0, 1]. Exact for bernoulli / fixed-count / parametric, a documented
 /// mean-field approximation for clustered (mean spots x full-disk area x

@@ -64,6 +64,17 @@ class FaultState {
       faulty_cells_.push_back(cell);
     }
   }
+  /// Bulk-injection path for skip-sampled v2 streams: `cell` must be
+  /// strictly greater than every cell already marked (ascending injection
+  /// order), so the membership probe of set_faulty is unnecessary — the
+  /// fault word is written and the cell appended directly.
+  void set_faulty_ascending(CellIndex cell) {
+    DMFB_EXPECTS(cell >= 0 && cell < design_->cell_count());
+    DMFB_EXPECTS(faulty_cells_.empty() || faulty_cells_.back() < cell);
+    words_[static_cast<std::size_t>(cell) >> 6] |=
+        std::uint64_t{1} << (static_cast<std::uint32_t>(cell) & 63);
+    faulty_cells_.push_back(cell);
+  }
   std::int32_t faulty_count() const noexcept {
     return static_cast<std::int32_t>(faulty_cells_.size());
   }

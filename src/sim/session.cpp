@@ -48,6 +48,16 @@ Rng run_stream(std::uint64_t seed, std::int32_t run) noexcept {
   return Rng(splitmix64(s));
 }
 
+CounterStream run_stream_v2(std::uint64_t seed, std::int32_t run) noexcept {
+  std::uint64_t s =
+      seed + 0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(run) + 1);
+  // The first splitmix64 output is the v1 xoshiro seed for this (seed, run);
+  // skipping it keys the v2 stream off the *next* finalized value, so the
+  // two contracts never share observable bits.
+  (void)splitmix64(s);
+  return CounterStream(splitmix64(s));
+}
+
 namespace {
 
 void append_fault_key(std::ostringstream& key, const FaultModel& fault) {
@@ -77,7 +87,8 @@ std::string query_key(const YieldQuery& query) {
       << static_cast<int>(query.policy) << '|'
       << static_cast<int>(query.engine) << '|' << static_cast<int>(query.pool)
       << '|' << std::bit_cast<std::uint64_t>(query.target_ci_half_width)
-      << '|' << static_cast<int>(query.workload);
+      << '|' << static_cast<int>(query.workload) << '|'
+      << static_cast<int>(query.rng_version);
   // `threads` is deliberately absent: it never affects the estimate.
   return key.str();
 }
@@ -274,8 +285,11 @@ std::int64_t Session::successes_in_range(
   // fault set), so partitioning runs over workers — each with its own
   // incremental history — never changes the estimate.
   const EnginePlan plan = plan_engine(query, *design_);
-  const auto count_range = [&](FaultState& state, std::int32_t lo,
-                               std::int32_t hi) {
+  // One lambda per draw contract (not a per-run branch): the v1 kernel
+  // stays untouched, and injector-path functions never mix the two APIs
+  // (tools/lint_determinism.py's mixed-rng-version rule).
+  const auto count_range_v1 = [&](FaultState& state, std::int32_t lo,
+                                  std::int32_t hi) {
     std::int64_t successes = 0;
     for (std::int32_t run = lo; run < hi; ++run) {
       Rng rng = run_stream(query.seed, run);
@@ -288,6 +302,26 @@ std::int64_t Session::successes_in_range(
       state.reset();
     }
     return successes;
+  };
+  const auto count_range_v2 = [&](FaultState& state, std::int32_t lo,
+                                  std::int32_t hi) {
+    std::int64_t successes = 0;
+    for (std::int32_t run = lo; run < hi; ++run) {
+      CounterStream stream = run_stream_v2(query.seed, run);
+      inject_v2(query.fault, state, stream);
+      const bool ok =
+          plan.incremental
+              ? state.repairable_incremental(query.policy, query.pool)
+              : state.repairable(query.policy, plan.engine, query.pool);
+      if (ok) ++successes;
+      state.reset();
+    }
+    return successes;
+  };
+  const auto count_range = [&](FaultState& state, std::int32_t lo,
+                               std::int32_t hi) {
+    return query.rng_version == RngVersion::kV2 ? count_range_v2(state, lo, hi)
+                                                : count_range_v1(state, lo, hi);
   };
 
   const std::int32_t batch_count = (end - begin + kBatchRuns - 1) / kBatchRuns;
@@ -342,14 +376,32 @@ void Session::operational_runs_in_range(
     }
     return *scratch[slot];
   };
-  const auto eval_range = [&](OperationalState& state, std::int32_t lo,
-                              std::int32_t hi) {
+  const auto eval_range_v1 = [&](OperationalState& state, std::int32_t lo,
+                                 std::int32_t hi) {
     for (std::int32_t run = lo; run < hi; ++run) {
       Rng rng = run_stream(query.seed, run);
       inject(query.fault, state.faults(), rng);
       out[static_cast<std::size_t>(run - begin)] =
           state.evaluate(query.policy, query.engine, query.pool);
       state.reset();
+    }
+  };
+  const auto eval_range_v2 = [&](OperationalState& state, std::int32_t lo,
+                                 std::int32_t hi) {
+    for (std::int32_t run = lo; run < hi; ++run) {
+      CounterStream stream = run_stream_v2(query.seed, run);
+      inject_v2(query.fault, state.faults(), stream);
+      out[static_cast<std::size_t>(run - begin)] =
+          state.evaluate(query.policy, query.engine, query.pool);
+      state.reset();
+    }
+  };
+  const auto eval_range = [&](OperationalState& state, std::int32_t lo,
+                              std::int32_t hi) {
+    if (query.rng_version == RngVersion::kV2) {
+      eval_range_v2(state, lo, hi);
+    } else {
+      eval_range_v1(state, lo, hi);
     }
   };
 

@@ -100,6 +100,13 @@ struct YieldQuery {
   /// boundary where the Wilson 95% half-width is <= this target (or at
   /// `runs`, whichever comes first). 0 = fixed run count.
   double target_ci_half_width = 0.0;
+
+  /// Injection draw contract. kV1 (default) replays the serial xoshiro
+  /// trajectory every golden number was produced under. kV2 gives each run
+  /// a counter-based stream (run_stream_v2) with geometric skip-sampling —
+  /// O(faults) injection, statistically equivalent but numerically distinct
+  /// estimates, still a pure function of (design, query).
+  RngVersion rng_version = RngVersion::kV1;
 };
 
 /// Canonical cache/dedupe key: two queries with equal keys are guaranteed
@@ -110,6 +117,11 @@ std::string query_key(const YieldQuery& query);
 /// The Rng stream run `run` of an experiment draws from; identical to the
 /// legacy yield::mc_run_stream derivation.
 Rng run_stream(std::uint64_t seed, std::int32_t run) noexcept;
+
+/// The v2 counter stream run `run` draws from. Same (seed, run) -> key
+/// derivation family as run_stream, but the key is the *second* splitmix64
+/// output so v2 uniforms never coincide with the v1 xoshiro seed state.
+CounterStream run_stream_v2(std::uint64_t seed, std::int32_t run) noexcept;
 
 /// How a structural query's per-run repairability check executes.
 struct EnginePlan {

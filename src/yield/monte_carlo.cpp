@@ -97,6 +97,7 @@ sim::YieldQuery to_query(const McOptions& options, sim::FaultModel model) {
   query.policy = options.policy;
   query.engine = options.engine;
   query.pool = options.pool;
+  query.rng_version = options.rng_version;
   return query;
 }
 

@@ -52,6 +52,11 @@ struct McOptions {
       reconfig::CoveragePolicy::kAllFaultyPrimaries;
   graph::MatchingEngine engine = graph::MatchingEngine::kHopcroftKarp;
   reconfig::ReplacementPool pool = reconfig::ReplacementPool::kSparesOnly;
+  /// Injection draw contract, forwarded to sim::YieldQuery by to_query.
+  /// Only the session-backed entry points honour it; the generic
+  /// mc_yield/mc_yield_with_oracle engine hands a v1 Rng to its InjectFn
+  /// regardless (custom injectors own their draw contract).
+  RngVersion rng_version = RngVersion::kV1;
 };
 
 /// The sim::YieldQuery equivalent of (options, model) — the mechanical

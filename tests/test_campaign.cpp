@@ -82,6 +82,7 @@ TEST(CampaignSpecParse, RoundTripThroughSpecText) {
     EXPECT_EQ(original.runs, reparsed.runs);
     EXPECT_EQ(original.seed, reparsed.seed);
     EXPECT_EQ(original.threads, reparsed.threads);
+    EXPECT_EQ(original.rng_version, reparsed.rng_version);
     EXPECT_EQ(original.designs, reparsed.designs);
     EXPECT_EQ(original.primaries, reparsed.primaries);
     EXPECT_EQ(original.injector, reparsed.injector);
@@ -146,6 +147,49 @@ TEST(CampaignGridWorkload, PointsInheritTheWorkloadAndKeyOnIt) {
   CampaignPoint structural = points.front();
   structural.workload = WorkloadKind::kStructural;
   EXPECT_NE(point_key(structural), point_key(points.front()));
+}
+
+// ------------------------------------------------------- rng_version axis
+
+TEST(CampaignSpecParse, RngVersionDefaultsToV1AndParsesV2) {
+  const CampaignSpec v1 = parse_or_die(
+      "design = dtmb2_6\n"
+      "primaries = 10\n"
+      "p = 0.9\n");
+  EXPECT_EQ(v1.rng_version, RngVersion::kV1);
+
+  const CampaignSpec v2 = parse_or_die(
+      "rng_version = v2\n"
+      "design = dtmb2_6\n"
+      "primaries = 10\n"
+      "p = 0.9\n");
+  EXPECT_EQ(v2.rng_version, RngVersion::kV2);
+}
+
+TEST(CampaignSpecParse, UnknownRngVersionListsTheAlternatives) {
+  const ParseResult result = parse_campaign_spec(
+      "design = dtmb2_6\n"
+      "rng_version = v3\n"
+      "primaries = 10\n"
+      "p = 0.9\n");
+  ASSERT_FALSE(result.ok());
+  ASSERT_EQ(result.errors.size(), 1u);
+  EXPECT_EQ(result.errors[0].line, 2);
+  EXPECT_NE(result.errors[0].message.find("v1"), std::string::npos);
+  EXPECT_NE(result.errors[0].message.find("v2"), std::string::npos);
+}
+
+TEST(CampaignGridRngVersion, PointsInheritTheVersionAndKeyOnIt) {
+  CampaignSpec spec = parse_or_die(builtin_campaign("fig9_smoke_v2"));
+  EXPECT_EQ(spec.rng_version, RngVersion::kV2);
+  const std::vector<CampaignPoint> points = expand_grid(spec);
+  ASSERT_FALSE(points.empty());
+  for (const CampaignPoint& point : points) {
+    EXPECT_EQ(point.rng_version, RngVersion::kV2);
+  }
+  CampaignPoint v1 = points.front();
+  v1.rng_version = RngVersion::kV1;
+  EXPECT_NE(point_key(v1), point_key(points.front()));
 }
 
 TEST(CampaignSpecParse, UnknownKeyIsDiagnosedWithLine) {
@@ -721,6 +765,35 @@ TEST(CampaignGolden, Fig9SmokeCsvMatchesGoldenFile) {
   EXPECT_EQ(csv_out.str(), golden.str())
       << "campaign CSV drifted from " << path
       << " (regenerate with: dmfb_campaign builtin:fig9_smoke)";
+}
+
+TEST(CampaignGolden, Fig9SmokeV2CsvMatchesGoldenFileAtAnyThreadCount) {
+  // The v2 contract's acceptance check in miniature: the counter-stream
+  // grid must emit byte-identical CSV no matter how the runs are split
+  // across threads, and that CSV is pinned by its own golden file.
+  const auto run_at = [](std::int32_t threads) {
+    CampaignSpec spec = parse_or_die(builtin_campaign("fig9_smoke_v2"));
+    spec.threads = threads;
+    CampaignRunner runner(std::move(spec));
+    std::ostringstream csv_out;
+    CsvSink csv(csv_out);
+    runner.add_sink(csv);
+    runner.run();
+    return csv_out.str();
+  };
+
+  const std::string serial = run_at(1);
+  EXPECT_EQ(serial, run_at(4)) << "v2 CSV differs between threads 1 and 4";
+
+  const std::string path =
+      std::string(DMFB_SOURCE_DIR) + "/tests/golden/fig9_smoke_v2.csv";
+  std::ifstream file(path);
+  ASSERT_TRUE(file.is_open()) << "missing " << path;
+  std::ostringstream golden;
+  golden << file.rdbuf();
+  EXPECT_EQ(serial, golden.str())
+      << "campaign CSV drifted from " << path
+      << " (regenerate with: dmfb_campaign builtin:fig9_smoke_v2)";
 }
 
 }  // namespace

@@ -36,6 +36,18 @@ linter enforces the three repo invariants that protect it:
       such folds must live in the documented run-order helpers and carry an
       allowlist justification saying so.
 
+  mixed-rng-version
+      In injector-path files only (src/fault/, src/sim/fault_model*): one
+      function chunk may draw from the v1 serial generator (`rng.method(`,
+      passing `rng` as an argument) OR from a v2 counter stream
+      (`stream.method(`, passing `stream`), never both. The v1 and v2
+      injection contracts replay draw-for-draw against their own layer
+      twins; a function interleaving the two desynchronizes both replays at
+      once. Counter-based v2 draws themselves need no allowlist entry —
+      only the mix is an error. Chunks are split at column-0 `}` lines, so
+      declarations that merely *mention* both types in a parameter list do
+      not fire (a parameter name preceded by `&` is not a draw).
+
 Implementation: a libclang AST pass when python3-clang is importable, with
 a token/regex fallback (same rule names, same allowlist) so the linter runs
 everywhere — CI, the build container, a laptop with nothing installed.
@@ -93,6 +105,16 @@ BANNED_CALLS = (
     (r"\b[dlms]rand48\s*\(", "*rand48"),
     (r"\bgetrandom\s*\(", "getrandom"),
 )
+
+# Injection draw paths: the files where the v1 (serial Rng) and v2
+# (CounterStream) contracts are implemented side by side as *_v2 twins.
+INJECTOR_PATHS = ("src/fault/", "src/sim/fault_model")
+
+# A *draw* from each contract: a method call on the conventional local name,
+# or the generator passed on as a call argument. `Rng& rng)` / `CounterStream&
+# stream)` parameter declarations do not match (the `&` precedes the name).
+V1_DRAW = re.compile(r"\brng\s*\.\s*\w+\s*\(|[(,]\s*rng\s*\)")
+V2_DRAW = re.compile(r"\bstream\s*\.\s*\w+\s*\(|[(,]\s*stream\s*\)")
 
 UNORDERED_DECL = re.compile(
     r"std\s*::\s*unordered_(?:map|set|multimap|multiset)\s*<")
@@ -179,6 +201,50 @@ def is_critical(path):
     return path in CRITICAL_PATHS
 
 
+def is_injector_path(path):
+    return any(path.startswith(prefix) for prefix in INJECTOR_PATHS)
+
+
+def _mixed_rng_findings(path, lines):
+    """mixed-rng-version findings: chunks drawing from both contracts.
+
+    A chunk is a run of lines ending at a column-0 `}` — a function (or
+    class) definition at namespace scope in this codebase's style. The
+    finding anchors at the line where the *second* contract first appears,
+    which is where the mix begins.
+    """
+    findings = []
+    first_v1 = first_v2 = None
+    v1_source = v2_source = ""
+
+    def close_chunk():
+        nonlocal first_v1, first_v2, v1_source, v2_source
+        if first_v1 is not None and first_v2 is not None:
+            lineno = max(first_v1, first_v2)
+            source = v2_source if first_v2 > first_v1 else v1_source
+            findings.append(Finding(
+                path, lineno, "mixed-rng-version",
+                "v1 serial draws (rng) and v2 counter-stream draws (stream) "
+                "mixed in one injector function: each contract replays "
+                "draw-for-draw against its layer twin, so interleaving them "
+                "desynchronizes both — keep v2 logic in a *_v2 twin",
+                source))
+        first_v1 = first_v2 = None
+        v1_source = v2_source = ""
+
+    for lineno, line in enumerate(lines, start=1):
+        if first_v1 is None and V1_DRAW.search(line):
+            first_v1 = lineno
+            v1_source = line.strip()
+        if first_v2 is None and V2_DRAW.search(line):
+            first_v2 = lineno
+            v2_source = line.strip()
+        if line.startswith("}"):
+            close_chunk()
+    close_chunk()
+    return findings
+
+
 def _unordered_names(lines):
     """Identifiers declared as unordered containers, per file."""
     names = set()
@@ -220,6 +286,9 @@ def scan_text(path, text):
                 "(lookup-only / output re-sorted) in the allowlist or use an "
                 "ordered container",
                 line.strip()))
+
+    if is_injector_path(path):
+        findings.extend(_mixed_rng_findings(path, lines))
 
     unordered = _unordered_names(lines)
     if unordered:

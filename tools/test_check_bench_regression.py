@@ -165,6 +165,45 @@ class RatioTableTest(GateHarness):
         self.assertIn("BM_New", out)
         self.assertIn("n/a", out)
 
+    def test_v2_kernel_is_denominated_against_its_v1_counterpart(self):
+        # InjectV2_Dtmb16Sparse (100 ns) vs Dtmb16Sparse (400 ns): the row
+        # must read 0.250 against the counterpart, not 100/legacy.
+        extra = [
+            {"name": "BM_McYieldRun_Dtmb16Sparse",
+             "run_name": "BM_McYieldRun_Dtmb16Sparse", "real_time": 400.0},
+            {"name": "BM_McYieldRun_InjectV2_Dtmb16Sparse",
+             "run_name": "BM_McYieldRun_InjectV2_Dtmb16Sparse",
+             "real_time": 100.0},
+        ]
+        code, out, _err = self.run_gate(
+            artifact(50.0, 100.0, extra=extra),
+            artifact(50.0, 100.0, extra=extra))
+        self.assertEqual(code, 0)
+        row = next(line for line in out.splitlines()
+                   if line.startswith("BM_McYieldRun_InjectV2_Dtmb16Sparse"))
+        self.assertIn("Dtmb16Sparse", row.split()[1])
+        self.assertIn("0.250", row)
+        self.assertNotIn("n/a", row)
+
+    def test_v2_kernel_missing_from_baseline_falls_back_to_parity(self):
+        counterpart = [
+            {"name": "BM_McYieldRun_Dtmb16Sparse",
+             "run_name": "BM_McYieldRun_Dtmb16Sparse", "real_time": 400.0},
+        ]
+        v2 = counterpart + [
+            {"name": "BM_McYieldRun_InjectV2_Dtmb16Sparse",
+             "run_name": "BM_McYieldRun_InjectV2_Dtmb16Sparse",
+             "real_time": 100.0},
+        ]
+        code, out, _err = self.run_gate(
+            artifact(50.0, 100.0, extra=v2),
+            artifact(50.0, 100.0, extra=counterpart))
+        self.assertEqual(code, 0)
+        row = next(line for line in out.splitlines()
+                   if line.startswith("BM_McYieldRun_InjectV2_Dtmb16Sparse"))
+        self.assertIn("1.000", row)   # parity baseline, not n/a
+        self.assertIn("-75.0%", row)  # delta = the measured v2 speedup
+
     def test_mean_aggregate_preferred_over_plain_entry(self):
         current = artifact(60.0, 100.0)
         current["benchmarks"].append(

@@ -153,6 +153,76 @@ class FpAccumulateTest(unittest.TestCase):
         self.assertEqual(lint.scan_text("src/yield/x.cpp", snippet), [])
 
 
+class MixedRngVersionTest(unittest.TestCase):
+    INJECTOR = "src/fault/injector.cpp"
+
+    def test_v1_only_function_is_fine(self):
+        snippet = ("void inject(HexArray& a, Rng& rng) {\n"
+                   "  if (rng.uniform01() < p) mark(a, rng);\n"
+                   "}\n")
+        self.assertEqual(lint.scan_text(self.INJECTOR, snippet), [])
+
+    def test_v2_only_function_needs_no_allowlist(self):
+        snippet = ("void inject_v2(HexArray& a, CounterStream& stream) {\n"
+                   "  skip_sample_bernoulli(stream, n, p, on_fault);\n"
+                   "  stream.skip(1);\n"
+                   "}\n")
+        self.assertEqual(lint.scan_text(self.INJECTOR, snippet), [])
+
+    def test_mixing_contracts_in_one_function_fires_line_anchored(self):
+        snippet = ("void inject(HexArray& a, Rng& rng,\n"
+                   "            CounterStream& stream) {\n"
+                   "  if (rng.uniform01() < p) mark(a);\n"
+                   "  stream.skip(1);\n"
+                   "}\n")
+        findings = lint.scan_text(self.INJECTOR, snippet)
+        self.assertEqual(rules_of(findings), ["mixed-rng-version"])
+        self.assertEqual(findings[0].line, 4)  # where the mix begins
+
+    def test_passing_both_generators_on_fires(self):
+        snippet = ("void inject(HexArray& a, Rng& rng, CounterStream& s2) {\n"
+                   "  helper(a, rng);\n"
+                   "  other(a, stream);\n"
+                   "}\n")
+        findings = lint.scan_text(self.INJECTOR, snippet)
+        self.assertEqual(rules_of(findings), ["mixed-rng-version"])
+
+    def test_adjacent_v1_and_v2_twins_are_fine(self):
+        snippet = ("void inject(HexArray& a, Rng& rng) {\n"
+                   "  helper(a, rng);\n"
+                   "}\n"
+                   "void inject_v2(HexArray& a, CounterStream& stream) {\n"
+                   "  helper_v2(a, stream);\n"
+                   "}\n")
+        self.assertEqual(lint.scan_text(self.INJECTOR, snippet), [])
+
+    def test_declarations_mentioning_both_types_are_fine(self):
+        # A header declaring both overloads: parameter names are preceded by
+        # '&', which is not a draw.
+        snippet = ("FaultMap inject(HexArray& array, Rng& rng) const;\n"
+                   "FaultMap inject_v2(HexArray& array,\n"
+                   "                   CounterStream& stream) const;\n")
+        self.assertEqual(lint.scan_text("src/fault/injector.hpp", snippet),
+                         [])
+
+    def test_sim_fault_model_is_an_injector_path(self):
+        snippet = ("void inject(FaultState& s, Rng& rng) {\n"
+                   "  rng.uniform01();\n"
+                   "  stream.skip(1);\n"
+                   "}\n")
+        findings = lint.scan_text("src/sim/fault_model.cpp", snippet)
+        self.assertEqual(rules_of(findings), ["mixed-rng-version"])
+
+    def test_non_injector_paths_are_exempt(self):
+        # session.cpp holds the v1/v2 dispatch (separate lambdas per
+        # contract) and is deliberately outside the rule's scope.
+        snippet = ("void run(Rng& rng, CounterStream& stream) {\n"
+                   "  rng.uniform01();\n"
+                   "  stream.skip(1);\n"
+                   "}\n")
+        self.assertEqual(lint.scan_text("src/sim/session.cpp", snippet), [])
+
+
 class AllowlistTest(unittest.TestCase):
     def setUp(self):
         self.tmp = tempfile.mkdtemp(prefix="lint_determinism_")
