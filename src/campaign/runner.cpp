@@ -27,6 +27,13 @@ namespace dmfb::campaign {
 namespace {
 
 biochip::HexArray build_array(Design design, std::int32_t min_primaries) {
+  return build_design_array(design, min_primaries);
+}
+
+}  // namespace
+
+biochip::HexArray build_design_array(Design design,
+                                     std::int32_t min_primaries) {
   switch (design) {
     case Design::kNone:
       return biochip::make_plain_primary_array(min_primaries);
@@ -51,6 +58,8 @@ biochip::HexArray build_array(Design design, std::int32_t min_primaries) {
   DMFB_ASSERT(false);
   return assay::make_multiplexed_chip().array;  // unreachable
 }
+
+namespace {
 
 sim::FaultModel component_model(InjectorKind kind, double param,
                                 const ClusterParams& cluster) {
@@ -107,6 +116,10 @@ sim::YieldQuery query_of(const CampaignPoint& point, const CampaignSpec& spec,
 CampaignRunner::CampaignRunner(CampaignSpec spec) : spec_(std::move(spec)) {}
 
 void CampaignRunner::add_sink(ArtifactSink& sink) { sinks_.push_back(&sink); }
+
+void CampaignRunner::set_result_cache(std::shared_ptr<sim::ResultCache> cache) {
+  result_cache_ = std::move(cache);
+}
 
 std::vector<std::string> CampaignRunner::header() const {
   std::vector<std::string> columns = {
@@ -199,6 +212,7 @@ std::vector<PointResult> CampaignRunner::run() {
         session = std::make_unique<sim::Session>(
             build_array(point.design, point.min_primaries));
       }
+      if (result_cache_) session->attach_result_cache(result_cache_);
     }
     if (point.injector == InjectorKind::kFixedCount) {
       DMFB_EXPECTS(static_cast<std::int32_t>(point.param) <=
@@ -309,15 +323,19 @@ std::vector<PointResult> CampaignRunner::run() {
   if (first_error) std::rethrow_exception(first_error);
 
   stats_.unique_points = 0;
+  stats_.store_hits = 0;
   for (const auto& [key, session] : sessions) {
-    stats_.unique_points += session->stats().computed;
+    const sim::Session::Stats session_stats = session->stats();
+    stats_.unique_points += session_stats.computed;
+    stats_.store_hits += session_stats.store_hits;
   }
   if (obs::enabled()) {
     const auto grid = static_cast<std::int64_t>(stats_.grid_points);
     const auto unique = static_cast<std::int64_t>(stats_.unique_points);
+    const auto stored = static_cast<std::int64_t>(stats_.store_hits);
     obs::count(obs::Metric::kCampaignGridPoints, grid);
     obs::count(obs::Metric::kCampaignUniquePoints, unique);
-    obs::count(obs::Metric::kCampaignDedupedPoints, grid - unique);
+    obs::count(obs::Metric::kCampaignDedupedPoints, grid - unique - stored);
     obs::count(obs::Metric::kCampaignOuterWorkers, workers);
     obs::count(obs::Metric::kCampaignInnerThreads, inner_threads);
   }

@@ -16,15 +16,24 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "campaign/grid.hpp"
 #include "campaign/sink.hpp"
 #include "campaign/spec.hpp"
+#include "sim/session.hpp"
 #include "yield/monte_carlo.hpp"
 
 namespace dmfb::campaign {
+
+/// Builds the chip array a (design, min_primaries) point runs on — the
+/// construction the runner uses for its sessions, exported so dmfb_serve
+/// resolves wire requests onto the exact same geometry (and therefore the
+/// same ChipDesign fingerprint / store keys).
+biochip::HexArray build_design_array(Design design,
+                                     std::int32_t min_primaries);
 
 /// One executed grid point with its realised chip geometry and estimate.
 struct PointResult {
@@ -42,12 +51,14 @@ struct PointResult {
 };
 
 /// Work-dedup accounting for logs and tests (unique_points = distinct
-/// session queries actually simulated).
+/// session queries actually simulated; store_hits = distinct queries served
+/// by an attached result store instead — checkpoint/resume traffic).
 struct RunnerStats {
   std::size_t grid_points = 0;
   std::size_t unique_points = 0;
+  std::size_t store_hits = 0;
   std::size_t cache_hits() const noexcept {
-    return grid_points - unique_points;
+    return grid_points - unique_points - store_hits;
   }
 };
 
@@ -57,6 +68,14 @@ class CampaignRunner {
 
   /// Attaches a sink (not owned; must outlive run()).
   void add_sink(ArtifactSink& sink);
+
+  /// Attaches an external result cache (e.g. serve::ResultStore) that every
+  /// session created by run() consults before simulating. Already-stored
+  /// points load instead of recomputing, which turns any campaign into a
+  /// checkpoint/resume one: kill it mid-run, rerun with the same store, and
+  /// only uncomputed points execute — with artifacts byte-identical to an
+  /// uninterrupted run (stored payloads are bit-exact).
+  void set_result_cache(std::shared_ptr<sim::ResultCache> cache);
 
   /// Expands the grid, executes every unique point, streams rows to the
   /// sinks and returns per-grid-point results in grid order.
@@ -77,6 +96,7 @@ class CampaignRunner {
  private:
   CampaignSpec spec_;
   std::vector<ArtifactSink*> sinks_;
+  std::shared_ptr<sim::ResultCache> result_cache_;
   RunnerStats stats_;
 };
 

@@ -3,6 +3,7 @@
 #include <fstream>
 #include <ostream>
 #include <sstream>
+#include <stdexcept>
 
 #include "common/contracts.hpp"
 
@@ -85,9 +86,10 @@ namespace {
 /// Owns the ofstream an inner stream sink writes through.
 class OwningFileSink final : public ArtifactSink {
  public:
-  OwningFileSink(std::unique_ptr<std::ofstream> file,
+  OwningFileSink(std::unique_ptr<std::ofstream> file, std::string path,
                  std::unique_ptr<ArtifactSink> inner)
-      : file_(std::move(file)), inner_(std::move(inner)) {}
+      : file_(std::move(file)), path_(std::move(path)),
+        inner_(std::move(inner)) {}
 
   void begin(const std::vector<std::string>& headers,
              const std::string& title) override {
@@ -97,12 +99,26 @@ class OwningFileSink final : public ArtifactSink {
     inner_->row(cells);
   }
   void finish() override {
+    // The inner sink only flushes; a full disk or yanked mount surfaces as
+    // a failbit/badbit here (or earlier, on a buffered write). Silently
+    // closing would report success for a truncated artifact, so fail loudly
+    // with the path — dmfb_campaign turns this into a nonzero exit.
     inner_->finish();
+    if (!file_->good()) {
+      throw std::runtime_error("error writing artifact file '" + path_ +
+                               "' (disk full or I/O error); file is "
+                               "incomplete");
+    }
     file_->close();
+    if (file_->fail()) {
+      throw std::runtime_error("error closing artifact file '" + path_ +
+                               "'; file may be incomplete");
+    }
   }
 
  private:
   std::unique_ptr<std::ofstream> file_;
+  std::string path_;
   std::unique_ptr<ArtifactSink> inner_;
 };
 
@@ -123,7 +139,8 @@ std::unique_ptr<ArtifactSink> make_file_sink(SinkKind kind,
   } else {
     inner = std::make_unique<JsonlSink>(*file);
   }
-  return std::make_unique<OwningFileSink>(std::move(file), std::move(inner));
+  return std::make_unique<OwningFileSink>(std::move(file), path,
+                                          std::move(inner));
 }
 
 std::optional<OutArgument> parse_out_argument(std::string_view argument,

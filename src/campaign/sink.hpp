@@ -88,6 +88,9 @@ class JsonlSink final : public ArtifactSink {
 /// Creates a file-backed sink of the given kind (kCsv/kJsonl only); the
 /// returned sink owns the stream and flushes/closes it on finish().
 /// Returns nullptr (and sets `error`) when the file cannot be opened.
+/// finish() throws std::runtime_error naming the path when the flush or
+/// close fails (disk full, I/O error) — a truncated artifact never reports
+/// success; dmfb_campaign propagates this as a nonzero exit.
 std::unique_ptr<ArtifactSink> make_file_sink(SinkKind kind,
                                              const std::string& path,
                                              std::string& error);

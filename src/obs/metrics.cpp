@@ -61,6 +61,18 @@ constexpr MetricInfo kMetricInfo[kMetricCount] = {
      "point-level worker threads used by the last campaign run"},
     {"campaign.inner_threads", MetricKind::kCounter, false,
      "inner Monte-Carlo threads per point used by the last campaign run"},
+    {"sim.session.store_hits", MetricKind::kCounter, false,
+     "queries answered from an attached on-disk result store"},
+    {"sim.session.evictions", MetricKind::kCounter, false,
+     "completed session-cache entries evicted by the capacity bound"},
+    {"serve.store.hits", MetricKind::kCounter, false,
+     "result-store records loaded intact"},
+    {"serve.store.misses", MetricKind::kCounter, false,
+     "result-store lookups that found no usable record"},
+    {"serve.store.writes", MetricKind::kCounter, false,
+     "result-store records persisted via write-temp-then-rename"},
+    {"serve.store.corrupt_dropped", MetricKind::kCounter, false,
+     "torn or corrupt result-store records treated as misses"},
     {"sim.session.query_ns", MetricKind::kDurationHistogram, false,
      "wall time of one session query execution (cache misses only)"},
     {"campaign.point_ns", MetricKind::kDurationHistogram, false,

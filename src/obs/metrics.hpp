@@ -66,6 +66,12 @@ enum class Metric : std::uint16_t {
   kCampaignDedupedPoints,  ///< grid points served by the session cache
   kCampaignOuterWorkers,   ///< point-level worker threads of the last run
   kCampaignInnerThreads,   ///< inner MC threads per point of the last run
+  kSessionStoreHits,       ///< queries answered from an attached result store
+  kSessionEvictions,       ///< completed session-cache entries evicted
+  kStoreHits,              ///< result-store records loaded intact
+  kStoreMisses,            ///< result-store lookups with no usable record
+  kStoreWrites,            ///< result-store records persisted
+  kStoreCorruptDropped,    ///< torn/corrupt records treated as misses
   // -- duration histograms (nanoseconds) -----------------------------------
   kSessionQueryNs,         ///< one Session query execution (cache misses)
   kCampaignPointNs,        ///< one campaign grid point (dedupe hits included)

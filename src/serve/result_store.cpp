@@ -1,0 +1,143 @@
+#include "serve/result_store.hpp"
+
+#include <unistd.h>
+
+#include <fstream>
+#include <sstream>
+#include <string_view>
+#include <utility>
+
+#include "common/contracts.hpp"
+#include "obs/metrics.hpp"
+
+namespace dmfb::serve {
+
+namespace {
+
+constexpr std::string_view kMagic = "dmfb-store 1";
+
+std::uint64_t fnv1a64(std::string_view bytes,
+                      std::uint64_t hash = 0xcbf29ce484222325ULL) noexcept {
+  for (const char ch : bytes) {
+    hash ^= static_cast<unsigned char>(ch);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+std::string hex64(std::uint64_t value) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int nibble = 15; nibble >= 0; --nibble) {
+    out[static_cast<std::size_t>(nibble)] = kDigits[value & 0xf];
+    value >>= 4;
+  }
+  return out;
+}
+
+std::string crc_line(const std::string& key, const std::string& payload) {
+  return "crc " + hex64(fnv1a64(payload, fnv1a64("\n", fnv1a64(key))));
+}
+
+}  // namespace
+
+ResultStore::ResultStore(std::filesystem::path root)
+    : root_(std::move(root)) {
+  std::filesystem::create_directories(root_);
+}
+
+std::filesystem::path ResultStore::path_of(const std::string& key) const {
+  // Two independent FNV-1a passes (the second over the reversed-role seed)
+  // make a 128-bit address: collisions are already vanishing at 64 bits,
+  // and the full-key check in load() makes even those harmless.
+  const std::uint64_t lo = fnv1a64(key);
+  const std::uint64_t hi = fnv1a64(key, 0x6c62272e07bb0142ULL);
+  const std::string name = hex64(hi) + hex64(lo);
+  return root_ / name.substr(0, 2) / (name + ".rec");
+}
+
+std::optional<std::string> ResultStore::load(const std::string& key) {
+  const auto miss = [this](bool corrupt) -> std::optional<std::string> {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    obs::count(obs::Metric::kStoreMisses);
+    if (corrupt) {
+      corrupt_.fetch_add(1, std::memory_order_relaxed);
+      obs::count(obs::Metric::kStoreCorruptDropped);
+    }
+    return std::nullopt;
+  };
+  try {
+    std::ifstream in(path_of(key), std::ios::binary);
+    if (!in.is_open()) return miss(false);
+    std::string magic, stored_key, payload, crc;
+    if (!std::getline(in, magic) || !std::getline(in, stored_key) ||
+        !std::getline(in, payload) || !std::getline(in, crc)) {
+      return miss(true);  // torn record: fewer lines than the format
+    }
+    if (magic != kMagic) {
+      // A future schema is not corruption — just not ours to read.
+      return miss(false);
+    }
+    if (crc != crc_line(stored_key, payload)) return miss(true);
+    if (stored_key != key) {
+      // Intact record for a different key: 128-bit hash collision.
+      return miss(false);
+    }
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    obs::count(obs::Metric::kStoreHits);
+    return payload;
+  } catch (...) {
+    return miss(true);
+  }
+}
+
+void ResultStore::store(const std::string& key, const std::string& payload) {
+  DMFB_EXPECTS(key.find('\n') == std::string::npos);
+  DMFB_EXPECTS(payload.find('\n') == std::string::npos);
+  std::filesystem::path temp;
+  try {
+    const std::filesystem::path target = path_of(key);
+    std::filesystem::create_directories(target.parent_path());
+    // Unique per (process, call): concurrent writers of the same key never
+    // share a temp file, and whichever rename lands last wins with a
+    // complete record either way.
+    temp = target;
+    temp += ".tmp." + std::to_string(::getpid()) + "." +
+            std::to_string(temp_counter_.fetch_add(1,
+                                                   std::memory_order_relaxed));
+    {
+      std::ofstream out(temp, std::ios::binary | std::ios::trunc);
+      if (!out.is_open()) return;
+      out << kMagic << '\n'
+          << key << '\n'
+          << payload << '\n'
+          << crc_line(key, payload) << '\n';
+      out.flush();
+      if (!out.good()) {
+        out.close();
+        std::filesystem::remove(temp);
+        return;
+      }
+    }
+    std::filesystem::rename(temp, target);
+    writes_.fetch_add(1, std::memory_order_relaxed);
+    obs::count(obs::Metric::kStoreWrites);
+  } catch (...) {
+    // Best-effort contract: leave no temp behind, lose only the cache entry.
+    if (!temp.empty()) {
+      std::error_code ignored;
+      std::filesystem::remove(temp, ignored);
+    }
+  }
+}
+
+ResultStore::Stats ResultStore::stats() const noexcept {
+  Stats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.writes = writes_.load(std::memory_order_relaxed);
+  stats.corrupt_dropped = corrupt_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace dmfb::serve

@@ -58,6 +58,24 @@ ChipDesign::ChipDesign(biochip::HexArray array) : array_(std::move(array)) {
       }
     }
   }
+  // Content fingerprint over (coord, role, usage) per cell in index order.
+  // FNV-1a, 64-bit: stable across platforms, independent of std::hash.
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  const auto mix = [&hash](std::uint64_t value) {
+    for (int byte = 0; byte < 8; ++byte) {
+      hash ^= (value >> (byte * 8)) & 0xff;
+      hash *= 0x100000001b3ULL;
+    }
+  };
+  mix(static_cast<std::uint64_t>(array_.cell_count()));
+  for (CellIndex cell = 0; cell < array_.cell_count(); ++cell) {
+    const hex::HexCoord at = array_.region().coord_at(cell);
+    mix((static_cast<std::uint64_t>(static_cast<std::uint32_t>(at.q)) << 32) |
+        static_cast<std::uint32_t>(at.r));
+    mix((static_cast<std::uint64_t>(array_.role(cell)) << 8) |
+        static_cast<std::uint64_t>(array_.usage(cell)));
+  }
+  fingerprint_ = hash;
 }
 
 std::shared_ptr<const ChipDesign> ChipDesign::make(

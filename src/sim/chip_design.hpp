@@ -50,6 +50,14 @@ class ChipDesign {
   }
   std::int32_t spare_count() const noexcept { return array_.spare_count(); }
 
+  /// Content fingerprint of the snapshot (FNV-1a over every cell's
+  /// coordinates, role and usage, in index order): two designs with the
+  /// same fingerprint answer every query identically, so the fingerprint
+  /// keys cross-process result stores (sim::store_key). Stable across runs
+  /// and platforms — a pure function of the geometry, no pointers or hash
+  /// seeds involved.
+  std::uint64_t fingerprint() const noexcept { return fingerprint_; }
+
   /// Pre-built matching skeleton for one (policy, pool) combination: the
   /// health-independent half of reconfig's BG(A, B, E).
   struct Skeleton {
@@ -94,6 +102,7 @@ class ChipDesign {
 
   biochip::HexArray array_;
   Skeleton skeletons_[4];  // [policy][pool]
+  std::uint64_t fingerprint_ = 0;
 };
 
 }  // namespace dmfb::sim

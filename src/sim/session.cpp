@@ -93,6 +93,132 @@ std::string query_key(const YieldQuery& query) {
   return key.str();
 }
 
+std::string store_key(const YieldQuery& query, const ChipDesign& design) {
+  // "1|" is the store-schema version: bump it whenever query_key's field
+  // set, the fingerprint recipe, or the payload codecs change, so stale
+  // on-disk records become misses instead of silently-wrong answers.
+  std::ostringstream key;
+  key << "1|" << design.fingerprint() << '|' << query_key(query);
+  return key.str();
+}
+
+namespace {
+
+void append_bits(std::ostringstream& out, double value) {
+  out << '|' << std::bit_cast<std::uint64_t>(value);
+}
+
+void append_estimate_fields(std::ostringstream& out,
+                            const YieldEstimate& estimate) {
+  append_bits(out, estimate.value);
+  append_bits(out, estimate.ci95.lo);
+  append_bits(out, estimate.ci95.hi);
+  out << '|' << estimate.runs << '|' << estimate.successes;
+}
+
+/// Strict '|'-field cursor over a payload; any malformed field poisons the
+/// parse (ok() goes false) and the decode returns nullopt.
+class FieldReader {
+ public:
+  explicit FieldReader(std::string_view payload) : rest_(payload) {}
+
+  std::uint64_t take_u64() { return parse_u64(next_token()); }
+  double take_double_bits() { return std::bit_cast<double>(take_u64()); }
+  std::int64_t take_i64() {
+    return static_cast<std::int64_t>(parse_u64(next_token()));
+  }
+  bool finished() const noexcept { return ok_ && rest_.empty() && done_; }
+  bool ok() const noexcept { return ok_; }
+
+ private:
+  std::string_view next_token() {
+    if (done_) {
+      ok_ = false;
+      return {};
+    }
+    const std::size_t bar = rest_.find('|');
+    std::string_view token;
+    if (bar == std::string_view::npos) {
+      token = rest_;
+      rest_ = {};
+      done_ = true;
+    } else {
+      token = rest_.substr(0, bar);
+      rest_.remove_prefix(bar + 1);
+    }
+    return token;
+  }
+  std::uint64_t parse_u64(std::string_view token) {
+    if (token.empty()) ok_ = false;
+    std::uint64_t value = 0;
+    for (const char ch : token) {
+      if (ch < '0' || ch > '9') {
+        ok_ = false;
+        return 0;
+      }
+      value = value * 10 + static_cast<std::uint64_t>(ch - '0');
+    }
+    return value;
+  }
+
+  std::string_view rest_;
+  bool ok_ = true;
+  bool done_ = false;
+};
+
+bool read_estimate_fields(FieldReader& reader, YieldEstimate& estimate) {
+  estimate.value = reader.take_double_bits();
+  estimate.ci95.lo = reader.take_double_bits();
+  estimate.ci95.hi = reader.take_double_bits();
+  estimate.runs = reader.take_i64();
+  estimate.successes = reader.take_i64();
+  return reader.ok();
+}
+
+}  // namespace
+
+std::string encode_estimate(const YieldEstimate& estimate) {
+  std::ostringstream out;
+  out << 'Y';
+  append_estimate_fields(out, estimate);
+  return out.str();
+}
+
+std::optional<YieldEstimate> decode_estimate(std::string_view payload) {
+  if (!payload.starts_with("Y|")) return std::nullopt;
+  FieldReader reader(payload.substr(2));
+  YieldEstimate estimate;
+  if (!read_estimate_fields(reader, estimate) || !reader.finished()) {
+    return std::nullopt;
+  }
+  return estimate;
+}
+
+std::string encode_operational(const OperationalEstimate& estimate) {
+  std::ostringstream out;
+  out << 'O';
+  append_estimate_fields(out, estimate.structural);
+  append_estimate_fields(out, estimate.operational);
+  append_bits(out, estimate.mean_slowdown);
+  append_bits(out, estimate.worst_slowdown);
+  return out.str();
+}
+
+std::optional<OperationalEstimate> decode_operational(
+    std::string_view payload) {
+  if (!payload.starts_with("O|")) return std::nullopt;
+  FieldReader reader(payload.substr(2));
+  OperationalEstimate estimate;
+  if (!read_estimate_fields(reader, estimate.structural) ||
+      !read_estimate_fields(reader, estimate.operational)) {
+    return std::nullopt;
+  }
+  estimate.mean_slowdown = reader.take_double_bits();
+  estimate.worst_slowdown = reader.take_double_bits();
+  if (!reader.finished()) return std::nullopt;
+  return estimate;
+}
+
 Session::Session(std::shared_ptr<const ChipDesign> design)
     : design_(std::move(design)) {
   DMFB_EXPECTS(design_ != nullptr);
@@ -112,14 +238,13 @@ std::shared_ptr<const ChipDesign> design_of(
 // Metrics for one cache lookup (both the structural and the operational
 // cache). A hit whose future is not yet ready is an in-flight join: this
 // query blocked on an identical computation started by another thread —
-// inherently schedule-dependent, hence an unstable counter.
+// inherently schedule-dependent, hence an unstable counter. A miss is NOT
+// counted here: whether it resolves as computed or store-served is only
+// known after the promise-owner path runs (see run()).
 template <typename SharedFuture>
 void note_cache_outcome(bool hit, const SharedFuture& future) {
   obs::count(obs::Metric::kSessionQueries);
-  if (!hit) {
-    obs::count(obs::Metric::kSessionComputed);
-    return;
-  }
+  if (!hit) return;
   obs::count(obs::Metric::kSessionCacheHits);
   if (obs::enabled() &&
       future.wait_for(std::chrono::seconds(0)) != std::future_status::ready) {
@@ -139,6 +264,47 @@ Session::Stats Session::stats() const {
   return stats_;
 }
 
+void Session::attach_result_cache(std::shared_ptr<ResultCache> cache) {
+  const std::scoped_lock lock(mutex_);
+  result_cache_ = std::move(cache);
+}
+
+void Session::set_cache_capacity(std::size_t max_entries) {
+  DMFB_EXPECTS(max_entries > 0);
+  const std::scoped_lock lock(mutex_);
+  capacity_ = max_entries;
+  // Shrinking below the current population evicts immediately, oldest
+  // completion first — same order note_completed_locked would have used.
+  const auto trim = [this](auto& cache, std::deque<std::string>& order) {
+    while (order.size() > capacity_) {
+      if (cache.erase(order.front()) > 0) {
+        ++stats_.evictions;
+        obs::count(obs::Metric::kSessionEvictions);
+      }
+      order.pop_front();
+    }
+  };
+  trim(cache_, completed_order_);
+  trim(operational_cache_, operational_completed_order_);
+}
+
+template <typename Map>
+void Session::note_completed_locked(Map& cache, std::deque<std::string>& order,
+                                    const std::string& key) {
+  // Only *completed* entries enter the eviction order: an in-flight future is
+  // never in `order`, so eviction can never strand a thread that is about to
+  // publish into an erased slot. Failed computations never get here (the
+  // catch path erases them outright).
+  order.push_back(key);
+  while (order.size() > capacity_) {
+    if (cache.erase(order.front()) > 0) {
+      ++stats_.evictions;
+      obs::count(obs::Metric::kSessionEvictions);
+    }
+    order.pop_front();
+  }
+}
+
 YieldEstimate Session::run(const YieldQuery& query) {
   if (query.workload == Workload::kAssay) {
     return run_operational(query).operational;
@@ -151,6 +317,7 @@ YieldEstimate Session::run(const YieldQuery& query) {
   const std::string key = query_key(query);
   std::optional<std::promise<YieldEstimate>> promise;  // set on cache miss
   std::shared_future<YieldEstimate> future;
+  std::shared_ptr<ResultCache> store;
   {
     const std::scoped_lock lock(mutex_);
     ++stats_.queries;
@@ -161,20 +328,54 @@ YieldEstimate Session::run(const YieldQuery& query) {
       promise.emplace();
       future = promise->get_future().share();
       cache_.emplace(key, future);
-      ++stats_.computed;
+      store = result_cache_;
     }
   }
   note_cache_outcome(!promise.has_value(), future);
   if (promise) {
+    YieldEstimate result;
+    bool from_store = false;
+    std::string persistent_key;
     try {
-      promise->set_value(execute(query));
+      if (store) {
+        persistent_key = store_key(query, *design_);
+        if (const std::optional<std::string> payload =
+                store->load(persistent_key)) {
+          if (const std::optional<YieldEstimate> decoded =
+                  decode_estimate(*payload)) {
+            result = *decoded;
+            from_store = true;
+          }
+        }
+      }
+      if (!from_store) result = execute(query);
     } catch (...) {
       // Fail every waiter with the original error, then drop the entry so a
       // later identical query may retry.
       promise->set_exception(std::current_exception());
       const std::scoped_lock lock(mutex_);
       cache_.erase(key);
+      return future.get();  // rethrows for this caller too
     }
+    promise->set_value(result);
+    if (store && !from_store) {
+      try {
+        store->store(persistent_key, encode_estimate(result));
+      } catch (...) {
+        // Persistence is best-effort; the published in-memory answer stands.
+      }
+    }
+    {
+      const std::scoped_lock lock(mutex_);
+      if (from_store) {
+        ++stats_.store_hits;
+      } else {
+        ++stats_.computed;
+      }
+      note_completed_locked(cache_, completed_order_, key);
+    }
+    obs::count(from_store ? obs::Metric::kSessionStoreHits
+                          : obs::Metric::kSessionComputed);
   }
   return future.get();
 }
@@ -190,6 +391,7 @@ OperationalEstimate Session::run_operational(const YieldQuery& query) {
   const std::string key = query_key(query);
   std::optional<std::promise<OperationalEstimate>> promise;
   std::shared_future<OperationalEstimate> future;
+  std::shared_ptr<ResultCache> store;
   {
     const std::scoped_lock lock(mutex_);
     ++stats_.queries;
@@ -200,18 +402,53 @@ OperationalEstimate Session::run_operational(const YieldQuery& query) {
       promise.emplace();
       future = promise->get_future().share();
       operational_cache_.emplace(key, future);
-      ++stats_.computed;
+      store = result_cache_;
     }
   }
   note_cache_outcome(!promise.has_value(), future);
   if (promise) {
+    OperationalEstimate result;
+    bool from_store = false;
+    std::string persistent_key;
     try {
-      promise->set_value(execute_operational(query));
+      if (store) {
+        persistent_key = store_key(query, *design_);
+        if (const std::optional<std::string> payload =
+                store->load(persistent_key)) {
+          if (const std::optional<OperationalEstimate> decoded =
+                  decode_operational(*payload)) {
+            result = *decoded;
+            from_store = true;
+          }
+        }
+      }
+      if (!from_store) result = execute_operational(query);
     } catch (...) {
       promise->set_exception(std::current_exception());
       const std::scoped_lock lock(mutex_);
       operational_cache_.erase(key);
+      return future.get();
     }
+    promise->set_value(result);
+    if (store && !from_store) {
+      try {
+        store->store(persistent_key, encode_operational(result));
+      } catch (...) {
+        // Persistence is best-effort; the published in-memory answer stands.
+      }
+    }
+    {
+      const std::scoped_lock lock(mutex_);
+      if (from_store) {
+        ++stats_.store_hits;
+      } else {
+        ++stats_.computed;
+      }
+      note_completed_locked(operational_cache_, operational_completed_order_,
+                            key);
+    }
+    obs::count(from_store ? obs::Metric::kSessionStoreHits
+                          : obs::Metric::kSessionComputed);
   }
   return future.get();
 }

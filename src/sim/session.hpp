@@ -18,9 +18,11 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -112,7 +114,43 @@ struct YieldQuery {
 /// Canonical cache/dedupe key: two queries with equal keys are guaranteed
 /// bit-identical results on the same design. Doubles are keyed by bit
 /// pattern, so -0.0 != 0.0 (distinct keys, same result — harmless).
+///
+/// Injection-proofness: every field is rendered as a decimal integer (enum
+/// ordinals, bit patterns) joined by '|', and a mixture's component list is
+/// wrapped in '[' ... ']' with ';' terminators, so no value can ever contain
+/// a separator and two distinct queries always serialize differently (the
+/// regression suite in tests/test_sim_session.cpp pins the adversarial
+/// cases). Keep it that way: never append a free-form string field here —
+/// length-prefix or escape it first. These keys become durable on disk via
+/// store_key(), where a collision would silently alias two experiments.
 std::string query_key(const YieldQuery& query);
+
+/// Durable cross-process store key for (design, query): a store-schema
+/// version prefix + the design's content fingerprint + query_key. Two
+/// different designs (even with equal cell counts) fingerprint differently,
+/// so one on-disk store can safely serve every design.
+std::string store_key(const YieldQuery& query, const ChipDesign& design);
+
+/// Abstract external (typically on-disk, cross-process) result cache a
+/// Session consults on in-memory misses; see serve::ResultStore for the
+/// durable implementation. Implementations must be thread-safe. load()
+/// returns the payload previously store()d under `key`, or nullopt for a
+/// miss; a throwing load fails the query (the session drops the cache entry
+/// so a retry recomputes). store() is best-effort and must not throw.
+class ResultCache {
+ public:
+  virtual ~ResultCache() = default;
+  virtual std::optional<std::string> load(const std::string& key) = 0;
+  virtual void store(const std::string& key, const std::string& payload) = 0;
+};
+
+/// Exact (bit-preserving) text codecs for the ResultCache payloads: doubles
+/// travel as decimal uint64 bit patterns, so a decoded estimate is
+/// bit-identical to the stored one. decode returns nullopt on any mismatch
+/// (wrong tag, truncation, trailing bytes) — a corrupt payload is a miss,
+/// never a crash.
+std::string encode_estimate(const YieldEstimate& estimate);
+std::optional<YieldEstimate> decode_estimate(std::string_view payload);
 
 /// The Rng stream run `run` of an experiment draws from; identical to the
 /// legacy yield::mc_run_stream derivation.
@@ -161,6 +199,17 @@ struct OperationalEstimate {
   double worst_slowdown = 0.0;
 };
 
+/// ResultCache codec for operational estimates (same contract as
+/// encode_estimate / decode_estimate).
+std::string encode_operational(const OperationalEstimate& estimate);
+std::optional<OperationalEstimate> decode_operational(
+    std::string_view payload);
+
+/// Default bound on completed entries kept per session cache (structural and
+/// operational each): generous for any campaign grid, small enough that a
+/// long-lived daemon never grows without bound.
+inline constexpr std::size_t kDefaultCacheCapacity = 1 << 16;
+
 class Session {
  public:
   /// Opens a session over an existing shared design.
@@ -197,15 +246,37 @@ class Session {
   /// computed once. Results are positionally parallel to `queries`.
   std::vector<YieldEstimate> run_all(std::span<const YieldQuery> queries);
 
+  /// Attaches an external result cache consulted (under store_key) on
+  /// in-memory misses before simulating; freshly computed estimates are
+  /// stored back. Pass nullptr to detach. Not thread-safe against
+  /// concurrent run() calls — attach before serving.
+  void attach_result_cache(std::shared_ptr<ResultCache> cache);
+
+  /// Bounds the completed entries kept per cache (structural and
+  /// operational each); the oldest completed entries are evicted first,
+  /// in-flight computations are never evicted. Lowering the capacity takes
+  /// effect at the next completion. Default kDefaultCacheCapacity.
+  void set_cache_capacity(std::size_t max_entries);
+
   /// Cache accounting across the session's lifetime.
   struct Stats {
-    std::size_t queries = 0;    ///< run() calls answered
-    std::size_t computed = 0;   ///< distinct queries actually simulated
-    std::size_t cache_hits() const noexcept { return queries - computed; }
+    std::size_t queries = 0;     ///< run() calls answered
+    std::size_t computed = 0;    ///< distinct queries actually simulated
+    std::size_t store_hits = 0;  ///< queries served by the external cache
+    std::size_t evictions = 0;   ///< completed entries evicted by the bound
+    std::size_t cache_hits() const noexcept {
+      return queries - computed - store_hits;
+    }
   };
   Stats stats() const;
 
  private:
+  /// Completion bookkeeping shared by both caches: records `key` as the
+  /// newest completed entry and evicts the oldest beyond capacity_.
+  /// Call with mutex_ held.
+  template <typename Map>
+  void note_completed_locked(Map& cache, std::deque<std::string>& order,
+                             const std::string& key);
   YieldEstimate execute(const YieldQuery& query) const;
   OperationalEstimate execute_operational(const YieldQuery& query) const;
   /// Counts successes over runs [begin, end); `scratch` holds one FaultState
@@ -225,10 +296,15 @@ class Session {
 
   std::shared_ptr<const ChipDesign> design_;
   std::shared_ptr<const AssayWorkload> workload_;
+  std::shared_ptr<ResultCache> result_cache_;
   mutable std::mutex mutex_;
   std::unordered_map<std::string, std::shared_future<YieldEstimate>> cache_;
   std::unordered_map<std::string, std::shared_future<OperationalEstimate>>
       operational_cache_;
+  /// Completed keys in completion order (eviction order), one per cache.
+  std::deque<std::string> completed_order_;
+  std::deque<std::string> operational_completed_order_;
+  std::size_t capacity_ = kDefaultCacheCapacity;
   Stats stats_;
 };
 

@@ -18,6 +18,11 @@
 //   --metrics P   write an obs metrics snapshot to P (JSON lines) plus a
 //                 markdown summary next to it (.jsonl -> .md)
 //   --trace P     record Chrome trace-event JSON (Perfetto-loadable) to P
+//   --store DIR   durable result store (serve::ResultStore): points already
+//                 stored load instead of recomputing, fresh points persist
+//                 — kill the process mid-campaign, rerun with the same
+//                 --store, and only uncomputed points execute, with
+//                 artifacts byte-identical to an uninterrupted run
 //
 // File artifacts land at <out>/<name>.csv and <out>/<name>.jsonl when the
 // spec's sink list requests them. Results are bit-identical for every
@@ -40,6 +45,7 @@
 #include "obs/metrics.hpp"
 #include "obs/sink.hpp"
 #include "obs/trace.hpp"
+#include "serve/result_store.hpp"
 
 namespace {
 
@@ -56,7 +62,8 @@ int usage(const char* argv0) {
       << "  --markdown    print the console table as markdown\n"
       << "  --print-spec  echo the normalised spec and exit\n"
       << "  --metrics P   write metrics JSON-lines to P (+ .md summary)\n"
-      << "  --trace P     write Chrome trace-event JSON to P\n";
+      << "  --trace P     write Chrome trace-event JSON to P\n"
+      << "  --store DIR   durable result store for checkpoint/resume\n";
   return 2;
 }
 
@@ -96,6 +103,7 @@ int main(int argc, char** argv) {
   std::optional<std::uint64_t> seed_override;
   std::string metrics_path;
   std::string trace_path;
+  std::string store_dir;
   bool markdown = false;
   bool print_spec = false;
 
@@ -104,9 +112,10 @@ int main(int argc, char** argv) {
     const auto next_value = [&]() -> const char* {
       return i + 1 < argc ? argv[++i] : nullptr;
     };
-    // --metrics/--trace accept both "--flag PATH" and "--flag=PATH".
+    // --metrics/--trace/--store accept both "--flag PATH" and "--flag=PATH".
     std::string inline_value;
-    if (arg.starts_with("--metrics=") || arg.starts_with("--trace=")) {
+    if (arg.starts_with("--metrics=") || arg.starts_with("--trace=") ||
+        arg.starts_with("--store=")) {
       const auto equals = arg.find('=');
       inline_value = arg.substr(equals + 1);
       arg.resize(equals);
@@ -159,6 +168,12 @@ int main(int argc, char** argv) {
       trace_path = path_value();
       if (trace_path.empty()) {
         std::cerr << argv[0] << ": --trace needs an output path\n";
+        return 2;
+      }
+    } else if (arg == "--store") {
+      store_dir = path_value();
+      if (store_dir.empty()) {
+        std::cerr << argv[0] << ": --store needs a directory\n";
         return 2;
       }
     } else if (arg == "--out") {
@@ -223,6 +238,18 @@ int main(int argc, char** argv) {
 
   campaign::CampaignRunner runner(std::move(spec));
   const campaign::CampaignSpec& active = runner.spec();
+
+  std::shared_ptr<serve::ResultStore> store;
+  if (!store_dir.empty()) {
+    try {
+      store = std::make_shared<serve::ResultStore>(store_dir);
+    } catch (const std::exception& ex) {
+      std::cerr << argv[0] << ": cannot open result store '" << store_dir
+                << "': " << ex.what() << '\n';
+      return 1;
+    }
+    runner.set_result_cache(store);
+  }
 
   std::vector<std::unique_ptr<campaign::ArtifactSink>> file_sinks;
   std::unique_ptr<campaign::ConsoleSink> console_text;
@@ -317,6 +344,12 @@ int main(int argc, char** argv) {
             << " grid points, " << runner.stats().unique_points << " unique ("
             << runner.stats().cache_hits() << " deduped), dmfb "
             << kVersionString << '\n';
+  if (store) {
+    const serve::ResultStore::Stats store_stats = store->stats();
+    std::cerr << "store '" << store_dir << "': " << store_stats.hits
+              << " hits, " << store_stats.writes << " writes, "
+              << store_stats.corrupt_dropped << " corrupt dropped\n";
+  }
   for (const std::string& path : artifact_paths) {
     std::cerr << "artifact: " << path << '\n';
   }
